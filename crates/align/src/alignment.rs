@@ -1,0 +1,306 @@
+//! Alignment representation: edit operations, CIGAR strings and the
+//! three-row pretty rendering of the paper's Figure 1.
+
+use swdual_bio::{Alphabet, ScoringScheme};
+
+/// One column of an alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignOp {
+    /// Both residues present and identical.
+    Match,
+    /// Both residues present but different.
+    Mismatch,
+    /// Gap in the query (residue consumed from the subject only);
+    /// CIGAR `D`.
+    Delete,
+    /// Gap in the subject (residue consumed from the query only);
+    /// CIGAR `I`.
+    Insert,
+}
+
+impl AlignOp {
+    /// CIGAR operation letter (extended CIGAR: `=`, `X`, `I`, `D`).
+    pub fn cigar_char(self) -> char {
+        match self {
+            AlignOp::Match => '=',
+            AlignOp::Mismatch => 'X',
+            AlignOp::Insert => 'I',
+            AlignOp::Delete => 'D',
+        }
+    }
+
+    /// Whether this op consumes a query residue.
+    pub fn consumes_query(self) -> bool {
+        matches!(self, AlignOp::Match | AlignOp::Mismatch | AlignOp::Insert)
+    }
+
+    /// Whether this op consumes a subject residue.
+    pub fn consumes_subject(self) -> bool {
+        matches!(self, AlignOp::Match | AlignOp::Mismatch | AlignOp::Delete)
+    }
+}
+
+/// A pairwise alignment between a query and a subject region.
+///
+/// Coordinates are 0-based half-open over the *encoded* sequences the
+/// alignment was computed from; for a local alignment they delimit the
+/// aligned region only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Alignment score under the scheme it was computed with.
+    pub score: i32,
+    /// Start of the aligned region in the query.
+    pub query_start: usize,
+    /// End (exclusive) of the aligned region in the query.
+    pub query_end: usize,
+    /// Start of the aligned region in the subject.
+    pub subject_start: usize,
+    /// End (exclusive) of the aligned region in the subject.
+    pub subject_end: usize,
+    /// Column operations from start to end.
+    pub ops: Vec<AlignOp>,
+}
+
+impl Alignment {
+    /// An empty alignment (score 0, no columns) — what a local alignment
+    /// of unrelated sequences degenerates to.
+    pub fn empty() -> Alignment {
+        Alignment {
+            score: 0,
+            query_start: 0,
+            query_end: 0,
+            subject_start: 0,
+            subject_end: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the alignment has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count of exact-match columns.
+    pub fn matches(&self) -> usize {
+        self.ops.iter().filter(|o| **o == AlignOp::Match).count()
+    }
+
+    /// Fraction of match columns (0.0 for an empty alignment).
+    pub fn identity(&self) -> f64 {
+        if self.ops.is_empty() {
+            0.0
+        } else {
+            self.matches() as f64 / self.ops.len() as f64
+        }
+    }
+
+    /// Number of gap columns (insertions + deletions).
+    pub fn gap_columns(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Insert | AlignOp::Delete))
+            .count()
+    }
+
+    /// Run-length encoded CIGAR string with `=`/`X`/`I`/`D` ops.
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut iter = self.ops.iter().peekable();
+        while let Some(&op) = iter.next() {
+            let mut run = 1usize;
+            while iter.peek() == Some(&&op) {
+                iter.next();
+                run += 1;
+            }
+            out.push_str(&run.to_string());
+            out.push(op.cigar_char());
+        }
+        out
+    }
+
+    /// Recompute the score of this alignment column-by-column under
+    /// `scheme` (affine gaps: a gap run costs `Gs + len·Ge`). Used by the
+    /// property tests: a traceback is only correct if this equals
+    /// [`Alignment::score`].
+    pub fn rescore(&self, query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
+        let mut score = 0i32;
+        let mut qi = self.query_start;
+        let mut sj = self.subject_start;
+        let mut prev: Option<AlignOp> = None;
+        for &op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    score += scheme.score(query[qi], subject[sj]);
+                    qi += 1;
+                    sj += 1;
+                }
+                AlignOp::Insert => {
+                    score -= scheme.gap_extend;
+                    if prev != Some(AlignOp::Insert) {
+                        score -= scheme.gap_open;
+                    }
+                    qi += 1;
+                }
+                AlignOp::Delete => {
+                    score -= scheme.gap_extend;
+                    if prev != Some(AlignOp::Delete) {
+                        score -= scheme.gap_open;
+                    }
+                    sj += 1;
+                }
+            }
+            prev = Some(op);
+        }
+        score
+    }
+
+    /// Render the three-row representation of the paper's Figure 1:
+    /// query row, marker row (`|` match, `.` mismatch, space gap) and
+    /// subject row.
+    pub fn render(&self, query: &[u8], subject: &[u8], alphabet: Alphabet) -> String {
+        let mut top = String::new();
+        let mut mid = String::new();
+        let mut bot = String::new();
+        let mut qi = self.query_start;
+        let mut sj = self.subject_start;
+        for &op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    top.push(alphabet.decode_byte(query[qi]) as char);
+                    bot.push(alphabet.decode_byte(subject[sj]) as char);
+                    mid.push(if op == AlignOp::Match { '|' } else { '.' });
+                    qi += 1;
+                    sj += 1;
+                }
+                AlignOp::Insert => {
+                    top.push(alphabet.decode_byte(query[qi]) as char);
+                    bot.push('-');
+                    mid.push(' ');
+                    qi += 1;
+                }
+                AlignOp::Delete => {
+                    top.push('-');
+                    bot.push(alphabet.decode_byte(subject[sj]) as char);
+                    mid.push(' ');
+                    sj += 1;
+                }
+            }
+        }
+        format!("{top}\n{mid}\n{bot}")
+    }
+
+    /// Internal consistency check: op counts must match the coordinate
+    /// spans.
+    pub fn is_consistent(&self) -> bool {
+        let q_consumed: usize = self.ops.iter().filter(|o| o.consumes_query()).count();
+        let s_consumed: usize = self.ops.iter().filter(|o| o.consumes_subject()).count();
+        self.query_start + q_consumed == self.query_end
+            && self.subject_start + s_consumed == self.subject_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdual_bio::Matrix;
+
+    fn sample() -> Alignment {
+        Alignment {
+            score: 4,
+            query_start: 0,
+            query_end: 9,
+            subject_start: 0,
+            subject_end: 8,
+            ops: vec![
+                AlignOp::Match,    // A/A
+                AlignOp::Insert,   // C/-
+                AlignOp::Match,    // T
+                AlignOp::Match,    // T
+                AlignOp::Match,    // G
+                AlignOp::Match,    // T
+                AlignOp::Match,    // C
+                AlignOp::Mismatch, // C/A
+                AlignOp::Match,    // G
+            ],
+        }
+    }
+
+    #[test]
+    fn figure1_alignment_renders_and_rescoares() {
+        // The exact alignment of the paper's Figure 1.
+        let q = Alphabet::Dna.encode(b"ACTTGTCCG").unwrap();
+        let s = Alphabet::Dna.encode(b"ATTGTCAG").unwrap();
+        let aln = sample();
+        assert!(aln.is_consistent());
+
+        let scheme = ScoringScheme::figure1_dna();
+        assert_eq!(aln.rescore(&q, &s, &scheme), 4); // the paper's score
+
+        let text = aln.render(&q, &s, Alphabet::Dna);
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows[0], "ACTTGTCCG");
+        assert_eq!(rows[2], "A-TTGTCAG");
+        assert_eq!(rows[1], "| |||||.|");
+    }
+
+    #[test]
+    fn cigar_run_length_encoding() {
+        let aln = sample();
+        assert_eq!(aln.cigar(), "1=1I5=1X1=");
+    }
+
+    #[test]
+    fn counts_and_identity() {
+        let aln = sample();
+        assert_eq!(aln.len(), 9);
+        assert_eq!(aln.matches(), 7);
+        assert_eq!(aln.gap_columns(), 1);
+        assert!((aln.identity() - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_alignment() {
+        let aln = Alignment::empty();
+        assert!(aln.is_empty());
+        assert_eq!(aln.identity(), 0.0);
+        assert_eq!(aln.cigar(), "");
+        assert!(aln.is_consistent());
+    }
+
+    #[test]
+    fn inconsistent_alignment_detected() {
+        let mut aln = sample();
+        aln.query_end = 5; // wrong span
+        assert!(!aln.is_consistent());
+    }
+
+    #[test]
+    fn affine_rescore_charges_open_once_per_run() {
+        let m = Matrix::match_mismatch(Alphabet::Dna, 1, -1);
+        let scheme = ScoringScheme::new(m, 3, 1);
+        let q = Alphabet::Dna.encode(b"AATT").unwrap();
+        let s = Alphabet::Dna.encode(b"AAGGTT").unwrap();
+        let aln = Alignment {
+            score: 0, // unused by rescore
+            query_start: 0,
+            query_end: 4,
+            subject_start: 0,
+            subject_end: 6,
+            ops: vec![
+                AlignOp::Match,
+                AlignOp::Match,
+                AlignOp::Delete,
+                AlignOp::Delete,
+                AlignOp::Match,
+                AlignOp::Match,
+            ],
+        };
+        // 4 matches - (open 3 + 2 * extend 1) = 4 - 5 = -1.
+        assert_eq!(aln.rescore(&q, &s, &scheme), -1);
+    }
+}

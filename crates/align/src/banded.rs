@@ -1,0 +1,194 @@
+//! Banded Gotoh alignment.
+//!
+//! When two sequences are known to be similar, the optimal local
+//! alignment stays close to the main diagonal and cells further than a
+//! *bandwidth* `k` from it cannot participate. Restricting the DP to the
+//! band reduces work from `O(m·n)` to `O(k·min(m,n))`. The band here is
+//! centred on the diagonal `j - i = offset` (offset 0 = main diagonal).
+//!
+//! The banded score is a *lower bound* on the unbanded score, with
+//! equality whenever the optimal path stays inside the band — a property
+//! the tests exercise. Production pipelines (including CUDASW++'s
+//! rescoring stage) use exactly this pattern: cheap banded pass first,
+//! full pass only when the band saturates.
+
+use swdual_bio::ScoringScheme;
+
+const NEG_BOUND: i32 = i32::MIN / 4;
+
+/// Banded Gotoh local-alignment score.
+///
+/// Only cells with `|(j - i) - offset| <= bandwidth` are computed.
+/// `bandwidth == usize::MAX` degenerates to the full kernel (every cell
+/// in band).
+pub fn banded_gotoh_score(
+    query: &[u8],
+    subject: &[u8],
+    scheme: &ScoringScheme,
+    bandwidth: usize,
+    offset: isize,
+) -> i32 {
+    if query.is_empty() || subject.is_empty() {
+        return 0;
+    }
+    let gs = scheme.gap_open;
+    let ge = scheme.gap_extend;
+    let n = subject.len();
+
+    let mut h_prev = vec![0i32; n + 1];
+    let mut h_cur = vec![0i32; n + 1];
+    let mut f = vec![NEG_BOUND; n + 1];
+    let mut best = 0i32;
+
+    let band = bandwidth as i64;
+    for (idx, &q) in query.iter().enumerate() {
+        let i = idx as i64 + 1;
+        let row = scheme.matrix.row(q);
+
+        // Band limits for this row: j in [i + offset - band, i + offset + band].
+        let centre = i + offset as i64;
+        let lo = (centre - band).max(1);
+        let hi = (centre.saturating_add(band)).min(n as i64);
+        if lo > hi {
+            // Row entirely outside the band.
+            std::mem::swap(&mut h_prev, &mut h_cur);
+            continue;
+        }
+        let lo = lo as usize;
+        let hi = hi as usize;
+
+        // Cells just outside the band behave as unreachable.
+        if lo >= 1 {
+            h_cur[lo - 1] = if lo == 1 { 0 } else { NEG_BOUND };
+        }
+        let mut e = NEG_BOUND;
+        for j in lo..=hi {
+            let s = subject[j - 1];
+            e = (e.max(h_cur[j - 1] - gs)) - ge;
+            f[j] = (f[j].max(h_prev[j] - gs)) - ge;
+            let h = (h_prev[j - 1] + row[s as usize])
+                .max(e)
+                .max(f[j])
+                .max(0);
+            h_cur[j] = h;
+            best = best.max(h);
+        }
+        // Poison the cell right of the band so the next row's diagonal
+        // read cannot see a stale value.
+        if hi < n {
+            h_cur[hi + 1] = NEG_BOUND;
+            f[hi + 1] = NEG_BOUND;
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    best
+}
+
+/// Choose a bandwidth for two lengths: the length difference plus a
+/// slack. Any optimal alignment must use at least `|m - n|` gap columns,
+/// so a band of `|m - n| + slack` covers alignments with up to `slack`
+/// extra gaps in each direction.
+pub fn bandwidth_for(query_len: usize, subject_len: usize, slack: usize) -> usize {
+    query_len.abs_diff(subject_len) + slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::gotoh_score;
+    use swdual_bio::{Alphabet, Matrix};
+
+    fn dna(t: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(t).unwrap()
+    }
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+
+    fn scheme_dna() -> ScoringScheme {
+        ScoringScheme::new(Matrix::match_mismatch(Alphabet::Dna, 2, -3), 4, 1)
+    }
+
+    #[test]
+    fn wide_band_equals_full_kernel() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKVLATGGARNDCEQ");
+        let s = prot(b"KVTAGGWYNDCEQMK");
+        let full = gotoh_score(&q, &s, &scheme);
+        let banded = banded_gotoh_score(&q, &s, &scheme, 64, 0);
+        assert_eq!(banded, full);
+    }
+
+    #[test]
+    fn banded_score_never_exceeds_full() {
+        let scheme = scheme_dna();
+        let q = dna(b"ACGTACGTTTACGGA");
+        let s = dna(b"TACGGACGTACGTAA");
+        let full = gotoh_score(&q, &s, &scheme);
+        for bw in 0..16 {
+            let b = banded_gotoh_score(&q, &s, &scheme, bw, 0);
+            assert!(b <= full, "bw={bw}: {b} > {full}");
+        }
+    }
+
+    #[test]
+    fn band_converges_to_full_as_it_widens() {
+        let scheme = scheme_dna();
+        let q = dna(b"ACGTACGTACGTACGTAAAA");
+        let s = dna(b"ACGTACGGACGTACGTAAAA");
+        let full = gotoh_score(&q, &s, &scheme);
+        let mut prev = i32::MIN;
+        for bw in 0..=20 {
+            let b = banded_gotoh_score(&q, &s, &scheme, bw, 0);
+            assert!(b >= prev, "banded score must be monotone in bandwidth");
+            prev = b;
+        }
+        assert_eq!(prev, full);
+    }
+
+    #[test]
+    fn similar_sequences_need_narrow_band_only() {
+        let scheme = scheme_dna();
+        // One substitution: optimal path is the main diagonal.
+        let q = dna(b"ACGTACGTACGT");
+        let s = dna(b"ACGTACCTACGT");
+        let full = gotoh_score(&q, &s, &scheme);
+        assert_eq!(banded_gotoh_score(&q, &s, &scheme, 1, 0), full);
+    }
+
+    #[test]
+    fn offset_band_finds_shifted_match() {
+        let scheme = scheme_dna();
+        // The match region is shifted +6 in the subject.
+        let q = dna(b"ACGTACGT");
+        let s = dna(b"TTTTTTACGTACGT");
+        let full = gotoh_score(&q, &s, &scheme);
+        // Centred band of width 1 misses it…
+        assert!(banded_gotoh_score(&q, &s, &scheme, 1, 0) < full);
+        // …but the same width at offset 6 finds it.
+        assert_eq!(banded_gotoh_score(&q, &s, &scheme, 1, 6), full);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_diagonal_only() {
+        let scheme = scheme_dna();
+        let q = dna(b"ACGT");
+        let s = dna(b"ACGT");
+        // Pure diagonal: all four matches reachable with bandwidth 0.
+        assert_eq!(banded_gotoh_score(&q, &s, &scheme, 0, 0), 8);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let scheme = scheme_dna();
+        assert_eq!(banded_gotoh_score(&[], &dna(b"ACGT"), &scheme, 4, 0), 0);
+        assert_eq!(banded_gotoh_score(&dna(b"ACGT"), &[], &scheme, 4, 0), 0);
+    }
+
+    #[test]
+    fn bandwidth_for_covers_length_difference() {
+        assert_eq!(bandwidth_for(100, 120, 8), 28);
+        assert_eq!(bandwidth_for(120, 100, 0), 20);
+        assert_eq!(bandwidth_for(50, 50, 5), 5);
+    }
+}

@@ -1,0 +1,231 @@
+//! Alignment engines: a uniform interface over the kernels.
+//!
+//! The paper's workers each wrap a concrete implementation (SWIPE on
+//! CPUs, CUDASW++ on GPUs); this module gives the Rust reproduction the
+//! same shape. An [`AlignEngine`] scores one query against one subject
+//! or against a whole subject list; [`EngineKind`] selects the kernel
+//! dynamically (the runtime configures workers from it).
+
+use crate::interseq;
+use crate::profile::StripedProfile;
+use crate::scalar::gotoh_score;
+use crate::striped;
+use crate::wavefront::{self, WavefrontConfig};
+use swdual_bio::ScoringScheme;
+
+/// Which kernel an engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Scalar Gotoh reference kernel (also the SWPS3-class baseline:
+    /// straightforward per-thread vector code, one comparison at a time).
+    Scalar,
+    /// Farrar striped SIMD (STRIPED baseline).
+    Striped,
+    /// Inter-sequence SIMD (SWIPE baseline).
+    InterSeq,
+    /// Blocked wavefront, fine-grained parallel (Figure 2).
+    Wavefront,
+}
+
+impl EngineKind {
+    /// All kinds, for exhaustive testing/benching.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Scalar,
+        EngineKind::Striped,
+        EngineKind::InterSeq,
+        EngineKind::Wavefront,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Striped => "striped",
+            EngineKind::InterSeq => "interseq",
+            EngineKind::Wavefront => "wavefront",
+        }
+    }
+
+    /// Build the engine.
+    pub fn build(self) -> Box<dyn AlignEngine> {
+        match self {
+            EngineKind::Scalar => Box::new(ScalarEngine),
+            EngineKind::Striped => Box::new(StripedEngine),
+            EngineKind::InterSeq => Box::new(InterSeqEngine),
+            EngineKind::Wavefront => Box::new(WavefrontEngine {
+                config: WavefrontConfig::default(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A local-alignment scoring engine. All engines are *exact*: they must
+/// return the same score as the scalar Gotoh reference.
+pub trait AlignEngine: Send + Sync {
+    /// Which kernel this engine wraps.
+    fn kind(&self) -> EngineKind;
+
+    /// Score one pairwise comparison.
+    fn score(&self, query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32;
+
+    /// Score one query against many subjects. The default loops over
+    /// [`AlignEngine::score`]; batched engines override this.
+    fn score_many(
+        &self,
+        query: &[u8],
+        subjects: &[&[u8]],
+        scheme: &ScoringScheme,
+    ) -> Vec<i32> {
+        subjects
+            .iter()
+            .map(|s| self.score(query, s, scheme))
+            .collect()
+    }
+}
+
+/// Scalar Gotoh engine.
+pub struct ScalarEngine;
+
+impl AlignEngine for ScalarEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Scalar
+    }
+    fn score(&self, query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
+        gotoh_score(query, subject, scheme)
+    }
+}
+
+/// Farrar striped engine with automatic scalar fallback; reuses the
+/// striped profile across the subjects of one `score_many` call, like
+/// the original STRIPED does for a database pass.
+pub struct StripedEngine;
+
+impl AlignEngine for StripedEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Striped
+    }
+    fn score(&self, query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
+        striped::striped_score_exact(query, subject, scheme)
+    }
+    fn score_many(
+        &self,
+        query: &[u8],
+        subjects: &[&[u8]],
+        scheme: &ScoringScheme,
+    ) -> Vec<i32> {
+        let profile = StripedProfile::build(query, &scheme.matrix);
+        subjects
+            .iter()
+            .map(|s| {
+                striped::striped_score_profile(&profile, s, scheme)
+                    .unwrap_or_else(|| gotoh_score(query, s, scheme))
+            })
+            .collect()
+    }
+}
+
+/// Inter-sequence engine. `score` on a single pair degenerates to a
+/// one-lane batch; its strength is `score_many`.
+pub struct InterSeqEngine;
+
+impl AlignEngine for InterSeqEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::InterSeq
+    }
+    fn score(&self, query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
+        interseq::interseq_batch_exact(query, &[subject], scheme)[0]
+    }
+    fn score_many(
+        &self,
+        query: &[u8],
+        subjects: &[&[u8]],
+        scheme: &ScoringScheme,
+    ) -> Vec<i32> {
+        interseq::interseq_search(query, subjects, scheme)
+    }
+}
+
+/// Blocked-wavefront engine (fine-grained parallelism inside one
+/// comparison).
+pub struct WavefrontEngine {
+    /// Block partition used for every comparison.
+    pub config: WavefrontConfig,
+}
+
+impl AlignEngine for WavefrontEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Wavefront
+    }
+    fn score(&self, query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
+        wavefront::wavefront_score(query, subject, scheme, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdual_bio::Alphabet;
+
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+
+    fn subjects() -> Vec<Vec<u8>> {
+        vec![
+            prot(b"MKWVTFISLLFLFSSAYSRG"),
+            prot(b"GRSYASSFLF"),
+            prot(b"MKWVTFISLL"),
+            prot(b"AAAAAAAAAA"),
+            prot(b"WWWW"),
+            prot(b""),
+            prot(b"MKWVTFISLLFLFSSAYSRGMKWVTFISLLFLFSSAYSRG"),
+        ]
+    }
+
+    #[test]
+    fn all_engines_agree_with_scalar() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKWVTFISLLFLFSSAYSRGVFRR");
+        let subs = subjects();
+        let refs: Vec<&[u8]> = subs.iter().map(|s| s.as_slice()).collect();
+        let expected: Vec<i32> = refs
+            .iter()
+            .map(|s| gotoh_score(&q, s, &scheme))
+            .collect();
+        for kind in EngineKind::ALL {
+            let engine = kind.build();
+            assert_eq!(engine.kind(), kind);
+            let got = engine.score_many(&q, &refs, &scheme);
+            assert_eq!(got, expected, "engine {kind}");
+            // Single-pair path too.
+            assert_eq!(engine.score(&q, refs[0], &scheme), expected[0]);
+        }
+    }
+
+    #[test]
+    fn engine_names_are_stable() {
+        assert_eq!(EngineKind::Scalar.name(), "scalar");
+        assert_eq!(EngineKind::Striped.to_string(), "striped");
+        assert_eq!(EngineKind::InterSeq.name(), "interseq");
+        assert_eq!(EngineKind::Wavefront.name(), "wavefront");
+    }
+
+    #[test]
+    fn default_score_many_loops_score() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKVLAT");
+        let s = subjects();
+        let refs: Vec<&[u8]> = s.iter().map(|x| x.as_slice()).collect();
+        let engine = ScalarEngine;
+        let many = engine.score_many(&q, &refs, &scheme);
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(many[i], engine.score(&q, r, &scheme));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Inter-sequence SIMD Smith-Waterman — the SWIPE baseline [9].
+//!
+//! Where Farrar's kernel vectorises *within* one comparison (lanes =
+//! query positions), Rognes' SWIPE vectorises *across* comparisons: lane
+//! `l` of every vector belongs to database sequence `l` of the current
+//! batch. All lanes execute the plain Gotoh recurrences independently —
+//! there is no inter-lane dependency at all, so no lazy-F correction is
+//! needed and utilisation stays near 100% regardless of scoring
+//! parameters. This is why SWIPE beats STRIPED on database search (and
+//! why the paper's Table II shows exactly that ordering).
+//!
+//! Lanes are `i16` saturating, like the 16-bit mode of SWIPE; per-lane
+//! overflow is detected and only the affected lanes are recomputed with
+//! the scalar `i32` kernel. Batches whose sequences have unequal lengths
+//! simply expire lanes early: an expired lane receives a poison
+//! substitution score so it can never produce new positive cells.
+
+use crate::profile::LANES;
+use crate::scalar::gotoh_score;
+use swdual_bio::ScoringScheme;
+
+const NEG: i16 = i16::MIN / 2;
+
+/// Result of one batched kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Per-lane local-alignment scores (exact unless flagged).
+    pub scores: [i32; LANES],
+    /// Per-lane overflow flags: `true` means the 16-bit lane saturated
+    /// and `scores` is unreliable for that lane.
+    pub overflow: [bool; LANES],
+}
+
+/// Internal `i16` query profile in plain layout: row per residue code.
+struct Profile16 {
+    query_len: usize,
+    rows: Vec<i16>,
+    /// Poison row handed to expired lanes.
+    poison: Vec<i16>,
+}
+
+impl Profile16 {
+    fn build(query: &[u8], scheme: &ScoringScheme) -> Profile16 {
+        let m = query.len();
+        let size = scheme.matrix.size();
+        let mut rows = vec![0i16; size * m];
+        for r in 0..size {
+            let dst = &mut rows[r * m..(r + 1) * m];
+            for (i, &q) in query.iter().enumerate() {
+                dst[i] = scheme.matrix.score(q, r as u8) as i16;
+            }
+        }
+        Profile16 {
+            query_len: m,
+            rows,
+            poison: vec![NEG; m],
+        }
+    }
+
+    #[inline]
+    fn row(&self, r: u8) -> &[i16] {
+        &self.rows[r as usize * self.query_len..(r as usize + 1) * self.query_len]
+    }
+}
+
+/// Compare one query against up to [`LANES`] subjects simultaneously.
+/// Missing subjects (batch shorter than `LANES`) score 0.
+pub fn interseq_batch(
+    query: &[u8],
+    subjects: &[&[u8]],
+    scheme: &ScoringScheme,
+) -> BatchResult {
+    assert!(
+        subjects.len() <= LANES,
+        "at most {LANES} subjects per batch"
+    );
+    let m = query.len();
+    let mut result = BatchResult {
+        scores: [0; LANES],
+        overflow: [false; LANES],
+    };
+    if m == 0 || subjects.iter().all(|s| s.is_empty()) {
+        return result;
+    }
+
+    let profile = Profile16::build(query, scheme);
+    let open = (scheme.gap_open + scheme.gap_extend) as i16;
+    let ext = scheme.gap_extend as i16;
+    let max_len = subjects.iter().map(|s| s.len()).max().unwrap_or(0);
+
+    // State per query position: H and E vectors (lane = subject).
+    let mut h: Vec<[i16; LANES]> = vec![[0; LANES]; m];
+    let mut e: Vec<[i16; LANES]> = vec![[NEG; LANES]; m];
+    let mut best = [0i16; LANES];
+
+    // Per-column residue rows, one per lane.
+    let mut rows: [&[i16]; LANES] = [&profile.poison; LANES];
+
+    for j in 0..max_len {
+        for (l, row) in rows.iter_mut().enumerate() {
+            *row = match subjects.get(l).and_then(|s| s.get(j)) {
+                Some(&r) => profile.row(r),
+                None => &profile.poison,
+            };
+        }
+
+        let mut f = [NEG; LANES];
+        let mut diag = [0i16; LANES]; // H[0][j-1] boundary row.
+        for i in 0..m {
+            let h_old = h[i]; // H[i+1][j-1] (previous column).
+
+            // E (horizontal, paper Eq. 3) from the previous column.
+            // F (vertical, paper Eq. 4) chains within this column via
+            // `f`, fed by H[i][j] of the row above (already updated).
+            let mut h_new = [0i16; LANES];
+            for l in 0..LANES {
+                let e_upd =
+                    (e[i][l].saturating_sub(ext)).max(h_old[l].saturating_sub(open));
+                e[i][l] = e_upd;
+                let sub = diag[l].saturating_add(rows[l][i]);
+                let hv = sub.max(e_upd).max(f[l]).max(0);
+                h_new[l] = hv;
+                best[l] = best[l].max(hv);
+                f[l] = (f[l].saturating_sub(ext)).max(hv.saturating_sub(open));
+            }
+            diag = h_old;
+            h[i] = h_new;
+        }
+    }
+
+    let limit = i16::MAX - scheme.matrix.max_score() as i16;
+    for (l, &b) in best.iter().enumerate() {
+        if b >= limit {
+            result.overflow[l] = true;
+        }
+        result.scores[l] = b as i32;
+    }
+    result
+}
+
+/// Exact batched comparison: runs [`interseq_batch`] and recomputes any
+/// overflowed lane with the scalar kernel.
+pub fn interseq_batch_exact(
+    query: &[u8],
+    subjects: &[&[u8]],
+    scheme: &ScoringScheme,
+) -> Vec<i32> {
+    let batch = interseq_batch(query, subjects, scheme);
+    subjects
+        .iter()
+        .enumerate()
+        .map(|(l, s)| {
+            if batch.overflow[l] {
+                gotoh_score(query, s, scheme)
+            } else {
+                batch.scores[l]
+            }
+        })
+        .collect()
+}
+
+/// Score one query against a whole list of subjects, batching
+/// [`LANES`]-wide — the inner loop of a SWIPE worker.
+pub fn interseq_search(
+    query: &[u8],
+    subjects: &[&[u8]],
+    scheme: &ScoringScheme,
+) -> Vec<i32> {
+    let mut out = Vec::with_capacity(subjects.len());
+    for chunk in subjects.chunks(LANES) {
+        out.extend(interseq_batch_exact(query, chunk, scheme));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdual_bio::{Alphabet, Matrix};
+
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+
+    #[test]
+    fn full_batch_agrees_with_scalar() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKWVTFISLLFLFSSAYSRG");
+        let subjects: Vec<Vec<u8>> = [
+            &b"MKWVTFISLL"[..],
+            b"FLFSSAYSRG",
+            b"MKWVTFISLLFLFSSAYSRG",
+            b"AAAA",
+            b"GRSYASSFLFLLSIFTVWKM", // reversed
+            b"MKW",
+            b"WWWWWWWW",
+            b"MKVVTFISLLFLFSSAYSRG",
+        ]
+        .iter()
+        .map(|t| prot(t))
+        .collect();
+        let refs: Vec<&[u8]> = subjects.iter().map(|s| s.as_slice()).collect();
+        let got = interseq_batch_exact(&q, &refs, &scheme);
+        for (l, s) in refs.iter().enumerate() {
+            assert_eq!(got[l], gotoh_score(&q, s, &scheme), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn partial_batch_and_empty_subjects() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKVLAT");
+        let s0 = prot(b"MKVLAT");
+        let s1 = prot(b"");
+        let refs: Vec<&[u8]> = vec![&s0, &s1];
+        let got = interseq_batch_exact(&q, &refs, &scheme);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], gotoh_score(&q, &s0, &scheme));
+        assert_eq!(got[1], 0);
+    }
+
+    #[test]
+    fn unequal_lengths_expire_lanes_correctly() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKVLATGGARND");
+        let subjects: Vec<Vec<u8>> = vec![
+            prot(b"M"),
+            prot(b"MKVLATGGARNDMKVLATGGARNDMKVLATGGARND"),
+            prot(b"GGAR"),
+            prot(b"NDMKVLAT"),
+        ];
+        let refs: Vec<&[u8]> = subjects.iter().map(|s| s.as_slice()).collect();
+        let got = interseq_batch_exact(&q, &refs, &scheme);
+        for (l, s) in refs.iter().enumerate() {
+            assert_eq!(got[l], gotoh_score(&q, s, &scheme), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn empty_query_scores_all_zero() {
+        let scheme = ScoringScheme::protein_default();
+        let s0 = prot(b"MKVLAT");
+        let refs: Vec<&[u8]> = vec![&s0];
+        assert_eq!(interseq_batch_exact(&[], &refs, &scheme), vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_batch_panics() {
+        let scheme = ScoringScheme::protein_default();
+        let s = prot(b"M");
+        let refs: Vec<&[u8]> = vec![&s; LANES + 1];
+        let _ = interseq_batch(&[], &refs, &scheme);
+    }
+
+    #[test]
+    fn overflow_lane_flagged_and_exact_recovers() {
+        let scheme = ScoringScheme::protein_default();
+        let w = vec![Alphabet::Protein.encode_byte(b'W').unwrap(); 3000];
+        let small = prot(b"MKV");
+        let refs: Vec<&[u8]> = vec![&w, &small];
+        let batch = interseq_batch(&w, &refs, &scheme);
+        assert!(batch.overflow[0]);
+        assert!(!batch.overflow[1]);
+        let exact = interseq_batch_exact(&w, &refs, &scheme);
+        assert_eq!(exact[0], 33_000);
+    }
+
+    #[test]
+    fn search_batches_whole_database() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKVLATGGARND");
+        // 19 subjects -> 3 batches (8+8+3).
+        let subjects: Vec<Vec<u8>> = (0..19)
+            .map(|i| {
+                let shift = i % 12;
+                let mut v = q.clone();
+                v.rotate_left(shift);
+                v
+            })
+            .collect();
+        let refs: Vec<&[u8]> = subjects.iter().map(|s| s.as_slice()).collect();
+        let got = interseq_search(&q, &refs, &scheme);
+        assert_eq!(got.len(), 19);
+        for (l, s) in refs.iter().enumerate() {
+            assert_eq!(got[l], gotoh_score(&q, s, &scheme), "subject {l}");
+        }
+    }
+
+    #[test]
+    fn cheap_gap_scheme_agrees() {
+        let m = Matrix::match_mismatch(Alphabet::Dna, 2, -100);
+        let scheme = ScoringScheme::new(m, 1, 0);
+        let q = Alphabet::Dna.encode(b"AATTAACCGGAATTACGACGT").unwrap();
+        let subjects: Vec<Vec<u8>> = vec![
+            Alphabet::Dna.encode(b"AAGGAACCTTAATTGCATCGA").unwrap(),
+            Alphabet::Dna.encode(b"TTTTAAAACCCCGGGG").unwrap(),
+        ];
+        let refs: Vec<&[u8]> = subjects.iter().map(|s| s.as_slice()).collect();
+        let got = interseq_batch_exact(&q, &refs, &scheme);
+        for (l, s) in refs.iter().enumerate() {
+            assert_eq!(got[l], gotoh_score(&q, s, &scheme), "lane {l}");
+        }
+    }
+}

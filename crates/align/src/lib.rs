@@ -1,0 +1,49 @@
+//! # swdual-align — Smith-Waterman / Gotoh alignment kernels
+//!
+//! Implements the comparison algorithms of the paper (§II) and the
+//! algorithmic cores of every baseline it measures against (§V, Table I):
+//!
+//! * [`scalar`] — reference implementations: linear-gap Smith-Waterman
+//!   (paper Eq. 1) and the Gotoh affine-gap recurrences (Eqs. 2–4).
+//!   Every other kernel is property-tested against these.
+//! * [`traceback`] — full-matrix alignment with traceback, producing an
+//!   [`alignment::Alignment`] like the paper's Figure 1 (local, global
+//!   and semi-global modes).
+//! * [`banded`] — banded Gotoh for bounded-divergence comparisons.
+//! * [`profile`] — query profiles: the substitution matrix re-indexed by
+//!   query position, the layout trick shared by STRIPED, SWIPE and
+//!   CUDASW++.
+//! * [`striped`] — Farrar's striped vertical SIMD kernel [18]
+//!   (the STRIPED baseline), with saturating 16-bit lanes and scalar
+//!   recompute on overflow.
+//! * [`interseq`] — Rognes' inter-sequence SIMD kernel [9] (the SWIPE
+//!   baseline): one query against `LANES` database sequences at once.
+//! * [`wavefront`] — the fine-grained multi-PE parallelisation of
+//!   Figure 2: the DP matrix is cut into blocks and anti-diagonals of
+//!   blocks are computed in parallel (rayon), borders handed between
+//!   neighbours.
+//! * [`engine`] — a common [`engine::AlignEngine`] trait plus the
+//!   database-search drivers the workers run.
+//!
+//! All kernels consume residues already encoded by `swdual-bio` and score
+//! with a [`swdual_bio::ScoringScheme`]. Scores are `i32` end-to-end;
+//! vectorised kernels use narrower saturating lanes internally and fall
+//! back to the scalar kernel when a score would overflow the lane type —
+//! exactly how SWIPE and STRIPED handle the same problem.
+
+pub mod alignment;
+pub mod banded;
+pub mod engine;
+pub mod interseq;
+pub mod linspace;
+pub mod par_search;
+pub mod profile;
+pub mod scalar;
+pub mod striped;
+pub mod striped8;
+pub mod traceback;
+pub mod wavefront;
+
+pub use alignment::{AlignOp, Alignment};
+pub use engine::{AlignEngine, EngineKind};
+pub use scalar::{gotoh_score, sw_linear_score};

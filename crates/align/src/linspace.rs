@@ -1,0 +1,398 @@
+//! Linear-space alignment (Hirschberg / Myers–Miller).
+//!
+//! The full-matrix traceback of [`crate::traceback`] needs `O(m·n)`
+//! bytes — prohibitive for the very long sequences the paper's
+//! heterogeneous query set contains (up to 35 213 residues, and its
+//! reference [6] aligns *huge* sequences on GPUs precisely by going
+//! linear-space). This module implements Myers & Miller's
+//! divide-and-conquer formulation of Gotoh's affine-gap alignment in
+//! `O(m + n)` space and `O(m·n)` time (a ~2× constant over the scoring
+//! pass), for both global and local alignment.
+//!
+//! The divide step splits the query in half and finds the column where
+//! the optimal path crosses, distinguishing paths that cross *through a
+//! cell* from paths that cross *inside a vertical gap run* — the latter
+//! must refund one gap-open charge when the halves are joined
+//! (`DD[j] + SS[j] + Gs`).
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::scalar::gotoh_score_with_end;
+use swdual_bio::ScoringScheme;
+
+const NEG_BOUND: i32 = i32::MIN / 4;
+
+/// Forward strip pass: align all of `a` against prefixes of `b`.
+/// Returns `(cc, dd)` where `cc[j]` is the best score of a global
+/// alignment of `a` vs `b[..j]`, and `dd[j]` the best score of one that
+/// ends inside an open vertical-gap run (open charge `tb` at the top
+/// boundary already included).
+fn forward_pass(
+    a: &[u8],
+    b: &[u8],
+    scheme: &ScoringScheme,
+    tb: i32,
+) -> (Vec<i32>, Vec<i32>) {
+    let gs = scheme.gap_open;
+    let ge = scheme.gap_extend;
+    let n = b.len();
+    let mut cc = vec![0i32; n + 1];
+    let mut dd = vec![NEG_BOUND; n + 1];
+    // Row 0: deletions along the top; vertical gap may open at charge tb.
+    for (j, c) in cc.iter_mut().enumerate().skip(1) {
+        *c = -(gs + j as i32 * ge);
+    }
+    for j in 0..=n {
+        dd[j] = cc[j] - tb;
+    }
+    for (i, &qa) in a.iter().enumerate() {
+        let row = scheme.matrix.row(qa);
+        let mut diag = cc[0];
+        // Column 0 of row i+1: a pure insert run.
+        dd[0] = (dd[0]).max(cc[0] - tb) - ge;
+        cc[0] = dd[0];
+        let mut e = NEG_BOUND;
+        let _ = i;
+        for j in 1..=n {
+            e = (e.max(cc[j - 1] - gs)) - ge;
+            dd[j] = (dd[j].max(cc[j] - gs)) - ge;
+            let h = (diag + row[b[j - 1] as usize]).max(e).max(dd[j]);
+            diag = cc[j];
+            cc[j] = h;
+        }
+    }
+    (cc, dd)
+}
+
+/// Subtlety: `forward_pass` charges vertical-gap opens at `gs` for gaps
+/// born strictly inside the strip, but the *first* row's vertical gap
+/// (continuing from the boundary) opens at `tb`. The loop above charges
+/// `cc[j] - gs` for inner opens and seeded `dd` with `cc - tb` at row 0.
+#[allow(dead_code)]
+fn _doc_anchor() {}
+
+/// Reverse strip pass: mirror of [`forward_pass`] from the bottom-right
+/// corner, with bottom-boundary vertical open charge `te`.
+fn reverse_pass(
+    a: &[u8],
+    b: &[u8],
+    scheme: &ScoringScheme,
+    te: i32,
+) -> (Vec<i32>, Vec<i32>) {
+    let ar: Vec<u8> = a.iter().rev().copied().collect();
+    let br: Vec<u8> = b.iter().rev().copied().collect();
+    let (cc_r, dd_r) = forward_pass(&ar, &br, scheme, te);
+    // Re-index: rr[j] aligns a (all) vs b[j..].
+    let n = b.len();
+    let mut rr = vec![0i32; n + 1];
+    let mut ss = vec![0i32; n + 1];
+    for j in 0..=n {
+        rr[j] = cc_r[n - j];
+        ss[j] = dd_r[n - j];
+    }
+    (rr, ss)
+}
+
+/// Recursive divide-and-conquer, appending ops for `a` vs `b`.
+/// `tb`/`te` are the open charges of a vertical gap touching the
+/// top/bottom strip boundary (0 when the parent already opened it).
+fn diff(
+    a: &[u8],
+    b: &[u8],
+    scheme: &ScoringScheme,
+    tb: i32,
+    te: i32,
+    ops: &mut Vec<AlignOp>,
+) {
+    let gs = scheme.gap_open;
+    let ge = scheme.gap_extend;
+    let m = a.len();
+    let n = b.len();
+
+    if m == 0 {
+        ops.extend(std::iter::repeat_n(AlignOp::Delete, n));
+        return;
+    }
+    if n == 0 {
+        ops.extend(std::iter::repeat_n(AlignOp::Insert, m));
+        return;
+    }
+    if m == 1 {
+        // Either the single residue matches some b[j] (horizontal gaps
+        // around it), or it is inserted and all of b deleted.
+        let row = scheme.matrix.row(a[0]);
+        let del = |len: usize| -> i32 {
+            if len == 0 {
+                0
+            } else {
+                -(gs + len as i32 * ge)
+            }
+        };
+        let mut best_j = 0usize; // 1-based match position; 0 = insert case
+        let mut best = -(tb.min(te) + ge) + del(n);
+        for j in 1..=n {
+            let score = del(j - 1) + row[b[j - 1] as usize] + del(n - j);
+            if score > best {
+                best = score;
+                best_j = j;
+            }
+        }
+        if best_j == 0 {
+            // Insert attaches to whichever boundary is cheaper.
+            if tb <= te {
+                ops.push(AlignOp::Insert);
+                ops.extend(std::iter::repeat_n(AlignOp::Delete, n));
+            } else {
+                ops.extend(std::iter::repeat_n(AlignOp::Delete, n));
+                ops.push(AlignOp::Insert);
+            }
+        } else {
+            ops.extend(std::iter::repeat_n(AlignOp::Delete, best_j - 1));
+            ops.push(if a[0] == b[best_j - 1] {
+                AlignOp::Match
+            } else {
+                AlignOp::Mismatch
+            });
+            ops.extend(std::iter::repeat_n(AlignOp::Delete, n - best_j));
+        }
+        return;
+    }
+
+    let mid = m / 2;
+    let (cc, dd) = forward_pass(&a[..mid], b, scheme, tb);
+    let (rr, ss) = reverse_pass(&a[mid..], b, scheme, te);
+
+    // Pick the crossing column and type.
+    let mut best = i64::MIN;
+    let mut best_j = 0usize;
+    let mut crossing_gap = false;
+    for j in 0..=n {
+        let through = cc[j] as i64 + rr[j] as i64;
+        if through > best {
+            best = through;
+            best_j = j;
+            crossing_gap = false;
+        }
+        let in_gap = dd[j] as i64 + ss[j] as i64 + gs as i64;
+        if in_gap > best {
+            best = in_gap;
+            best_j = j;
+            crossing_gap = true;
+        }
+    }
+
+    if crossing_gap {
+        // The vertical gap spans the boundary: the top half ends inside
+        // it (bottom open charge already paid), the bottom half starts
+        // inside it (top open free).
+        diff(&a[..mid], &b[..best_j], scheme, tb, 0, ops);
+        diff(&a[mid..], &b[best_j..], scheme, 0, te, ops);
+    } else {
+        diff(&a[..mid], &b[..best_j], scheme, tb, gs, ops);
+        diff(&a[mid..], &b[best_j..], scheme, gs, te, ops);
+    }
+}
+
+/// Global affine-gap alignment in linear space. Score-identical to
+/// [`crate::traceback::global`]; the ops may differ among co-optimal
+/// alignments.
+pub fn global_linear_space(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> Alignment {
+    let mut ops = Vec::with_capacity(query.len().max(subject.len()));
+    diff(
+        query,
+        subject,
+        scheme,
+        scheme.gap_open,
+        scheme.gap_open,
+        &mut ops,
+    );
+    let mut aln = Alignment {
+        score: 0,
+        query_start: 0,
+        query_end: query.len(),
+        subject_start: 0,
+        subject_end: subject.len(),
+        ops,
+    };
+    aln.score = aln.rescore(query, subject, scheme);
+    aln
+}
+
+/// Local Smith-Waterman alignment in linear space: locate the optimal
+/// region with two scoring passes (forward for the end, reverse for the
+/// start), then align the region globally with [`global_linear_space`].
+pub fn local_linear_space(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> Alignment {
+    let (score, end_i, end_j) = gotoh_score_with_end(query, subject, scheme);
+    if score <= 0 {
+        return Alignment::empty();
+    }
+    // Reverse pass over the prefixes to find where the region starts.
+    let qr: Vec<u8> = query[..end_i].iter().rev().copied().collect();
+    let sr: Vec<u8> = subject[..end_j].iter().rev().copied().collect();
+    let (score_rev, len_i, len_j) = gotoh_score_with_end(&qr, &sr, scheme);
+    debug_assert_eq!(score, score_rev, "forward/reverse scores must agree");
+    let start_i = end_i - len_i;
+    let start_j = end_j - len_j;
+
+    let mut aln = global_linear_space(
+        &query[start_i..end_i],
+        &subject[start_j..end_j],
+        scheme,
+    );
+    aln.query_start = start_i;
+    aln.query_end = end_i;
+    aln.subject_start = start_j;
+    aln.subject_end = end_j;
+    debug_assert_eq!(
+        aln.score, score,
+        "global score of the local region must equal the local score"
+    );
+    aln
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::gotoh_score;
+    use crate::traceback;
+    use swdual_bio::{Alphabet, Matrix};
+
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+    fn dna(t: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(t).unwrap()
+    }
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 20) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn global_matches_full_traceback_score() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKWVTFISLLFLFSSAYSRGVFRR");
+        let s = prot(b"MKWVTFISLLLLFSSAYSRGVF");
+        let full = traceback::global(&q, &s, &scheme);
+        let lin = global_linear_space(&q, &s, &scheme);
+        assert_eq!(lin.score, full.score);
+        assert!(lin.is_consistent());
+        assert_eq!(lin.rescore(&q, &s, &scheme), lin.score);
+    }
+
+    #[test]
+    fn global_on_random_pairs() {
+        let scheme = ScoringScheme::protein_default();
+        for seed in 1..8u64 {
+            let q = pseudo_random(60 + (seed as usize * 13) % 90, seed);
+            let s = pseudo_random(50 + (seed as usize * 29) % 110, seed + 100);
+            let full = traceback::global(&q, &s, &scheme);
+            let lin = global_linear_space(&q, &s, &scheme);
+            assert_eq!(lin.score, full.score, "seed {seed}");
+            assert!(lin.is_consistent());
+        }
+    }
+
+    #[test]
+    fn global_with_cheap_gaps() {
+        // Gap-heavy optimum stresses the crossing-gap refund.
+        let m = Matrix::match_mismatch(Alphabet::Dna, 2, -100);
+        let scheme = ScoringScheme::new(m, 1, 0);
+        let q = dna(b"AATTAACCGGAATTACGACGT");
+        let s = dna(b"AAGGAACCTTAATTGCATCGA");
+        let full = traceback::global(&q, &s, &scheme);
+        let lin = global_linear_space(&q, &s, &scheme);
+        assert_eq!(lin.score, full.score);
+        assert_eq!(lin.rescore(&q, &s, &scheme), lin.score);
+    }
+
+    #[test]
+    fn long_crossing_gap_is_not_double_charged() {
+        let m = Matrix::match_mismatch(Alphabet::Dna, 5, -10);
+        let scheme = ScoringScheme::new(m, 8, 1);
+        // Query has a 9-residue insert block relative to the subject;
+        // the optimal global alignment carries one long vertical gap
+        // that must span a divide boundary.
+        let q = dna(b"ACGTACGTGGGGGGGGGACGTACGT");
+        let s = dna(b"ACGTACGTACGTACGT");
+        let full = traceback::global(&q, &s, &scheme);
+        let lin = global_linear_space(&q, &s, &scheme);
+        assert_eq!(lin.score, full.score);
+        // 16 matches, one 9-gap: 16*5 - (8 + 9) = 63.
+        assert_eq!(lin.score, 63);
+        assert_eq!(lin.gap_columns(), 9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKV");
+        let lin = global_linear_space(&q, &[], &scheme);
+        assert_eq!(lin.cigar(), "3I");
+        let lin = global_linear_space(&[], &q, &scheme);
+        assert_eq!(lin.cigar(), "3D");
+        let lin = global_linear_space(&[], &[], &scheme);
+        assert!(lin.is_empty());
+        let one = global_linear_space(&prot(b"M"), &prot(b"M"), &scheme);
+        assert_eq!(one.cigar(), "1=");
+    }
+
+    #[test]
+    fn local_matches_full_traceback() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"AAAAWWWWCCCCAAAA");
+        let s = prot(b"GGGGWWWWCCCCGGGG");
+        let full = traceback::local(&q, &s, &scheme);
+        let lin = local_linear_space(&q, &s, &scheme);
+        assert_eq!(lin.score, full.score);
+        assert_eq!(lin.query_start, full.query_start);
+        assert_eq!(lin.query_end, full.query_end);
+        assert_eq!(lin.subject_start, full.subject_start);
+        assert_eq!(lin.subject_end, full.subject_end);
+        assert_eq!(lin.rescore(&q, &s, &scheme), lin.score);
+    }
+
+    #[test]
+    fn local_on_random_pairs_scores_match_scalar() {
+        let scheme = ScoringScheme::protein_default();
+        for seed in 1..10u64 {
+            let q = pseudo_random(80, seed * 3);
+            let s = pseudo_random(120, seed * 7 + 1);
+            let lin = local_linear_space(&q, &s, &scheme);
+            assert_eq!(lin.score, gotoh_score(&q, &s, &scheme), "seed {seed}");
+            assert!(lin.is_consistent());
+            assert_eq!(lin.rescore(&q, &s, &scheme), lin.score);
+        }
+    }
+
+    #[test]
+    fn local_of_unrelated_sequences_is_empty() {
+        let m = Matrix::match_mismatch(Alphabet::Dna, 1, -1);
+        let scheme = ScoringScheme::new(m, 2, 1);
+        let lin = local_linear_space(&dna(b"AAAA"), &dna(b"CCCC"), &scheme);
+        assert!(lin.is_empty());
+    }
+
+    #[test]
+    fn large_alignment_stays_in_linear_space() {
+        // 3000 x 3000 would need ~27 MB of traceback tables with the
+        // full-matrix method; here the working set is O(m + n). We just
+        // verify correctness on a size where the quadratic method is
+        // still checkable.
+        let scheme = ScoringScheme::protein_default();
+        let q = pseudo_random(1200, 11);
+        let mut s = q.clone();
+        s[600] = (s[600] + 1) % 20; // one substitution
+        let lin = global_linear_space(&q, &s, &scheme);
+        let full_score = traceback::global(&q, &s, &scheme).score;
+        assert_eq!(lin.score, full_score);
+        assert!(lin.matches() >= 1150);
+    }
+}

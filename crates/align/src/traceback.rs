@@ -1,0 +1,436 @@
+//! Full-matrix Gotoh alignment with traceback.
+//!
+//! The score-only kernels in this crate keep two rolling rows; producing
+//! an actual alignment (the paper's Figure 1 output) additionally needs
+//! the provenance of every cell. This module fills `O(m·n)` byte-sized
+//! traceback tables for the three Gotoh matrices `H`, `E`, `F` and walks
+//! them back. Three alignment modes are supported:
+//!
+//! * [`Mode::Local`] — Smith-Waterman (paper Eq. 2: clamp at 0, best
+//!   cell anywhere, trace until a zero-start),
+//! * [`Mode::Global`] — Needleman-Wunsch with affine gaps (the whole of
+//!   both sequences, as in the paper's Figure 1 example),
+//! * [`Mode::SemiGlobal`] — the query must align end-to-end, leading and
+//!   trailing gaps in the subject are free (database-mapping flavour).
+
+use crate::alignment::{AlignOp, Alignment};
+use swdual_bio::ScoringScheme;
+
+/// Alignment mode (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Smith-Waterman local alignment.
+    Local,
+    /// Needleman-Wunsch global alignment with affine gaps.
+    Global,
+    /// Query end-to-end, free subject end gaps.
+    SemiGlobal,
+}
+
+/// Sentinel for "no valid gap state here".
+const NEG_BOUND: i32 = i32::MIN / 4;
+
+/// Traceback codes for the `H` table.
+const TB_STOP: u8 = 0;
+const TB_DIAG: u8 = 1;
+const TB_E: u8 = 2;
+const TB_F: u8 = 3;
+/// Traceback codes for the `E`/`F` tables.
+const TB_OPEN: u8 = 0;
+const TB_EXTEND: u8 = 1;
+
+/// Align `query` against `subject` under `scheme` in the given `mode`,
+/// returning score and the full column-by-column alignment.
+///
+/// Memory: three `(m+1)·(n+1)` byte tables — use the score-only kernels
+/// for database-scale scans and this for the final hits only, like every
+/// production SW tool does.
+pub fn align(query: &[u8], subject: &[u8], scheme: &ScoringScheme, mode: Mode) -> Alignment {
+    let m = query.len();
+    let n = subject.len();
+    let gs = scheme.gap_open;
+    let ge = scheme.gap_extend;
+    let width = n + 1;
+
+    // Degenerate inputs.
+    if m == 0 && n == 0 {
+        return Alignment::empty();
+    }
+
+    let mut tb_h = vec![TB_STOP; (m + 1) * width];
+    let mut tb_e = vec![TB_OPEN; (m + 1) * width];
+    let mut tb_f = vec![TB_OPEN; (m + 1) * width];
+
+    // Rolling score rows.
+    let mut h_prev = vec![0i32; width];
+    let mut h_cur = vec![0i32; width];
+    let mut f = vec![NEG_BOUND; width];
+
+    // Row 0 initialisation depends on the mode.
+    match mode {
+        Mode::Local | Mode::SemiGlobal => {
+            // Free leading subject gaps: H[0][j] = 0, traceback stops.
+        }
+        Mode::Global => {
+            for j in 1..=n {
+                h_prev[j] = -(gs + j as i32 * ge);
+                tb_h[j] = TB_E;
+                tb_e[j] = if j == 1 { TB_OPEN } else { TB_EXTEND };
+            }
+        }
+    }
+
+    let mut best = match mode {
+        Mode::Local => 0i32,
+        _ => NEG_BOUND,
+    };
+    let (mut best_i, mut best_j) = (0usize, 0usize);
+
+    for i in 1..=m {
+        let q = query[i - 1];
+        let row = scheme.matrix.row(q);
+
+        // Column 0 initialisation.
+        match mode {
+            Mode::Local => {
+                h_cur[0] = 0;
+            }
+            Mode::Global | Mode::SemiGlobal => {
+                h_cur[0] = -(gs + i as i32 * ge);
+                tb_h[i * width] = TB_F;
+                tb_f[i * width] = if i == 1 { TB_OPEN } else { TB_EXTEND };
+            }
+        }
+
+        let mut e = NEG_BOUND;
+        for j in 1..=n {
+            let s = subject[j - 1];
+
+            // E (paper Eq. 3): horizontal gap, consumes subject.
+            let e_open = h_cur[j - 1] - gs - ge;
+            let e_ext = e - ge;
+            if e_ext >= e_open {
+                e = e_ext;
+                tb_e[i * width + j] = TB_EXTEND;
+            } else {
+                e = e_open;
+                tb_e[i * width + j] = TB_OPEN;
+            }
+
+            // F (paper Eq. 4): vertical gap, consumes query.
+            let f_open = h_prev[j] - gs - ge;
+            let f_ext = f[j] - ge;
+            if f_ext >= f_open {
+                f[j] = f_ext;
+                tb_f[i * width + j] = TB_EXTEND;
+            } else {
+                f[j] = f_open;
+                tb_f[i * width + j] = TB_OPEN;
+            }
+
+            // H (paper Eq. 2).
+            let diag = h_prev[j - 1] + row[s as usize];
+            let mut h = diag;
+            let mut tb = TB_DIAG;
+            if e > h {
+                h = e;
+                tb = TB_E;
+            }
+            if f[j] > h {
+                h = f[j];
+                tb = TB_F;
+            }
+            if mode == Mode::Local && h <= 0 {
+                h = 0;
+                tb = TB_STOP;
+            }
+            h_cur[j] = h;
+            tb_h[i * width + j] = tb;
+
+            // Track the traceback start cell.
+            match mode {
+                Mode::Local => {
+                    if h > best {
+                        best = h;
+                        best_i = i;
+                        best_j = j;
+                    }
+                }
+                Mode::SemiGlobal => {
+                    if i == m && h > best {
+                        best = h;
+                        best_i = i;
+                        best_j = j;
+                    }
+                }
+                Mode::Global => {}
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+
+    // Pick the traceback start.
+    match mode {
+        Mode::Global => {
+            best = h_prev[n];
+            best_i = m;
+            best_j = n;
+        }
+        Mode::SemiGlobal => {
+            // Empty query: score of aligning nothing (free subject gaps).
+            if m == 0 {
+                return Alignment {
+                    score: 0,
+                    ..Alignment::empty()
+                };
+            }
+            // The end cell (m, 0) — the whole subject treated as a free
+            // trailing gap — is also a candidate (and the only one when
+            // n == 0). h_prev holds row m after the final swap.
+            if h_prev[0] > best {
+                best = h_prev[0];
+                best_i = m;
+                best_j = 0;
+            }
+        }
+        Mode::Local => {
+            if best <= 0 {
+                return Alignment::empty();
+            }
+        }
+    }
+
+    // Walk back.
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (best_i, best_j);
+    // Which matrix we are in: 0 = H, 1 = E, 2 = F.
+    let mut state = 0u8;
+    loop {
+        match state {
+            0 => {
+                if i == 0 && j == 0 {
+                    break;
+                }
+                match tb_h[i * width + j] {
+                    TB_STOP => break,
+                    TB_DIAG => {
+                        let op = if query[i - 1] == subject[j - 1] {
+                            AlignOp::Match
+                        } else {
+                            AlignOp::Mismatch
+                        };
+                        ops.push(op);
+                        i -= 1;
+                        j -= 1;
+                    }
+                    TB_E => state = 1,
+                    TB_F => state = 2,
+                    _ => unreachable!("invalid H traceback code"),
+                }
+            }
+            1 => {
+                // In E at (i, j): emit a Delete, move left.
+                let ext = tb_e[i * width + j] == TB_EXTEND;
+                ops.push(AlignOp::Delete);
+                j -= 1;
+                if !ext {
+                    state = 0;
+                }
+            }
+            2 => {
+                // In F at (i, j): emit an Insert, move up.
+                let ext = tb_f[i * width + j] == TB_EXTEND;
+                ops.push(AlignOp::Insert);
+                i -= 1;
+                if !ext {
+                    state = 0;
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    ops.reverse();
+
+    Alignment {
+        score: best,
+        query_start: i,
+        query_end: best_i,
+        subject_start: j,
+        subject_end: best_j,
+        ops,
+    }
+}
+
+/// Convenience wrapper: local alignment (the paper's SW).
+pub fn local(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> Alignment {
+    align(query, subject, scheme, Mode::Local)
+}
+
+/// Convenience wrapper: global alignment.
+pub fn global(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> Alignment {
+    align(query, subject, scheme, Mode::Global)
+}
+
+/// Convenience wrapper: semi-global alignment.
+pub fn semi_global(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> Alignment {
+    align(query, subject, scheme, Mode::SemiGlobal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::gotoh_score;
+    use swdual_bio::{Alphabet, Matrix};
+
+    fn dna(t: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(t).unwrap()
+    }
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+
+    #[test]
+    fn local_score_matches_scalar_kernel() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKVLATGGARWC");
+        let s = prot(b"KVTAGGWRNDC");
+        let aln = local(&q, &s, &scheme);
+        assert_eq!(aln.score, gotoh_score(&q, &s, &scheme));
+        assert!(aln.is_consistent());
+        assert_eq!(aln.rescore(&q, &s, &scheme), aln.score);
+    }
+
+    #[test]
+    fn local_alignment_of_unrelated_is_empty() {
+        let m = Matrix::match_mismatch(Alphabet::Dna, 1, -1);
+        let scheme = ScoringScheme::new(m, 2, 1);
+        let aln = local(&dna(b"AAAA"), &dna(b"CCCC"), &scheme);
+        assert!(aln.is_empty());
+        assert_eq!(aln.score, 0);
+    }
+
+    #[test]
+    fn figure1_global_alignment() {
+        // The paper's Figure 1: global alignment of ACTTGTCCG / ATTGTCAG
+        // with ma=+1, mi=-1, g=-2 scores 4 and places one gap.
+        let scheme = ScoringScheme::figure1_dna();
+        let q = dna(b"ACTTGTCCG");
+        let s = dna(b"ATTGTCAG");
+        let aln = global(&q, &s, &scheme);
+        assert_eq!(aln.score, 4);
+        assert!(aln.is_consistent());
+        assert_eq!(aln.rescore(&q, &s, &scheme), 4);
+        assert_eq!(aln.query_start, 0);
+        assert_eq!(aln.query_end, 9);
+        assert_eq!(aln.subject_start, 0);
+        assert_eq!(aln.subject_end, 8);
+        // One gap column (the paper puts it under the C).
+        assert_eq!(aln.gap_columns(), 1);
+    }
+
+    #[test]
+    fn global_identity() {
+        let scheme = ScoringScheme::protein_default();
+        let p = prot(b"MKVLAT");
+        let aln = global(&p, &p, &scheme);
+        assert_eq!(aln.matches(), 6);
+        assert_eq!(aln.cigar(), "6=");
+        let expected: i32 = p.iter().map(|&c| scheme.score(c, c)).sum();
+        assert_eq!(aln.score, expected);
+    }
+
+    #[test]
+    fn global_with_empty_sides() {
+        let scheme = ScoringScheme::protein_default();
+        let p = prot(b"MKV");
+        let aln = global(&p, &[], &scheme);
+        assert_eq!(aln.cigar(), "3I");
+        assert_eq!(aln.score, -(scheme.gap_open + 3 * scheme.gap_extend));
+        let aln = global(&[], &p, &scheme);
+        assert_eq!(aln.cigar(), "3D");
+        let aln = global(&[], &[], &scheme);
+        assert!(aln.is_empty());
+    }
+
+    #[test]
+    fn global_prefers_single_long_gap_over_two() {
+        // Affine gaps: one run of 2 is cheaper than two runs of 1.
+        let m = Matrix::match_mismatch(Alphabet::Dna, 10, -10);
+        let scheme = ScoringScheme::new(m, 5, 1);
+        let q = dna(b"AATT");
+        let s = dna(b"AAGGTT");
+        let aln = global(&q, &s, &scheme);
+        // 4 matches (40) - (5 + 2) = 33 with one 2-run of deletes.
+        assert_eq!(aln.score, 33);
+        assert_eq!(aln.cigar(), "2=2D2=");
+    }
+
+    #[test]
+    fn semiglobal_free_subject_ends() {
+        let m = Matrix::match_mismatch(Alphabet::Dna, 2, -2);
+        let scheme = ScoringScheme::new(m, 3, 1);
+        // Query sits in the middle of the subject; end gaps are free.
+        let q = dna(b"ACGT");
+        let s = dna(b"TTTTACGTGGGG");
+        let aln = semi_global(&q, &s, &scheme);
+        assert_eq!(aln.score, 8);
+        assert_eq!(aln.query_start, 0);
+        assert_eq!(aln.query_end, 4);
+        assert_eq!(aln.subject_start, 4);
+        assert_eq!(aln.subject_end, 8);
+        assert_eq!(aln.cigar(), "4=");
+    }
+
+    #[test]
+    fn semiglobal_consumes_whole_query() {
+        let m = Matrix::match_mismatch(Alphabet::Dna, 2, -2);
+        let scheme = ScoringScheme::new(m, 3, 1);
+        let q = dna(b"AACGTA");
+        let s = dna(b"ACGT");
+        let aln = semi_global(&q, &s, &scheme);
+        assert!(aln.is_consistent());
+        // Whole query must be consumed.
+        assert_eq!(aln.query_start, 0);
+        assert_eq!(aln.query_end, 6);
+        assert_eq!(aln.rescore(&q, &s, &scheme), aln.score);
+    }
+
+    #[test]
+    fn semiglobal_empty_subject_is_all_inserts() {
+        let m = Matrix::match_mismatch(Alphabet::Dna, 2, -2);
+        let scheme = ScoringScheme::new(m, 3, 1);
+        let q = dna(b"ACG");
+        let aln = semi_global(&q, &[], &scheme);
+        assert_eq!(aln.cigar(), "3I");
+        assert_eq!(aln.score, -(3 + 3));
+    }
+
+    #[test]
+    fn local_traceback_region_is_tight() {
+        let scheme = ScoringScheme::protein_default();
+        // Shared motif WWWW embedded in different contexts.
+        let q = prot(b"AAAAWWWWAAAA");
+        let s = prot(b"CCCCWWWWCCCC");
+        let aln = local(&q, &s, &scheme);
+        assert_eq!(aln.query_start, 4);
+        assert_eq!(aln.query_end, 8);
+        assert_eq!(aln.subject_start, 4);
+        assert_eq!(aln.subject_end, 8);
+        assert_eq!(aln.cigar(), "4=");
+        assert_eq!(aln.score, 44); // 4 * W/W(11)
+    }
+
+    #[test]
+    fn render_marks_matches_and_gaps() {
+        let scheme = ScoringScheme::figure1_dna();
+        let q = dna(b"ACTTGTCCG");
+        let s = dna(b"ATTGTCAG");
+        let aln = global(&q, &s, &scheme);
+        let text = aln.render(&q, &s, Alphabet::Dna);
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), rows[1].len());
+        assert_eq!(rows[1].len(), rows[2].len());
+        assert!(rows[0].contains("TTGTC") || rows[2].contains("TTGTC"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Fine-grained multi-PE Smith-Waterman — the paper's Figure 2 strategy.
+//!
+//! A single comparison is spread over several processing elements: the
+//! DP matrix is partitioned into rectangular blocks and, because every
+//! cell depends only on its west, north and north-west neighbours
+//! (Eqs. 2–4), all blocks on one *anti-diagonal* are independent once
+//! the borders of their north/west neighbours are known. The paper's
+//! figure shows the column-based pipeline variant (`p0` passes its
+//! border column to `p1`, …); the blocked anti-diagonal sweep computed
+//! here is the standard equivalent with identical data flow — borders
+//! are handed from block to block — and the same *ramp-up/ramp-down
+//! imbalance*: near the matrix corners only a few PEs have work, the
+//! load-balance weakness the paper points out in §II-C.
+//!
+//! Blocks of one anti-diagonal run in parallel on the rayon pool; the
+//! result is bit-identical to the scalar kernel (property-tested).
+
+use rayon::prelude::*;
+use swdual_bio::ScoringScheme;
+
+const NEG_BOUND: i32 = i32::MIN / 4;
+
+/// Block-partition configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WavefrontConfig {
+    /// Rows (query residues) per block.
+    pub block_rows: usize,
+    /// Columns (subject residues) per block.
+    pub block_cols: usize,
+}
+
+impl Default for WavefrontConfig {
+    fn default() -> Self {
+        // 128×128 ≈ 16k cells per block: large enough to amortise task
+        // overhead, small enough to expose parallelism on mid-size
+        // comparisons.
+        WavefrontConfig {
+            block_rows: 128,
+            block_cols: 128,
+        }
+    }
+}
+
+/// Borders a finished block exposes to its east/south neighbours.
+struct BlockOut {
+    /// H of the block's last row (one per column).
+    bottom_h: Vec<i32>,
+    /// F of the block's last row (one per column).
+    bottom_f: Vec<i32>,
+    /// H of the block's last column (one per row).
+    right_h: Vec<i32>,
+    /// E of the block's last column (one per row).
+    right_e: Vec<i32>,
+    /// Best H inside the block.
+    best: i32,
+}
+
+/// Compute one block given its north/west borders.
+#[allow(clippy::too_many_arguments)]
+fn process_block(
+    q_block: &[u8],
+    s_block: &[u8],
+    scheme: &ScoringScheme,
+    top_h: &[i32],
+    top_f: &[i32],
+    left_h: &[i32],
+    left_e: &[i32],
+    corner: i32,
+) -> BlockOut {
+    let gs = scheme.gap_open;
+    let ge = scheme.gap_extend;
+    let bw = s_block.len();
+    let bh = q_block.len();
+
+    let mut h_prev: Vec<i32> = top_h.to_vec();
+    let mut f: Vec<i32> = top_f.to_vec();
+    let mut right_h = vec![0i32; bh];
+    let mut right_e = vec![NEG_BOUND; bh];
+    let mut best = 0i32;
+
+    for r in 0..bh {
+        let row = scheme.matrix.row(q_block[r]);
+        let mut e = left_e[r];
+        let mut h_west = left_h[r];
+        let mut diag = if r == 0 { corner } else { left_h[r - 1] };
+        for c in 0..bw {
+            e = (e - ge).max(h_west - gs - ge);
+            f[c] = (f[c] - ge).max(h_prev[c] - gs - ge);
+            let h = (diag + row[s_block[c] as usize])
+                .max(e)
+                .max(f[c])
+                .max(0);
+            diag = h_prev[c];
+            h_prev[c] = h;
+            h_west = h;
+            best = best.max(h);
+        }
+        right_h[r] = h_west;
+        right_e[r] = e;
+    }
+
+    BlockOut {
+        bottom_h: h_prev,
+        bottom_f: f,
+        right_h,
+        right_e,
+        best,
+    }
+}
+
+/// Blocked anti-diagonal Smith-Waterman (Gotoh) local score; exact.
+pub fn wavefront_score(
+    query: &[u8],
+    subject: &[u8],
+    scheme: &ScoringScheme,
+    config: WavefrontConfig,
+) -> i32 {
+    assert!(config.block_rows > 0 && config.block_cols > 0);
+    if query.is_empty() || subject.is_empty() {
+        return 0;
+    }
+    let nbi = query.len().div_ceil(config.block_rows);
+    let nbj = subject.len().div_ceil(config.block_cols);
+
+    // Finished-block borders, indexed bi * nbj + bj. Only the previous
+    // anti-diagonal is ever read, but keeping the full grid is simple
+    // and costs O(cells / block_side) memory.
+    let mut done: Vec<Option<BlockOut>> = (0..nbi * nbj).map(|_| None).collect();
+    let mut best = 0i32;
+
+    for d in 0..(nbi + nbj - 1) {
+        // Blocks with bi + bj == d.
+        let blocks: Vec<(usize, usize)> = (0..nbi)
+            .filter_map(|bi| {
+                let bj = d.checked_sub(bi)?;
+                (bj < nbj).then_some((bi, bj))
+            })
+            .collect();
+
+        let results: Vec<((usize, usize), BlockOut)> = blocks
+            .par_iter()
+            .map(|&(bi, bj)| {
+                let qi0 = bi * config.block_rows;
+                let qi1 = (qi0 + config.block_rows).min(query.len());
+                let sj0 = bj * config.block_cols;
+                let sj1 = (sj0 + config.block_cols).min(subject.len());
+                let bw = sj1 - sj0;
+                let bh = qi1 - qi0;
+
+                // North border: bottom of block (bi-1, bj) or the matrix
+                // top boundary (H = 0, F unreachable).
+                let (top_h, top_f): (Vec<i32>, Vec<i32>) = if bi == 0 {
+                    (vec![0; bw], vec![NEG_BOUND; bw])
+                } else {
+                    let nb = done[(bi - 1) * nbj + bj].as_ref().expect("north block done");
+                    (nb.bottom_h.clone(), nb.bottom_f.clone())
+                };
+                // West border: right of block (bi, bj-1) or the matrix
+                // left boundary (H = 0, E unreachable).
+                let (left_h, left_e): (Vec<i32>, Vec<i32>) = if bj == 0 {
+                    (vec![0; bh], vec![NEG_BOUND; bh])
+                } else {
+                    let wb = done[bi * nbj + (bj - 1)].as_ref().expect("west block done");
+                    (wb.right_h.clone(), wb.right_e.clone())
+                };
+                // North-west corner H.
+                let corner = if bi == 0 || bj == 0 {
+                    0
+                } else {
+                    *done[(bi - 1) * nbj + (bj - 1)]
+                        .as_ref()
+                        .expect("corner block done")
+                        .bottom_h
+                        .last()
+                        .expect("blocks are non-empty")
+                };
+
+                let out = process_block(
+                    &query[qi0..qi1],
+                    &subject[sj0..sj1],
+                    scheme,
+                    &top_h,
+                    &top_f,
+                    &left_h,
+                    &left_e,
+                    corner,
+                );
+                ((bi, bj), out)
+            })
+            .collect();
+
+        for ((bi, bj), out) in results {
+            best = best.max(out.best);
+            done[bi * nbj + bj] = Some(out);
+        }
+    }
+    best
+}
+
+/// Wavefront score with the default block size.
+pub fn wavefront_score_default(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
+    wavefront_score(query, subject, scheme, WavefrontConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::gotoh_score;
+    use swdual_bio::{Alphabet, Matrix};
+
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+
+    fn pseudo_random(len: usize, seed: u64, span: u8) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % span as u64) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_scalar_single_block() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKWVTFISLLFLFSSAYSRG");
+        let s = prot(b"MKWVTFISLLLLFSSAYSRG");
+        let cfg = WavefrontConfig {
+            block_rows: 64,
+            block_cols: 64,
+        };
+        assert_eq!(
+            wavefront_score(&q, &s, &scheme, cfg),
+            gotoh_score(&q, &s, &scheme)
+        );
+    }
+
+    #[test]
+    fn agrees_with_scalar_across_block_sizes() {
+        let scheme = ScoringScheme::protein_default();
+        let q = pseudo_random(237, 7, 20);
+        let s = pseudo_random(311, 13, 20);
+        let expected = gotoh_score(&q, &s, &scheme);
+        for (br, bc) in [(1, 1), (3, 5), (16, 16), (64, 32), (500, 500)] {
+            let cfg = WavefrontConfig {
+                block_rows: br,
+                block_cols: bc,
+            };
+            assert_eq!(
+                wavefront_score(&q, &s, &scheme, cfg),
+                expected,
+                "blocks {br}x{bc}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_edges_do_not_break_gap_runs() {
+        // A long gap must be able to cross block borders: E/F borders are
+        // what carries it.
+        let m = Matrix::match_mismatch(Alphabet::Dna, 5, -10);
+        let scheme = ScoringScheme::new(m, 2, 1);
+        let mut q = Alphabet::Dna.encode(b"AAAAAAAA").unwrap();
+        q.extend(Alphabet::Dna.encode(b"TTTTTTTT").unwrap());
+        // Subject has a 20-residue interruption the alignment must bridge.
+        let mut s = Alphabet::Dna.encode(b"AAAAAAAA").unwrap();
+        s.extend(Alphabet::Dna.encode([b'G'; 20].as_ref()).unwrap());
+        s.extend(Alphabet::Dna.encode(b"TTTTTTTT").unwrap());
+        let expected = gotoh_score(&q, &s, &scheme);
+        // Block width 4 forces the gap across several borders.
+        let cfg = WavefrontConfig {
+            block_rows: 4,
+            block_cols: 4,
+        };
+        assert_eq!(wavefront_score(&q, &s, &scheme, cfg), expected);
+        // Sanity: the bridge is actually taken (16 matches, one long gap).
+        assert_eq!(expected, 16 * 5 - (2 + 20));
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKV");
+        assert_eq!(wavefront_score_default(&[], &q, &scheme), 0);
+        assert_eq!(wavefront_score_default(&q, &[], &scheme), 0);
+    }
+
+    #[test]
+    fn default_config_large_comparison() {
+        let scheme = ScoringScheme::protein_default();
+        let q = pseudo_random(1000, 17, 20);
+        let s = pseudo_random(1500, 23, 20);
+        assert_eq!(
+            wavefront_score_default(&q, &s, &scheme),
+            gotoh_score(&q, &s, &scheme)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_panics() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKV");
+        let cfg = WavefrontConfig {
+            block_rows: 0,
+            block_cols: 1,
+        };
+        let _ = wavefront_score(&q, &q, &scheme, cfg);
+    }
+}

@@ -1,0 +1,54 @@
+//! Random-access benchmark: the paper's SQB binary format vs indexed
+//! FASTA (`.fai`-style) vs a full sequential FASTA parse — the §IV
+//! design argument, measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swdual_bio::fai::FastaIndex;
+use swdual_bio::fasta::{self, ResiduePolicy};
+use swdual_bio::{sqb, Alphabet};
+use swdual_datagen::{synthetic_database, LengthModel};
+
+fn random_access(c: &mut Criterion) {
+    let db = synthetic_database("fmt", 2000, LengthModel::protein_database(360.0), 33);
+    let fasta_text = fasta::to_string(&db);
+    let sqb_bytes = sqb::encode(&db);
+    let index = FastaIndex::build(&mut fasta_text.as_bytes()).unwrap();
+    let picks: Vec<usize> = (0..64).map(|i| (i * 31) % db.len()).collect();
+
+    let mut group = c.benchmark_group("random_access_64_of_2000");
+    group.bench_function("sqb", |b| {
+        b.iter(|| {
+            let slice = sqb::SqbSlice::new(&sqb_bytes).unwrap();
+            picks
+                .iter()
+                .map(|&i| slice.read_sequence(i).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("fasta_indexed", |b| {
+        b.iter(|| {
+            let mut cursor = std::io::Cursor::new(fasta_text.as_bytes());
+            picks
+                .iter()
+                .map(|&i| {
+                    index
+                        .read_record(&mut cursor, i, Alphabet::Protein, ResiduePolicy::Strict)
+                        .unwrap()
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("fasta_full_parse", |b| {
+        b.iter(|| {
+            // What the paper says tools must do without an index: parse
+            // everything to reach specific records.
+            let set = fasta::parse(fasta_text.as_bytes(), Alphabet::Protein).unwrap();
+            picks.iter().map(|&i| set.get(i).unwrap().len()).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, random_access);
+criterion_main!(benches);

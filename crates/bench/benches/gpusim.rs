@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the GPU device simulator: kernel dispatch
+//! overhead and the warp-efficiency effect of sorted residency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swdual_bio::ScoringScheme;
+use swdual_datagen::{synthetic_database, LengthModel};
+use swdual_gpusim::{DeviceSpec, GpuDevice};
+
+fn device_search(c: &mut Criterion) {
+    let scheme = ScoringScheme::protein_default();
+    let db = synthetic_database("gpu", 128, LengthModel::protein_database(300.0), 21);
+    let qset = synthetic_database("q", 1, LengthModel::Fixed(300), 22);
+    let query = qset.get(0).unwrap().codes().to_vec();
+
+    let mut group = c.benchmark_group("gpusim_search_128seqs");
+    group.sample_size(10);
+    for (label, sorted) in [("sorted_residency", true), ("unsorted_residency", false)] {
+        group.bench_function(label, |b| {
+            let mut device = GpuDevice::new(DeviceSpec::tesla_c2050());
+            let resident = device.upload(&db, sorted).unwrap();
+            b.iter(|| device.search(&query, &resident, &scheme))
+        });
+    }
+    group.finish();
+}
+
+fn chunked_vs_resident(c: &mut Criterion) {
+    use swdual_gpusim::chunked::chunked_search;
+    let scheme = ScoringScheme::protein_default();
+    let db = synthetic_database("gpu", 64, LengthModel::Fixed(200), 23);
+    let qset = synthetic_database("q", 1, LengthModel::Fixed(200), 24);
+    let query = qset.get(0).unwrap().codes().to_vec();
+
+    let mut group = c.benchmark_group("gpusim_chunking");
+    group.sample_size(10);
+    group.bench_function("resident", |b| {
+        let mut device = GpuDevice::new(DeviceSpec::toy(1_000_000));
+        let resident = device.upload(&db, true).unwrap();
+        b.iter(|| device.search(&query, &resident, &scheme))
+    });
+    group.bench_function("chunked_4x", |b| {
+        b.iter(|| {
+            // Device fits only a quarter of the database at a time.
+            let mut device = GpuDevice::new(DeviceSpec::toy(db.total_residues() / 4));
+            chunked_search(&mut device, &db, &query, &scheme, true).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, device_search, chunked_vs_resident);
+criterion_main!(benches);

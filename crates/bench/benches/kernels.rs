@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of the alignment kernels: real GCUPS of
+//! each engine on this host (the per-worker rates behind the paper's
+//! baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swdual_align::engine::EngineKind;
+use swdual_align::linspace;
+use swdual_align::par_search::par_score_many;
+use swdual_align::profile::StripedProfile;
+use swdual_align::striped::striped_score_profile;
+use swdual_align::striped8::striped8_score_exact;
+use swdual_align::traceback;
+use swdual_bio::ScoringScheme;
+use swdual_datagen::{synthetic_database, LengthModel};
+
+fn kernel_pairwise(c: &mut Criterion) {
+    let scheme = ScoringScheme::protein_default();
+    let db = synthetic_database("bench", 2, LengthModel::Fixed(400), 1);
+    let query = db.get(0).unwrap().codes().to_vec();
+    let subject = db.get(1).unwrap().codes().to_vec();
+    let cells = (query.len() * subject.len()) as u64;
+
+    let mut group = c.benchmark_group("pairwise_400x400");
+    group.throughput(Throughput::Elements(cells));
+    for kind in EngineKind::ALL {
+        let engine = kind.build();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| engine.score(&query, &subject, &scheme))
+        });
+    }
+    // The dual-precision byte pipeline (not an EngineKind: it composes
+    // the striped kernels).
+    group.bench_function("striped8", |b| {
+        b.iter(|| striped8_score_exact(&query, &subject, &scheme))
+    });
+    group.finish();
+}
+
+fn traceback_vs_linear_space(c: &mut Criterion) {
+    // Alignment reconstruction: full-matrix vs Myers-Miller.
+    let scheme = ScoringScheme::protein_default();
+    let db = synthetic_database("bench", 2, LengthModel::Fixed(800), 7);
+    let query = db.get(0).unwrap().codes().to_vec();
+    let subject = db.get(1).unwrap().codes().to_vec();
+    let mut group = c.benchmark_group("traceback_800x800");
+    group.sample_size(10);
+    group.bench_function("full_matrix_local", |b| {
+        b.iter(|| traceback::local(&query, &subject, &scheme))
+    });
+    group.bench_function("linear_space_local", |b| {
+        b.iter(|| linspace::local_linear_space(&query, &subject, &scheme))
+    });
+    group.finish();
+}
+
+fn parallel_database_pass(c: &mut Criterion) {
+    // One query vs 256 subjects: serial engine pass vs rayon pass.
+    let scheme = ScoringScheme::protein_default();
+    let db = synthetic_database("bench", 256, LengthModel::Fixed(250), 11);
+    let qset = synthetic_database("q", 1, LengthModel::Fixed(400), 12);
+    let query = qset.get(0).unwrap().codes().to_vec();
+    let refs: Vec<&[u8]> = db.iter().map(|s| s.codes()).collect();
+    let cells: u64 = refs.iter().map(|s| (s.len() * query.len()) as u64).sum();
+    let mut group = c.benchmark_group("database_pass_256x250");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10);
+    let engine = EngineKind::InterSeq.build();
+    group.bench_function("serial_interseq", |b| {
+        b.iter(|| engine.score_many(&query, &refs, &scheme))
+    });
+    group.bench_function("rayon_interseq", |b| {
+        b.iter(|| par_score_many(&query, &refs, &scheme, EngineKind::InterSeq))
+    });
+    group.finish();
+}
+
+fn kernel_database_pass(c: &mut Criterion) {
+    let scheme = ScoringScheme::protein_default();
+    let db = synthetic_database("bench", 128, LengthModel::Fixed(300), 2);
+    let query = synthetic_database("q", 1, LengthModel::Fixed(500), 3);
+    let query = query.get(0).unwrap().codes().to_vec();
+    let refs: Vec<&[u8]> = db.iter().map(|s| s.codes()).collect();
+    let cells: u64 = refs.iter().map(|s| (s.len() * query.len()) as u64).sum();
+
+    let mut group = c.benchmark_group("database_128x300");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10);
+    for kind in EngineKind::ALL {
+        let engine = kind.build();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| engine.score_many(&query, &refs, &scheme))
+        });
+    }
+    group.finish();
+}
+
+fn striped_profile_reuse(c: &mut Criterion) {
+    // The query-profile trick: rebuilding vs reusing per subject.
+    let scheme = ScoringScheme::protein_default();
+    let db = synthetic_database("bench", 32, LengthModel::Fixed(300), 4);
+    let query = synthetic_database("q", 1, LengthModel::Fixed(400), 5);
+    let query = query.get(0).unwrap().codes().to_vec();
+    let refs: Vec<&[u8]> = db.iter().map(|s| s.codes()).collect();
+
+    let mut group = c.benchmark_group("striped_profile");
+    group.sample_size(10);
+    group.bench_function("rebuild_per_subject", |b| {
+        b.iter(|| {
+            refs.iter()
+                .map(|s| {
+                    let p = StripedProfile::build(&query, &scheme.matrix);
+                    striped_score_profile(&p, s, &scheme).unwrap_or(0)
+                })
+                .sum::<i32>()
+        })
+    });
+    group.bench_function("reuse_across_subjects", |b| {
+        let p = StripedProfile::build(&query, &scheme.matrix);
+        b.iter(|| {
+            refs.iter()
+                .map(|s| striped_score_profile(&p, s, &scheme).unwrap_or(0))
+                .sum::<i32>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    kernel_pairwise,
+    kernel_database_pass,
+    striped_profile_reuse,
+    traceback_vs_linear_space,
+    parallel_database_pass
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the scheduler itself: the paper claims
+//! `O(n log n)` per binary-search step for the greedy variant; these
+//! benches measure the real cost of a step and of the full binary
+//! search across instance sizes, plus the DP variant's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swdual_sched::binsearch::{dual_approx_schedule, lower_bound, BinarySearchConfig};
+use swdual_sched::dual::{dual_step, KnapsackMethod};
+use swdual_sched::knapsack::DpConfig;
+use swdual_sched::{PlatformSpec, Task, TaskSet};
+
+fn instance(n: usize) -> TaskSet {
+    let mut state = 0xBEEFu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    TaskSet::new(
+        (0..n)
+            .map(|id| {
+                let gpu = 0.5 + 4.0 * next();
+                let accel = 1.0 + 9.0 * next();
+                Task::new(id, gpu * accel, gpu)
+            })
+            .collect(),
+    )
+}
+
+fn bench_dual_step(c: &mut Criterion) {
+    let platform = PlatformSpec::new(8, 8);
+    let mut group = c.benchmark_group("dual_step_greedy");
+    for n in [40usize, 400, 4000] {
+        let tasks = instance(n);
+        let lambda = lower_bound(&tasks, &platform) * 1.2;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| dual_step(&tasks, &platform, lambda, KnapsackMethod::Greedy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_binary_search(c: &mut Criterion) {
+    let platform = PlatformSpec::new(8, 8);
+    let mut group = c.benchmark_group("binary_search_full");
+    group.sample_size(10);
+    for n in [40usize, 400, 4000] {
+        let tasks = instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_vs_greedy(c: &mut Criterion) {
+    let platform = PlatformSpec::new(4, 4);
+    let tasks = instance(40);
+    let mut group = c.benchmark_group("knapsack_method_40tasks");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default()))
+    });
+    group.bench_function("dp512", |b| {
+        b.iter(|| {
+            dual_approx_schedule(
+                &tasks,
+                &platform,
+                BinarySearchConfig {
+                    method: KnapsackMethod::Dp(DpConfig { resolution: 512 }),
+                    ..BinarySearchConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dual_step, bench_binary_search, bench_dp_vs_greedy);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion wrapper over the table regenerators: one bench per paper
+//! table/figure, so `cargo bench` alone exercises every experiment and
+//! reports how long regeneration takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swdual_bench::execute::{execute_reduced, ExecuteConfig};
+use swdual_bench::{ablation, tables};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_tables");
+    group.sample_size(10);
+    group.bench_function("table2_fig7", |b| b.iter(tables::table2));
+    group.bench_function("table4_fig8", |b| b.iter(tables::table4));
+    group.bench_function("table5_fig9", |b| b.iter(tables::table5));
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("policy", |b| b.iter(ablation::ablation_policy));
+    group.bench_function("binsearch", |b| b.iter(ablation::ablation_binsearch));
+    group.finish();
+}
+
+fn bench_reduced_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduced_execution");
+    group.sample_size(10);
+    group.bench_function("tiny_end_to_end", |b| {
+        b.iter(|| {
+            execute_reduced(ExecuteConfig {
+                db_scale: 0.0002,
+                queries: 2,
+                seed: 1,
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_ablations, bench_reduced_execution);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Reference values transcribed from the paper (ICPP 2014, §V).
+
+/// Table I: the baseline applications and their command lines.
+pub const TABLE1: &[(&str, &str, &str)] = &[
+    ("SWIPE", "1.0", "./swipe -a $T -i $Q -d $D"),
+    ("STRIPED", "-", "./striped -T $T $Q $D"),
+    ("SWPS3", "20080605", "./swps3 -j $T $Q $D"),
+    ("CUDASW++", "2.0", "./cudasw -use_gpus $T -query $Q -db $D"),
+];
+
+/// Table II: execution times (s) for 1–4 workers on UniProt, 40
+/// queries. `None` marks cells the paper leaves empty.
+pub const TABLE2_BASELINES: &[(&str, [Option<f64>; 4])] = &[
+    ("SWPS3", [Some(69208.2), Some(36174.09), Some(25206.563), Some(18904.31)]),
+    ("STRIPED", [Some(7190.0), Some(3615.38), Some(1369.33), Some(1027.28)]),
+    ("SWIPE", [Some(2367.24), Some(1199.47), Some(816.61), Some(610.23)]),
+    ("CUDASW++", [Some(785.26), Some(445.611), Some(350.09), Some(292.157)]),
+];
+
+/// Table II, SWDUAL block: times (s) for 2–8 workers (GPU-first mix,
+/// max 4 GPUs). The paper's row reads 543.28, 472.84, 271.98, 266.69,
+/// 239.04, 183.12, 142.98 for 2–8 workers.
+pub const TABLE2_SWDUAL: &[(usize, f64)] = &[
+    (2, 543.28),
+    (3, 472.84),
+    (4, 271.98),
+    (5, 266.69),
+    (6, 239.04),
+    (7, 183.12),
+    (8, 142.98),
+];
+
+/// Table III: the five databases (name, sequence count, paper's
+/// smallest/longest *query* lengths).
+pub const TABLE3: &[(&str, u64, usize, usize)] = &[
+    ("Ensembl Dog Proteins", 25_160, 100, 4_996),
+    ("Ensembl Rat Proteins", 32_971, 100, 4_992),
+    ("RefSeq Human Proteins", 34_705, 100, 4_981),
+    ("RefSeq Mouse Proteins", 29_437, 100, 5_000),
+    ("UniProt", 537_505, 100, 4_998),
+];
+
+/// Rows of a per-database table: `(workers, seconds, gcups)` triples.
+pub type WorkerRows = [(usize, f64, f64); 3];
+
+/// Table IV: SWDUAL on the five databases — (database, rows).
+pub const TABLE4: &[(&str, WorkerRows)] = &[
+    ("Ensembl Dog", [(2, 78.36, 18.91), (4, 39.63, 37.39), (8, 20.45, 72.45)]),
+    ("Ensembl Rat", [(2, 75.85, 22.97), (4, 37.97, 45.89), (8, 20.17, 86.38)]),
+    ("RefSeq Mouse", [(2, 84.40, 18.99), (4, 46.25, 34.66), (8, 23.59, 67.95)]),
+    ("RefSeq Human", [(2, 95.09, 20.70), (4, 48.01, 41.00), (8, 24.82, 79.31)]),
+    ("UniProt", [(2, 543.28, 35.81), (4, 271.98, 71.53), (8, 142.98, 136.06)]),
+];
+
+/// Table V: §V-C query sets on UniProt — (set, rows).
+pub const TABLE5: &[(&str, WorkerRows)] = &[
+    (
+        "Heterogeneous",
+        [(2, 3554.36, 37.55), (4, 1785.73, 74.74), (8, 908.45, 146.92)],
+    ),
+    (
+        "Homogeneous",
+        [(2, 998.27, 36.3), (4, 484.74, 74.76), (8, 249.69, 145.14)],
+    ),
+];
+
+/// §V-A headline claims: reduction of SWDUAL vs each baseline at 2 and
+/// 4 workers (percent).
+pub const HEADLINE_REDUCTIONS: &[(&str, usize, f64)] = &[
+    ("SWIPE", 2, 54.7),
+    ("STRIPED", 2, 85.0),
+    ("SWPS3", 2, 98.0),
+    ("SWIPE", 4, 55.3),
+    ("STRIPED", 4, 73.5),
+    ("SWPS3", 4, 98.6),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_times_decrease_with_workers() {
+        for (name, times) in TABLE2_BASELINES {
+            let t: Vec<f64> = times.iter().flatten().copied().collect();
+            for w in t.windows(2) {
+                assert!(w[0] > w[1], "{name}: {} !> {}", w[0], w[1]);
+            }
+        }
+        for w in TABLE2_SWDUAL.windows(2) {
+            assert!(w[0].1 > w[1].1);
+        }
+    }
+
+    #[test]
+    fn table4_products_are_consistent_cells() {
+        // time × GCUPS must be (nearly) constant per database — the
+        // workload's cell count.
+        for (db, rows) in TABLE4 {
+            let cells: Vec<f64> = rows.iter().map(|&(_, t, g)| t * g).collect();
+            for c in &cells[1..] {
+                assert!(
+                    (c - cells[0]).abs() / cells[0] < 0.06,
+                    "{db}: inconsistent cells {cells:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn headline_reductions_match_table2() {
+        // e.g. SWIPE at 2 workers: 1199.47 -> SWDUAL 543.28 = 54.7%.
+        for &(app, workers, pct) in HEADLINE_REDUCTIONS {
+            let baseline = TABLE2_BASELINES
+                .iter()
+                .find(|(n, _)| *n == app)
+                .unwrap()
+                .1[workers - 1]
+                .unwrap();
+            let swdual = TABLE2_SWDUAL
+                .iter()
+                .find(|&&(w, _)| w == workers)
+                .unwrap()
+                .1;
+            let computed = (1.0 - swdual / baseline) * 100.0;
+            assert!(
+                (computed - pct).abs() < 1.5,
+                "{app}@{workers}: computed {computed:.1}% vs stated {pct}%"
+            );
+        }
+    }
+}

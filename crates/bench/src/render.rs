@@ -1,0 +1,166 @@
+//! Result rows and their plain-text / Markdown rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One reproduced measurement compared against the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Configuration label ("SWIPE", "SWDUAL(greedy)", database name…).
+    pub label: String,
+    /// Worker count.
+    pub workers: usize,
+    /// Simulated/measured seconds.
+    pub seconds: f64,
+    /// Simulated/measured GCUPS.
+    pub gcups: f64,
+    /// The paper's seconds for the same cell, when it reports one.
+    pub paper_seconds: Option<f64>,
+    /// The paper's GCUPS for the same cell, when it reports one.
+    pub paper_gcups: Option<f64>,
+}
+
+impl Row {
+    /// Ratio of reproduced to paper seconds (1.0 = exact), when
+    /// available.
+    pub fn seconds_ratio(&self) -> Option<f64> {
+        self.paper_seconds.map(|p| self.seconds / p)
+    }
+}
+
+/// A titled group of rows — one table or one figure series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment id ("Table II", "Figure 8"…).
+    pub id: String,
+    /// What was run.
+    pub description: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Render as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.description);
+        out.push_str(&format!(
+            "{:<22} {:>7} {:>12} {:>9} {:>12} {:>9} {:>7}\n",
+            "label", "workers", "seconds", "GCUPS", "paper s", "paper G", "ratio"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<22} {:>7} {:>12.2} {:>9.2} {:>12} {:>9} {:>7}\n",
+                r.label,
+                r.workers,
+                r.seconds,
+                r.gcups,
+                r.paper_seconds
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.paper_gcups
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.seconds_ratio()
+                    .map(|v| format!("{v:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
+            ));
+        }
+        out
+    }
+
+    /// Render as a Markdown table (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.description);
+        out.push_str("| label | workers | seconds | GCUPS | paper s | paper GCUPS | ratio |\n");
+        out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {:.2} | {:.2} | {} | {} | {} |\n",
+                r.label,
+                r.workers,
+                r.seconds,
+                r.gcups,
+                r.paper_seconds
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "—".into()),
+                r.paper_gcups
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "—".into()),
+                r.seconds_ratio()
+                    .map(|v| format!("{v:.2}×"))
+                    .unwrap_or_else(|| "—".into()),
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Gnuplot-style data block (the format behind the paper's figures).
+    pub fn to_plot_data(&self) -> String {
+        let mut out = format!("# {} — {}\n# workers seconds label\n", self.id, self.description);
+        for r in &self.rows {
+            out.push_str(&format!("{} {} {}\n", r.workers, r.seconds, r.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Report {
+        Report {
+            id: "Table X".into(),
+            description: "demo".into(),
+            rows: vec![
+                Row {
+                    label: "A".into(),
+                    workers: 2,
+                    seconds: 100.0,
+                    gcups: 5.0,
+                    paper_seconds: Some(90.0),
+                    paper_gcups: Some(5.5),
+                },
+                Row {
+                    label: "B".into(),
+                    workers: 4,
+                    seconds: 50.0,
+                    gcups: 10.0,
+                    paper_seconds: None,
+                    paper_gcups: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn ratio_computation() {
+        let r = demo();
+        assert!((r.rows[0].seconds_ratio().unwrap() - 100.0 / 90.0).abs() < 1e-12);
+        assert!(r.rows[1].seconds_ratio().is_none());
+    }
+
+    #[test]
+    fn text_rendering_contains_everything() {
+        let text = demo().to_text();
+        assert!(text.contains("Table X"));
+        assert!(text.contains("100.00"));
+        assert!(text.contains("1.11x"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn markdown_rendering_is_a_table() {
+        let md = demo().to_markdown();
+        assert!(md.starts_with("### Table X"));
+        assert!(md.contains("|---"));
+        assert!(md.contains("| A | 2 |"));
+        assert!(md.contains("—")); // missing paper cells
+    }
+
+    #[test]
+    fn plot_data_has_one_line_per_row() {
+        let p = demo().to_plot_data();
+        assert_eq!(p.lines().filter(|l| !l.starts_with('#')).count(), 2);
+    }
+}

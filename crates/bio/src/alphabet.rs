@@ -1,0 +1,286 @@
+//! Residue alphabets and encoding.
+//!
+//! The paper (§II-A) treats DNA sequences as strings over `{A,T,G,C}`, RNA
+//! over `{A,U,G,C}` and proteins over the 20 standard amino acids. Real
+//! databases additionally contain ambiguity codes (`N` for nucleotides,
+//! `B/Z/X` for proteins and the rare residues `U`/`O`), so the protein
+//! alphabet used here is the 24-letter set conventional for BLOSUM
+//! matrices: `ARNDCQEGHILKMFPSTWYVBZX*`.
+//!
+//! Sequences are *encoded* once at load time: each residue becomes a small
+//! integer index so that substitution-matrix lookups inside the dynamic
+//! programming recurrences (paper Eqs. 1–4) are plain array indexing.
+
+use crate::error::BioError;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel code for a byte that is not part of the alphabet.
+pub const INVALID_CODE: u8 = 0xFF;
+
+/// The residue alphabet of a sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Alphabet {
+    /// DNA: `A C G T` plus ambiguity `N`.
+    Dna,
+    /// RNA: `A C G U` plus ambiguity `N`.
+    Rna,
+    /// Protein: the 23 letters of the BLOSUM alphabet plus the terminator
+    /// `*` (`ARNDCQEGHILKMFPSTWYVBZX*`).
+    Protein,
+}
+
+/// Canonical residue order of the protein alphabet; matches the row/column
+/// order of the embedded BLOSUM/PAM matrices in [`crate::matrix`].
+pub const PROTEIN_RESIDUES: &[u8; 24] = b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Canonical residue order of the DNA alphabet.
+pub const DNA_RESIDUES: &[u8; 5] = b"ACGTN";
+
+/// Canonical residue order of the RNA alphabet.
+pub const RNA_RESIDUES: &[u8; 5] = b"ACGUN";
+
+impl Alphabet {
+    /// Number of distinct residue codes in this alphabet.
+    #[inline]
+    pub const fn size(self) -> usize {
+        match self {
+            Alphabet::Dna | Alphabet::Rna => DNA_RESIDUES.len(),
+            Alphabet::Protein => PROTEIN_RESIDUES.len(),
+        }
+    }
+
+    /// The residues of this alphabet in canonical (encoding) order.
+    #[inline]
+    pub const fn residues(self) -> &'static [u8] {
+        match self {
+            Alphabet::Dna => DNA_RESIDUES,
+            Alphabet::Rna => RNA_RESIDUES,
+            Alphabet::Protein => PROTEIN_RESIDUES,
+        }
+    }
+
+    /// Stable numeric tag used by the SQB on-disk format.
+    #[inline]
+    pub const fn tag(self) -> u8 {
+        match self {
+            Alphabet::Dna => 0,
+            Alphabet::Rna => 1,
+            Alphabet::Protein => 2,
+        }
+    }
+
+    /// Inverse of [`Alphabet::tag`].
+    pub fn from_tag(tag: u8) -> Option<Alphabet> {
+        match tag {
+            0 => Some(Alphabet::Dna),
+            1 => Some(Alphabet::Rna),
+            2 => Some(Alphabet::Protein),
+            _ => None,
+        }
+    }
+
+    /// 256-entry lookup table mapping ASCII bytes (case-insensitive) to
+    /// residue codes; unknown bytes map to [`INVALID_CODE`].
+    pub fn encode_table(self) -> &'static [u8; 256] {
+        match self {
+            Alphabet::Dna => &DNA_ENCODE,
+            Alphabet::Rna => &RNA_ENCODE,
+            Alphabet::Protein => &PROTEIN_ENCODE,
+        }
+    }
+
+    /// Encode one ASCII residue byte. Returns `None` for bytes outside the
+    /// alphabet.
+    #[inline]
+    pub fn encode_byte(self, byte: u8) -> Option<u8> {
+        let code = self.encode_table()[byte as usize];
+        (code != INVALID_CODE).then_some(code)
+    }
+
+    /// Decode a residue code back to its canonical (upper-case) ASCII byte.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range for the alphabet; codes produced by
+    /// [`Alphabet::encode`] are always in range.
+    #[inline]
+    pub fn decode_byte(self, code: u8) -> u8 {
+        self.residues()[code as usize]
+    }
+
+    /// Encode a whole ASCII residue string.
+    ///
+    /// Unknown residues are reported with their byte offset; this is what
+    /// the FASTA loader surfaces to the user when a database contains a
+    /// stray character.
+    pub fn encode(self, text: &[u8]) -> Result<Vec<u8>, BioError> {
+        let table = self.encode_table();
+        let mut out = Vec::with_capacity(text.len());
+        for (position, &byte) in text.iter().enumerate() {
+            let code = table[byte as usize];
+            if code == INVALID_CODE {
+                return Err(BioError::InvalidResidue { byte, position });
+            }
+            out.push(code);
+        }
+        Ok(out)
+    }
+
+    /// Encode, mapping any unknown residue to the alphabet's wildcard
+    /// (`N` for nucleotides, `X` for proteins) instead of failing.
+    ///
+    /// Real-world databases (the paper searched UniProt/Ensembl/RefSeq)
+    /// occasionally contain non-standard letters; lossy encoding is how
+    /// production search tools such as SWIPE handle them.
+    pub fn encode_lossy(self, text: &[u8]) -> Vec<u8> {
+        let table = self.encode_table();
+        let wildcard = self.wildcard_code();
+        text.iter()
+            .map(|&b| {
+                let code = table[b as usize];
+                if code == INVALID_CODE {
+                    wildcard
+                } else {
+                    code
+                }
+            })
+            .collect()
+    }
+
+    /// Decode a slice of residue codes back to an ASCII string.
+    pub fn decode(self, codes: &[u8]) -> String {
+        codes
+            .iter()
+            .map(|&c| self.decode_byte(c) as char)
+            .collect()
+    }
+
+    /// The code of the ambiguity wildcard residue (`N` or `X`).
+    #[inline]
+    pub fn wildcard_code(self) -> u8 {
+        match self {
+            Alphabet::Dna | Alphabet::Rna => 4, // N
+            Alphabet::Protein => 22,            // X
+        }
+    }
+
+    /// Heuristically detect the alphabet of raw residue text: sequences
+    /// made purely of `ACGTN` are DNA, of `ACGUN` are RNA, anything else
+    /// is protein. (Same heuristic common FASTA tools apply.)
+    pub fn detect(text: &[u8]) -> Alphabet {
+        let mut has_u = false;
+        let mut has_t = false;
+        for &b in text {
+            match b.to_ascii_uppercase() {
+                b'A' | b'C' | b'G' | b'N' => {}
+                b'T' => has_t = true,
+                b'U' => has_u = true,
+                _ => return Alphabet::Protein,
+            }
+        }
+        if has_u && !has_t {
+            Alphabet::Rna
+        } else {
+            Alphabet::Dna
+        }
+    }
+}
+
+/// Build a 256-entry encode table at compile time.
+const fn build_table(residues: &[u8]) -> [u8; 256] {
+    let mut table = [INVALID_CODE; 256];
+    let mut i = 0;
+    while i < residues.len() {
+        let upper = residues[i];
+        table[upper as usize] = i as u8;
+        // Accept lower-case input as well.
+        let lower = upper.to_ascii_lowercase();
+        table[lower as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+static DNA_ENCODE: [u8; 256] = build_table(DNA_RESIDUES);
+static RNA_ENCODE: [u8; 256] = build_table(RNA_RESIDUES);
+static PROTEIN_ENCODE: [u8; 256] = build_table(PROTEIN_RESIDUES);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_alphabet_has_24_residues() {
+        assert_eq!(Alphabet::Protein.size(), 24);
+        assert_eq!(Alphabet::Protein.residues().len(), 24);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_protein() {
+        let text = b"ARNDCQEGHILKMFPSTWYVBZX*";
+        let codes = Alphabet::Protein.encode(text).unwrap();
+        assert_eq!(codes, (0u8..24).collect::<Vec<_>>());
+        assert_eq!(Alphabet::Protein.decode(&codes).as_bytes(), text);
+    }
+
+    #[test]
+    fn encode_is_case_insensitive() {
+        let upper = Alphabet::Protein.encode(b"ACDEFGHIKLMNPQRSTVWY").unwrap();
+        let lower = Alphabet::Protein.encode(b"acdefghiklmnpqrstvwy").unwrap();
+        assert_eq!(upper, lower);
+    }
+
+    #[test]
+    fn encode_rejects_invalid_residue_with_position() {
+        let err = Alphabet::Dna.encode(b"ACGT!ACGT").unwrap_err();
+        match err {
+            BioError::InvalidResidue { byte, position } => {
+                assert_eq!(byte, b'!');
+                assert_eq!(position, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_encoding_maps_unknown_to_wildcard() {
+        let codes = Alphabet::Protein.encode_lossy(b"AC?J");
+        assert_eq!(codes[0], 0);
+        // '?' and 'J' are not in the protein alphabet -> X (code 22).
+        assert_eq!(codes[2], Alphabet::Protein.wildcard_code());
+        assert_eq!(codes[3], Alphabet::Protein.wildcard_code());
+    }
+
+    #[test]
+    fn dna_rna_differ_only_in_t_vs_u() {
+        assert_eq!(Alphabet::Dna.encode(b"ACGT").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(Alphabet::Rna.encode(b"ACGU").unwrap(), vec![0, 1, 2, 3]);
+        assert!(Alphabet::Dna.encode(b"ACGU").is_err());
+        assert!(Alphabet::Rna.encode(b"ACGT").is_err());
+    }
+
+    #[test]
+    fn detection_heuristic() {
+        assert_eq!(Alphabet::detect(b"ACGTACGTN"), Alphabet::Dna);
+        assert_eq!(Alphabet::detect(b"ACGUACGUN"), Alphabet::Rna);
+        assert_eq!(Alphabet::detect(b"MKVLAT"), Alphabet::Protein);
+        // Empty input defaults to DNA (arbitrary but stable).
+        assert_eq!(Alphabet::detect(b""), Alphabet::Dna);
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for a in [Alphabet::Dna, Alphabet::Rna, Alphabet::Protein] {
+            assert_eq!(Alphabet::from_tag(a.tag()), Some(a));
+        }
+        assert_eq!(Alphabet::from_tag(200), None);
+    }
+
+    #[test]
+    fn wildcard_codes_decode_to_n_and_x() {
+        assert_eq!(Alphabet::Dna.decode_byte(Alphabet::Dna.wildcard_code()), b'N');
+        assert_eq!(
+            Alphabet::Protein.decode_byte(Alphabet::Protein.wildcard_code()),
+            b'X'
+        );
+    }
+}

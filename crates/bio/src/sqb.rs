@@ -1,0 +1,726 @@
+//! SQB — the paper's binary sequence-database format.
+//!
+//! Paper §IV: *"Sequence database files created using the Fasta format are
+//! in fact text files, with sequences placed one after the other. For that
+//! reason, it is not feasible to read specific sequences contained in the
+//! file [...] a simple binary format was created with a few additional
+//! fields. Using this format, both the master and workers are able to read
+//! sequences in any position inside the file, directly. Additionally, the
+//! memory allocation process is simplified due to the fact that all the
+//! sequences sizes are known beforehand."*
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! +---------------------------------------------------------------+
+//! | magic "SQB1" | version u16 | alphabet u8 | flags u8            |
+//! | n_sequences u64 | total_residues u64 | index_offset u64        |
+//! +---------------------------------------------------------------+
+//! | record 0 | record 1 | ...                                      |   records
+//! +---------------------------------------------------------------+
+//! | (offset u64, residue_len u32) * n_sequences                    |   index
+//! +---------------------------------------------------------------+
+//! ```
+//!
+//! Each record is `id_len u16 | id | desc_len u16 | desc | residues`
+//! (residue length lives in the index, so a reader can pre-allocate
+//! before touching the record — the "sizes known beforehand" property).
+
+use crate::alphabet::Alphabet;
+use crate::error::BioError;
+use crate::seq::{Sequence, SequenceSet};
+use bytes::{Buf, BufMut};
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// File magic, first four bytes of every SQB file.
+pub const MAGIC: &[u8; 4] = b"SQB1";
+/// Format version written by this build.
+pub const VERSION: u16 = 1;
+/// Size of the fixed header in bytes.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 1 + 8 + 8 + 8;
+/// Size of one index entry in bytes.
+pub const INDEX_ENTRY_LEN: usize = 8 + 4;
+
+/// Parsed SQB header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version of the file.
+    pub version: u16,
+    /// Alphabet the residues are encoded in.
+    pub alphabet: Alphabet,
+    /// Number of sequence records.
+    pub n_sequences: u64,
+    /// Sum of residue counts over all records.
+    pub total_residues: u64,
+    /// Byte offset of the index section.
+    pub index_offset: u64,
+}
+
+/// One index entry: where a record starts and how many residues it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Byte offset of the record within the file.
+    pub offset: u64,
+    /// Residue count of the record (enables pre-allocation).
+    pub residue_len: u32,
+}
+
+fn encode_record(seq: &Sequence, out: &mut Vec<u8>) {
+    assert!(
+        seq.id.len() <= u16::MAX as usize && seq.description.len() <= u16::MAX as usize,
+        "SQB id/description fields are limited to {} bytes (sequence {:?})",
+        u16::MAX,
+        seq.id
+    );
+    out.put_u16_le(seq.id.len() as u16);
+    out.put_slice(seq.id.as_bytes());
+    out.put_u16_le(seq.description.len() as u16);
+    out.put_slice(seq.description.as_bytes());
+    out.put_slice(&seq.residues);
+}
+
+/// Serialise a [`SequenceSet`] into SQB bytes.
+pub fn encode(set: &SequenceSet) -> Vec<u8> {
+    let mut records = Vec::new();
+    let mut index: Vec<IndexEntry> = Vec::with_capacity(set.len());
+    for seq in set {
+        index.push(IndexEntry {
+            offset: (HEADER_LEN + records.len()) as u64,
+            residue_len: seq.len() as u32,
+        });
+        encode_record(seq, &mut records);
+    }
+
+    let index_offset = (HEADER_LEN + records.len()) as u64;
+    let mut out = Vec::with_capacity(
+        HEADER_LEN + records.len() + index.len() * INDEX_ENTRY_LEN,
+    );
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u8(set.alphabet.tag());
+    out.put_u8(0); // flags, reserved
+    out.put_u64_le(set.len() as u64);
+    out.put_u64_le(set.total_residues());
+    out.put_u64_le(index_offset);
+    out.put_slice(&records);
+    for entry in &index {
+        out.put_u64_le(entry.offset);
+        out.put_u32_le(entry.residue_len);
+    }
+    out
+}
+
+fn parse_header(mut buf: &[u8]) -> Result<Header, BioError> {
+    if buf.len() < HEADER_LEN {
+        return Err(BioError::MalformedSqb("file shorter than header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(BioError::MalformedSqb(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(BioError::UnsupportedSqbVersion(version));
+    }
+    let alphabet_tag = buf.get_u8();
+    let _flags = buf.get_u8();
+    let alphabet = Alphabet::from_tag(alphabet_tag).ok_or_else(|| {
+        BioError::MalformedSqb(format!("unknown alphabet tag {alphabet_tag}"))
+    })?;
+    Ok(Header {
+        version,
+        alphabet,
+        n_sequences: buf.get_u64_le(),
+        total_residues: buf.get_u64_le(),
+        index_offset: buf.get_u64_le(),
+    })
+}
+
+fn parse_record(
+    bytes: &[u8],
+    entry: IndexEntry,
+    alphabet: Alphabet,
+) -> Result<Sequence, BioError> {
+    let start = entry.offset as usize;
+    let mut buf = bytes
+        .get(start..)
+        .ok_or_else(|| BioError::MalformedSqb("record offset out of range".into()))?;
+    let need = |buf: &[u8], n: usize| -> Result<(), BioError> {
+        if buf.len() < n {
+            Err(BioError::MalformedSqb("truncated record".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 2)?;
+    let id_len = buf.get_u16_le() as usize;
+    need(buf, id_len)?;
+    let id = String::from_utf8(buf[..id_len].to_vec())
+        .map_err(|_| BioError::MalformedSqb("record id is not UTF-8".into()))?;
+    buf.advance(id_len);
+    need(buf, 2)?;
+    let desc_len = buf.get_u16_le() as usize;
+    need(buf, desc_len)?;
+    let description = String::from_utf8(buf[..desc_len].to_vec())
+        .map_err(|_| BioError::MalformedSqb("record description is not UTF-8".into()))?;
+    buf.advance(desc_len);
+    let res_len = entry.residue_len as usize;
+    need(buf, res_len)?;
+    let residues = buf[..res_len].to_vec();
+    if residues.iter().any(|&c| (c as usize) >= alphabet.size()) {
+        return Err(BioError::MalformedSqb(
+            "residue code out of range for alphabet".into(),
+        ));
+    }
+    let mut seq = Sequence::from_codes(id, alphabet, residues);
+    seq.description = description;
+    Ok(seq)
+}
+
+fn parse_index(bytes: &[u8], header: &Header) -> Result<Vec<IndexEntry>, BioError> {
+    let start = usize::try_from(header.index_offset)
+        .map_err(|_| BioError::MalformedSqb("index offset exceeds address space".into()))?;
+    let len = usize::try_from(header.n_sequences)
+        .ok()
+        .and_then(|n| n.checked_mul(INDEX_ENTRY_LEN))
+        .ok_or_else(|| BioError::MalformedSqb("sequence count overflows index size".into()))?;
+    let end = start
+        .checked_add(len)
+        .ok_or_else(|| BioError::MalformedSqb("index extent overflows".into()))?;
+    let mut buf = bytes
+        .get(start..end)
+        .ok_or_else(|| BioError::MalformedSqb("index out of range".into()))?;
+    let mut index = Vec::with_capacity(header.n_sequences as usize);
+    for _ in 0..header.n_sequences {
+        index.push(IndexEntry {
+            offset: buf.get_u64_le(),
+            residue_len: buf.get_u32_le(),
+        });
+    }
+    Ok(index)
+}
+
+/// Decode a full SQB byte buffer back into a [`SequenceSet`].
+pub fn decode(bytes: &[u8]) -> Result<SequenceSet, BioError> {
+    let reader = SqbSlice::new(bytes)?;
+    reader.read_all()
+}
+
+/// Random-access view over SQB bytes held in memory.
+///
+/// This is the in-process analogue of the paper's "read sequences in any
+/// position inside the file, directly": [`SqbSlice::read_sequence`] touches
+/// only the bytes of the requested record.
+pub struct SqbSlice<'a> {
+    bytes: &'a [u8],
+    header: Header,
+    index: Vec<IndexEntry>,
+}
+
+impl<'a> SqbSlice<'a> {
+    /// Parse the header and index; record bytes are left untouched.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, BioError> {
+        let header = parse_header(bytes)?;
+        let index = parse_index(bytes, &header)?;
+        Ok(SqbSlice { bytes, header, index })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Number of sequences in the file.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the file holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Residue length of record `i` without reading the record
+    /// (the paper's "sizes known beforehand" property).
+    pub fn residue_len(&self, i: usize) -> Option<u32> {
+        self.index.get(i).map(|e| e.residue_len)
+    }
+
+    /// Randomly access record `i`.
+    pub fn read_sequence(&self, i: usize) -> Result<Sequence, BioError> {
+        let entry = *self
+            .index
+            .get(i)
+            .ok_or_else(|| BioError::MalformedSqb(format!("record {i} out of range")))?;
+        parse_record(self.bytes, entry, self.header.alphabet)
+    }
+
+    /// Materialise every record, in order.
+    pub fn read_all(&self) -> Result<SequenceSet, BioError> {
+        let mut set = SequenceSet::new(self.header.alphabet);
+        for i in 0..self.len() {
+            set.push(self.read_sequence(i)?)?;
+        }
+        Ok(set)
+    }
+}
+
+/// Random-access reader over an SQB *file* on disk: loads header + index
+/// eagerly, seeks per record on demand. This is the exact behaviour the
+/// paper built the format for — master and workers each open the database
+/// and fetch only the sequences their tasks need.
+pub struct SqbFile<F: Read + Seek> {
+    file: F,
+    header: Header,
+    index: Vec<IndexEntry>,
+}
+
+impl SqbFile<std::io::BufReader<std::fs::File>> {
+    /// Open an SQB file from a filesystem path.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, BioError> {
+        let file = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::from_seekable(file)
+    }
+}
+
+impl<F: Read + Seek> SqbFile<F> {
+    /// Wrap any seekable byte source.
+    pub fn from_seekable(mut file: F) -> Result<Self, BioError> {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header_bytes)
+            .map_err(|_| BioError::MalformedSqb("file shorter than header".into()))?;
+        let header = parse_header(&header_bytes)?;
+
+        file.seek(SeekFrom::Start(header.index_offset))?;
+        let index_len = usize::try_from(header.n_sequences)
+            .ok()
+            .and_then(|n| n.checked_mul(INDEX_ENTRY_LEN))
+            .ok_or_else(|| {
+                BioError::MalformedSqb("sequence count overflows index size".into())
+            })?;
+        let mut index_bytes = vec![0u8; index_len];
+        file.read_exact(&mut index_bytes)
+            .map_err(|_| BioError::MalformedSqb("truncated index".into()))?;
+        let mut buf: &[u8] = &index_bytes;
+        let mut index = Vec::with_capacity(header.n_sequences as usize);
+        for _ in 0..header.n_sequences {
+            index.push(IndexEntry {
+                offset: buf.get_u64_le(),
+                residue_len: buf.get_u32_le(),
+            });
+        }
+        Ok(SqbFile { file, header, index })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Number of sequences in the file.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the file holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Residue length of record `i` without any file I/O.
+    pub fn residue_len(&self, i: usize) -> Option<u32> {
+        self.index.get(i).map(|e| e.residue_len)
+    }
+
+    /// Seek to and read record `i`.
+    pub fn read_sequence(&mut self, i: usize) -> Result<Sequence, BioError> {
+        let entry = *self
+            .index
+            .get(i)
+            .ok_or_else(|| BioError::MalformedSqb(format!("record {i} out of range")))?;
+        self.file.seek(SeekFrom::Start(entry.offset))?;
+        // Upper bound for the record: lengths + id/desc (u16 max each) +
+        // residues. Read generously then parse from a zero-based entry.
+        let mut head = [0u8; 2];
+        self.file.read_exact(&mut head)?;
+        let id_len = u16::from_le_bytes(head) as usize;
+        let mut id = vec![0u8; id_len];
+        self.file.read_exact(&mut id)?;
+        self.file.read_exact(&mut head)?;
+        let desc_len = u16::from_le_bytes(head) as usize;
+        let mut desc = vec![0u8; desc_len];
+        self.file.read_exact(&mut desc)?;
+        let mut residues = vec![0u8; entry.residue_len as usize];
+        self.file.read_exact(&mut residues)?;
+        if residues
+            .iter()
+            .any(|&c| (c as usize) >= self.header.alphabet.size())
+        {
+            return Err(BioError::MalformedSqb(
+                "residue code out of range for alphabet".into(),
+            ));
+        }
+        let mut seq = Sequence::from_codes(
+            String::from_utf8(id)
+                .map_err(|_| BioError::MalformedSqb("record id is not UTF-8".into()))?,
+            self.header.alphabet,
+            residues,
+        );
+        seq.description = String::from_utf8(desc)
+            .map_err(|_| BioError::MalformedSqb("record description is not UTF-8".into()))?;
+        Ok(seq)
+    }
+
+    /// Materialise every record, in order.
+    pub fn read_all(&mut self) -> Result<SequenceSet, BioError> {
+        let mut set = SequenceSet::new(self.header.alphabet);
+        for i in 0..self.len() {
+            set.push(self.read_sequence(i)?)?;
+        }
+        Ok(set)
+    }
+}
+
+/// Write a sequence set to an SQB file on disk.
+pub fn write_file(
+    set: &SequenceSet,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), BioError> {
+    let bytes = encode(set);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Streaming SQB writer: records are appended one at a time and the
+/// header + index are fixed up on [`SqbWriter::finish`], so a database
+/// conversion never needs the whole set in memory — the property that
+/// makes the format practical for the paper's 537k-sequence UniProt.
+pub struct SqbWriter<W: Write + Seek> {
+    out: W,
+    alphabet: Alphabet,
+    index: Vec<IndexEntry>,
+    total_residues: u64,
+    offset: u64,
+    finished: bool,
+}
+
+impl SqbWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create a streaming writer at a filesystem path.
+    pub fn create(
+        path: impl AsRef<std::path::Path>,
+        alphabet: Alphabet,
+    ) -> Result<Self, BioError> {
+        let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        Self::new(file, alphabet)
+    }
+}
+
+impl<W: Write + Seek> SqbWriter<W> {
+    /// Wrap any seekable sink. A placeholder header is written
+    /// immediately and patched by [`SqbWriter::finish`].
+    pub fn new(mut out: W, alphabet: Alphabet) -> Result<Self, BioError> {
+        let placeholder = [0u8; HEADER_LEN];
+        out.write_all(&placeholder)?;
+        Ok(SqbWriter {
+            out,
+            alphabet,
+            index: Vec::new(),
+            total_residues: 0,
+            offset: HEADER_LEN as u64,
+            finished: false,
+        })
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, seq: &Sequence) -> Result<(), BioError> {
+        assert!(!self.finished, "writer already finished");
+        if seq.alphabet != self.alphabet {
+            return Err(BioError::MalformedSqb(format!(
+                "sequence {:?} has alphabet {:?}, writer expects {:?}",
+                seq.id, seq.alphabet, self.alphabet
+            )));
+        }
+        if seq.id.len() > u16::MAX as usize || seq.description.len() > u16::MAX as usize {
+            return Err(BioError::MalformedSqb(format!(
+                "sequence {:?}: id/description exceed the format's {}-byte field limit",
+                seq.id,
+                u16::MAX
+            )));
+        }
+        let mut record = Vec::with_capacity(4 + seq.id.len() + seq.description.len() + seq.len());
+        encode_record(seq, &mut record);
+        self.out.write_all(&record)?;
+        self.index.push(IndexEntry {
+            offset: self.offset,
+            residue_len: seq.len() as u32,
+        });
+        self.offset += record.len() as u64;
+        self.total_residues += seq.len() as u64;
+        Ok(())
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Write the index, patch the header, flush, and return the sink.
+    pub fn finish(mut self) -> Result<W, BioError> {
+        self.finished = true;
+        let index_offset = self.offset;
+        for entry in &self.index {
+            let mut buf = Vec::with_capacity(INDEX_ENTRY_LEN);
+            buf.put_u64_le(entry.offset);
+            buf.put_u32_le(entry.residue_len);
+            self.out.write_all(&buf)?;
+        }
+        // Patch the header in place.
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.put_slice(MAGIC);
+        header.put_u16_le(VERSION);
+        header.put_u8(self.alphabet.tag());
+        header.put_u8(0);
+        header.put_u64_le(self.index.len() as u64);
+        header.put_u64_le(self.total_residues);
+        header.put_u64_le(index_offset);
+        self.out.seek(SeekFrom::Start(0))?;
+        self.out.write_all(&header)?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Convert a FASTA document (bytes) to SQB bytes — the "convert format"
+/// step both master and workers perform in the paper's Figure 6.
+pub fn convert_fasta(
+    fasta_bytes: &[u8],
+    alphabet: Alphabet,
+    policy: crate::fasta::ResiduePolicy,
+) -> Result<Vec<u8>, BioError> {
+    let set = crate::fasta::parse_with_policy(fasta_bytes, alphabet, policy)?;
+    Ok(encode(&set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> SequenceSet {
+        let mut set = SequenceSet::new(Alphabet::Protein);
+        for (id, desc, text) in [
+            ("q1", "first", "MKVLATGGAR"),
+            ("q2", "", "MK"),
+            ("q3", "third one", "ARNDCQEGHILKMFPSTWYV"),
+        ] {
+            let mut s = Sequence::from_text(id, Alphabet::Protein, text.as_bytes()).unwrap();
+            s.description = desc.into();
+            set.push(s).unwrap();
+        }
+        set
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let set = sample_set();
+        let bytes = encode(&set);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn header_fields_are_consistent() {
+        let set = sample_set();
+        let bytes = encode(&set);
+        let slice = SqbSlice::new(&bytes).unwrap();
+        assert_eq!(slice.header().n_sequences, 3);
+        assert_eq!(slice.header().total_residues, set.total_residues());
+        assert_eq!(slice.header().alphabet, Alphabet::Protein);
+        assert_eq!(slice.header().version, VERSION);
+    }
+
+    #[test]
+    fn random_access_reads_single_record() {
+        let set = sample_set();
+        let bytes = encode(&set);
+        let slice = SqbSlice::new(&bytes).unwrap();
+        let s = slice.read_sequence(1).unwrap();
+        assert_eq!(s.id, "q2");
+        assert_eq!(s.text(), "MK");
+        // Lengths known without reading records.
+        assert_eq!(slice.residue_len(0), Some(10));
+        assert_eq!(slice.residue_len(2), Some(20));
+        assert_eq!(slice.residue_len(3), None);
+    }
+
+    #[test]
+    fn out_of_range_record_errors() {
+        let bytes = encode(&sample_set());
+        let slice = SqbSlice::new(&bytes).unwrap();
+        assert!(slice.read_sequence(99).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample_set());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(BioError::MalformedSqb(_))));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = encode(&sample_set());
+        bytes[4] = 99;
+        assert!(matches!(
+            decode(&bytes),
+            Err(BioError::UnsupportedSqbVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let bytes = encode(&sample_set());
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 2] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_residue_code_is_rejected() {
+        let set = sample_set();
+        let bytes_ok = encode(&set);
+        let slice = SqbSlice::new(&bytes_ok).unwrap();
+        let offset = slice.index[0].offset as usize;
+        // Skip id_len(2)+id+desc_len(2)+desc to hit the first residue byte.
+        let s0 = set.get(0).unwrap();
+        let residue_at = offset + 2 + s0.id.len() + 2 + s0.description.len();
+        let mut bytes = bytes_ok.clone();
+        bytes[residue_at] = 250;
+        let slice = SqbSlice::new(&bytes).unwrap();
+        assert!(slice.read_sequence(0).is_err());
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let set = SequenceSet::new(Alphabet::Dna);
+        let bytes = encode(&set);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let back = decode(&bytes).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.alphabet, Alphabet::Dna);
+    }
+
+    #[test]
+    fn file_reader_seeks_records() {
+        let set = sample_set();
+        let bytes = encode(&set);
+        let cursor = std::io::Cursor::new(bytes);
+        let mut file = SqbFile::from_seekable(cursor).unwrap();
+        assert_eq!(file.len(), 3);
+        // Read out of order to exercise seeking.
+        assert_eq!(file.read_sequence(2).unwrap().id, "q3");
+        assert_eq!(file.read_sequence(0).unwrap().text(), "MKVLATGGAR");
+        let all = file.read_all().unwrap();
+        assert_eq!(all, set);
+    }
+
+    #[test]
+    fn disk_roundtrip_and_open() {
+        let dir = std::env::temp_dir().join("swdual_sqb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sqb");
+        let set = sample_set();
+        write_file(&set, &path).unwrap();
+        let mut file = SqbFile::open(&path).unwrap();
+        assert_eq!(file.read_all().unwrap(), set);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_writer_matches_batch_encoder() {
+        let set = sample_set();
+        let cursor = std::io::Cursor::new(Vec::new());
+        let mut writer = SqbWriter::new(cursor, Alphabet::Protein).unwrap();
+        for seq in &set {
+            writer.append(seq).unwrap();
+        }
+        assert_eq!(writer.len(), 3);
+        let cursor = writer.finish().unwrap();
+        let streamed = cursor.into_inner();
+        // Byte-identical to the in-memory encoder.
+        assert_eq!(streamed, encode(&set));
+        assert_eq!(decode(&streamed).unwrap(), set);
+    }
+
+    #[test]
+    fn streaming_writer_rejects_wrong_alphabet() {
+        let cursor = std::io::Cursor::new(Vec::new());
+        let mut writer = SqbWriter::new(cursor, Alphabet::Dna).unwrap();
+        let prot = Sequence::from_text("p", Alphabet::Protein, b"MKV").unwrap();
+        assert!(writer.append(&prot).is_err());
+        assert!(writer.is_empty());
+    }
+
+    #[test]
+    fn streaming_writer_empty_file_is_valid() {
+        let cursor = std::io::Cursor::new(Vec::new());
+        let writer = SqbWriter::new(cursor, Alphabet::Rna).unwrap();
+        let bytes = writer.finish().unwrap().into_inner();
+        let set = decode(&bytes).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.alphabet, Alphabet::Rna);
+    }
+
+    #[test]
+    fn streaming_writer_to_disk() {
+        let dir = std::env::temp_dir().join("swdual_sqb_stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.sqb");
+        let set = sample_set();
+        let mut writer = SqbWriter::create(&path, Alphabet::Protein).unwrap();
+        for seq in &set {
+            writer.append(seq).unwrap();
+        }
+        writer.finish().unwrap();
+        let mut file = SqbFile::open(&path).unwrap();
+        assert_eq!(file.read_all().unwrap(), set);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_id_is_rejected_not_corrupted() {
+        let long_id = "x".repeat(u16::MAX as usize + 1);
+        let seq = Sequence::from_text(long_id, Alphabet::Protein, b"MKV").unwrap();
+        // Streaming writer returns a clean error.
+        let cursor = std::io::Cursor::new(Vec::new());
+        let mut writer = SqbWriter::new(cursor, Alphabet::Protein).unwrap();
+        assert!(matches!(writer.append(&seq), Err(BioError::MalformedSqb(_))));
+        // Batch encoder panics with a clear message rather than writing a
+        // corrupt file.
+        let set = SequenceSet::from_sequences(Alphabet::Protein, vec![seq]).unwrap();
+        let panicked = std::panic::catch_unwind(|| encode(&set));
+        assert!(panicked.is_err());
+    }
+
+    #[test]
+    fn convert_fasta_to_sqb() {
+        let fasta = b">a desc here\nMKVL\nAT\n>b\nGG\n";
+        let bytes =
+            convert_fasta(fasta, Alphabet::Protein, crate::fasta::ResiduePolicy::Strict)
+                .unwrap();
+        let set = decode(&bytes).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(0).unwrap().text(), "MKVLAT");
+        assert_eq!(set.get(0).unwrap().description, "desc here");
+        assert_eq!(set.get(1).unwrap().text(), "GG");
+    }
+}

@@ -1,0 +1,213 @@
+//! Genetic-code translation: DNA/RNA → protein, six-frame translation.
+//!
+//! Database search tools in the SWIPE/BLAST family accept nucleotide
+//! inputs and search them in translated form (blastx/tblastn modes);
+//! this module supplies that substrate: the standard genetic code,
+//! reverse complements, and six-frame translation of encoded
+//! nucleotide sequences into encoded protein sequences.
+
+use crate::alphabet::Alphabet;
+use crate::error::BioError;
+use crate::seq::Sequence;
+
+/// The standard genetic code, indexed by `base1*16 + base2*4 + base3`
+/// with bases in the canonical `ACGT`/`ACGU` encoding (codes 0–3).
+/// Values are ASCII amino-acid letters; `*` is the stop codon.
+const STANDARD_CODE: [u8; 64] = [
+    // AA? : AAA AAC AAG AAU
+    b'K', b'N', b'K', b'N', // AA*
+    b'T', b'T', b'T', b'T', // AC*
+    b'R', b'S', b'R', b'S', // AG*
+    b'I', b'I', b'M', b'I', // AU*
+    b'Q', b'H', b'Q', b'H', // CA*
+    b'P', b'P', b'P', b'P', // CC*
+    b'R', b'R', b'R', b'R', // CG*
+    b'L', b'L', b'L', b'L', // CU*
+    b'E', b'D', b'E', b'D', // GA*
+    b'A', b'A', b'A', b'A', // GC*
+    b'G', b'G', b'G', b'G', // GG*
+    b'V', b'V', b'V', b'V', // GU*
+    b'*', b'Y', b'*', b'Y', // UA*
+    b'S', b'S', b'S', b'S', // UC*
+    b'*', b'C', b'W', b'C', // UG*
+    b'L', b'F', b'L', b'F', // UU*
+];
+
+/// Translate one codon (three nucleotide codes 0–4) to an ASCII amino
+/// acid. Codons containing the ambiguity code `N` translate to `X`.
+#[inline]
+pub fn translate_codon(b1: u8, b2: u8, b3: u8) -> u8 {
+    if b1 > 3 || b2 > 3 || b3 > 3 {
+        return b'X';
+    }
+    STANDARD_CODE[(b1 as usize) * 16 + (b2 as usize) * 4 + b3 as usize]
+}
+
+/// Complement of one nucleotide code (A↔T/U, C↔G, N↔N).
+#[inline]
+pub fn complement_code(code: u8) -> u8 {
+    match code {
+        0 => 3, // A -> T/U
+        1 => 2, // C -> G
+        2 => 1, // G -> C
+        3 => 0, // T/U -> A
+        other => other,
+    }
+}
+
+/// Reverse complement of an encoded nucleotide sequence.
+pub fn reverse_complement(codes: &[u8]) -> Vec<u8> {
+    codes.iter().rev().map(|&c| complement_code(c)).collect()
+}
+
+/// Translate an encoded nucleotide sequence in one reading frame
+/// (`frame` 0–2 = forward offsets, 3–5 = reverse-complement offsets)
+/// into an *encoded protein* sequence. Stop codons become the protein
+/// `*` residue (code 23), so downstream alignment sees them (BLOSUM62
+/// scores `*` very negatively, which is the desired behaviour).
+pub fn translate_frame(codes: &[u8], frame: usize) -> Result<Vec<u8>, BioError> {
+    if frame > 5 {
+        return Err(BioError::MalformedFasta(format!(
+            "reading frame {frame} out of range 0..=5"
+        )));
+    }
+    let strand: Vec<u8> = if frame < 3 {
+        codes.to_vec()
+    } else {
+        reverse_complement(codes)
+    };
+    let offset = frame % 3;
+    let mut out = Vec::with_capacity(strand.len().saturating_sub(offset) / 3);
+    let mut i = offset;
+    while i + 3 <= strand.len() {
+        let aa = translate_codon(strand[i], strand[i + 1], strand[i + 2]);
+        let code = Alphabet::Protein
+            .encode_byte(aa)
+            .expect("genetic code yields protein letters");
+        out.push(code);
+        i += 3;
+    }
+    Ok(out)
+}
+
+/// Six-frame translation of a nucleotide [`Sequence`]: returns six
+/// protein sequences labelled `<id>/frame{0..5}` (frames 3–5 on the
+/// reverse strand).
+pub fn six_frame(seq: &Sequence) -> Result<Vec<Sequence>, BioError> {
+    if seq.alphabet == Alphabet::Protein {
+        return Err(BioError::MalformedFasta(
+            "cannot translate a protein sequence".into(),
+        ));
+    }
+    (0..6)
+        .map(|frame| {
+            let codes = translate_frame(seq.codes(), frame)?;
+            Ok(
+                Sequence::from_codes(format!("{}/frame{frame}", seq.id), Alphabet::Protein, codes)
+                    .with_description(seq.description.clone()),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(t: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(t).unwrap()
+    }
+
+    #[test]
+    fn start_and_stop_codons() {
+        // ATG -> M, TAA/TAG/TGA -> *.
+        let atg = dna(b"ATG");
+        assert_eq!(translate_codon(atg[0], atg[1], atg[2]), b'M');
+        for stop in [&b"TAA"[..], b"TAG", b"TGA"] {
+            let c = dna(stop);
+            assert_eq!(translate_codon(c[0], c[1], c[2]), b'*', "{stop:?}");
+        }
+    }
+
+    #[test]
+    fn known_peptide_translates() {
+        // ATG AAA TGG GTT TTT TAA -> M K W V F *
+        let seq = dna(b"ATGAAATGGGTTTTTTAA");
+        let prot = translate_frame(&seq, 0).unwrap();
+        assert_eq!(Alphabet::Protein.decode(&prot), "MKWVF*");
+    }
+
+    #[test]
+    fn frames_shift_the_grid() {
+        let seq = dna(b"AATGAAATGG"); // frame 1 starts at the ATG
+        let f0 = translate_frame(&seq, 0).unwrap();
+        let f1 = translate_frame(&seq, 1).unwrap();
+        let f2 = translate_frame(&seq, 2).unwrap();
+        assert_eq!(f0.len(), 3);
+        assert_eq!(f1.len(), 3);
+        assert_eq!(f2.len(), 2);
+        assert_eq!(Alphabet::Protein.decode(&f1)[..2], *"MK");
+    }
+
+    #[test]
+    fn reverse_frames_use_the_complement() {
+        // Reverse complement of CAT is ATG -> frame 3 reads M.
+        let seq = dna(b"CAT");
+        let f3 = translate_frame(&seq, 3).unwrap();
+        assert_eq!(Alphabet::Protein.decode(&f3), "M");
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let seq = dna(b"ACGTTGCAN");
+        assert_eq!(reverse_complement(&reverse_complement(&seq)), seq);
+    }
+
+    #[test]
+    fn ambiguous_bases_translate_to_x() {
+        let seq = dna(b"ANG");
+        let p = translate_frame(&seq, 0).unwrap();
+        assert_eq!(Alphabet::Protein.decode(&p), "X");
+    }
+
+    #[test]
+    fn rna_uses_the_same_code() {
+        let seq = Alphabet::Rna.encode(b"AUGUUUUAA").unwrap();
+        let p = translate_frame(&seq, 0).unwrap();
+        assert_eq!(Alphabet::Protein.decode(&p), "MF*");
+    }
+
+    #[test]
+    fn six_frame_yields_six_labelled_proteins() {
+        let seq = Sequence::from_text("gene1", Alphabet::Dna, b"ATGAAATGGGTTTTTTAA").unwrap();
+        let frames = six_frame(&seq).unwrap();
+        assert_eq!(frames.len(), 6);
+        assert_eq!(frames[0].id, "gene1/frame0");
+        assert_eq!(frames[0].text(), "MKWVF*");
+        assert!(frames.iter().all(|f| f.alphabet == Alphabet::Protein));
+    }
+
+    #[test]
+    fn translating_protein_fails() {
+        let seq = Sequence::from_text("p", Alphabet::Protein, b"MKV").unwrap();
+        assert!(six_frame(&seq).is_err());
+        assert!(translate_frame(&[0, 1, 2], 9).is_err());
+    }
+
+    #[test]
+    fn code_covers_all_20_amino_acids() {
+        let mut seen = std::collections::HashSet::new();
+        for &aa in STANDARD_CODE.iter() {
+            seen.insert(aa);
+        }
+        // 20 amino acids + stop.
+        assert_eq!(seen.len(), 21);
+        assert!(seen.contains(&b'*'));
+    }
+
+    #[test]
+    fn too_short_input_translates_to_empty() {
+        assert!(translate_frame(&dna(b"AC"), 0).unwrap().is_empty());
+        assert!(translate_frame(&[], 4).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the sequence substrate: encoding, FASTA and
+//! SQB round-trips must be lossless for arbitrary inputs.
+
+use proptest::prelude::*;
+use swdual_bio::alphabet::Alphabet;
+use swdual_bio::seq::{Sequence, SequenceSet};
+use swdual_bio::{fasta, sqb};
+
+/// Strategy: residue text over a given alphabet (canonical letters only).
+fn residue_text(alphabet: Alphabet, max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    let residues: Vec<u8> = alphabet.residues().to_vec();
+    prop::collection::vec(prop::sample::select(residues), 0..max_len)
+}
+
+/// Strategy: a plausible FASTA identifier (no whitespace, nonempty).
+fn identifier() -> impl Strategy<Value = String> {
+    prop::string::string_regex("[A-Za-z0-9_.|-]{1,20}").unwrap()
+}
+
+/// Strategy: a sequence set over the protein alphabet.
+fn protein_set(max_seqs: usize, max_len: usize) -> impl Strategy<Value = SequenceSet> {
+    prop::collection::vec(
+        (identifier(), residue_text(Alphabet::Protein, max_len)),
+        0..max_seqs,
+    )
+    .prop_map(|records| {
+        let mut set = SequenceSet::new(Alphabet::Protein);
+        for (i, (id, text)) in records.into_iter().enumerate() {
+            let seq =
+                Sequence::from_text(format!("{id}_{i}"), Alphabet::Protein, &text).unwrap();
+            set.push(seq).unwrap();
+        }
+        set
+    })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(text in residue_text(Alphabet::Protein, 400)) {
+        // Exclude '*' ambiguity: '*' is canonical so roundtrip holds anyway.
+        let codes = Alphabet::Protein.encode(&text).unwrap();
+        let decoded = Alphabet::Protein.decode(&codes);
+        prop_assert_eq!(decoded.as_bytes(), &text[..]);
+    }
+
+    #[test]
+    fn lossy_encode_never_fails_and_stays_in_range(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        for alphabet in [Alphabet::Dna, Alphabet::Rna, Alphabet::Protein] {
+            let codes = alphabet.encode_lossy(&bytes);
+            prop_assert_eq!(codes.len(), bytes.len());
+            prop_assert!(codes.iter().all(|&c| (c as usize) < alphabet.size()));
+        }
+    }
+
+    #[test]
+    fn sqb_roundtrip(set in protein_set(12, 300)) {
+        let bytes = sqb::encode(&set);
+        let back = sqb::decode(&bytes).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    #[test]
+    fn sqb_random_access_agrees_with_full_decode(set in protein_set(12, 300), seed in any::<u64>()) {
+        let bytes = sqb::encode(&set);
+        let slice = sqb::SqbSlice::new(&bytes).unwrap();
+        prop_assert_eq!(slice.len(), set.len());
+        if !set.is_empty() {
+            let i = (seed % set.len() as u64) as usize;
+            let seq = slice.read_sequence(i).unwrap();
+            prop_assert_eq!(&seq, set.get(i).unwrap());
+            prop_assert_eq!(slice.residue_len(i), Some(set.get(i).unwrap().len() as u32));
+        }
+    }
+
+    #[test]
+    fn sqb_never_panics_on_corrupt_input(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        // Arbitrary bytes: decode must return an error, never panic.
+        let _ = sqb::decode(&bytes);
+        // Also corrupt a valid file at one position.
+        let set = SequenceSet::new(Alphabet::Protein);
+        let mut valid = sqb::encode(&set);
+        if !bytes.is_empty() && !valid.is_empty() {
+            let pos = bytes[0] as usize % valid.len();
+            valid[pos] ^= 0xA5;
+            let _ = sqb::decode(&valid);
+        }
+    }
+
+    #[test]
+    fn fasta_roundtrip(set in protein_set(8, 250)) {
+        // FASTA cannot represent empty-id records; ids from `identifier()`
+        // are always nonempty. Descriptions default to empty.
+        let text = fasta::to_string(&set);
+        let back = fasta::parse(text.as_bytes(), Alphabet::Protein).unwrap();
+        prop_assert_eq!(back.len(), set.len());
+        for (a, b) in back.iter().zip(set.iter()) {
+            prop_assert_eq!(&a.id, &b.id);
+            prop_assert_eq!(&a.residues, &b.residues);
+        }
+    }
+
+    #[test]
+    fn fasta_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = fasta::parse_with_policy(&bytes, Alphabet::Protein, fasta::ResiduePolicy::Lossy);
+        let _ = fasta::parse(&bytes, Alphabet::Dna);
+    }
+}

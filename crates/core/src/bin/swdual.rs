@@ -1,0 +1,266 @@
+//! `swdual` — command-line interface to the hybrid search engine.
+//!
+//! Mirrors the paper's tool shape (Table I shows each baseline's CLI):
+//!
+//! ```text
+//! swdual search   --db DB.(fasta|sqb) --queries Q.fasta
+//!                 [--cpus N] [--gpus N] [--policy dual|dual-dp|self]
+//!                 [--top K] [--gap-open N] [--gap-extend N] [--evalues]
+//! swdual convert  --input DB.fasta --output DB.sqb
+//! swdual generate --sequences N --mean-len L --output DB.fasta [--seed S]
+//! swdual info     --db DB.(fasta|sqb)
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use swdual_bio::karlin;
+use swdual_bio::stats::LengthStats;
+use swdual_bio::{fasta, sqb, Alphabet, Matrix, ScoringScheme, SequenceSet};
+use swdual_core::SearchBuilder;
+use swdual_datagen::{synthetic_database, LengthModel};
+use swdual_runtime::{AllocationPolicy, WorkerSpec};
+use swdual_sched::dual::KnapsackMethod;
+use swdual_sched::knapsack::DpConfig;
+
+
+/// Print to stdout, exiting quietly when the reader has gone away
+/// (`swdual info db | head` must not panic on the broken pipe).
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+fn usage() -> &'static str {
+    "swdual — hybrid CPU+GPU Smith-Waterman database search (SWDUAL reproduction)
+
+USAGE:
+  swdual search   --db FILE --queries FILE [--cpus N] [--gpus N]
+                  [--policy dual|dual-dp|self] [--top K]
+                  [--gap-open N] [--gap-extend N] [--evalues]
+  swdual convert  --input FILE.fasta --output FILE.sqb
+  swdual generate --sequences N --mean-len L --output FILE [--seed S]
+  swdual info     --db FILE
+
+Database/query files may be FASTA (.fasta/.fa) or SQB (.sqb)."
+}
+
+/// Parse `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        // Boolean flags.
+        if key == "evalues" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn load_set(path: &str) -> Result<SequenceSet, String> {
+    if path.ends_with(".sqb") {
+        let mut file = sqb::SqbFile::open(path).map_err(|e| format!("{path}: {e}"))?;
+        file.read_all().map_err(|e| format!("{path}: {e}"))
+    } else {
+        fasta::read_file(path, Alphabet::Protein, fasta::ResiduePolicy::Lossy)
+            .map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
+    let db_path = flags.get("db").ok_or("--db is required")?;
+    let q_path = flags.get("queries").ok_or("--queries is required")?;
+    let cpus: usize = flags.get("cpus").map_or(Ok(1), |v| v.parse().map_err(|_| "--cpus"))?;
+    let gpus: usize = flags.get("gpus").map_or(Ok(1), |v| v.parse().map_err(|_| "--gpus"))?;
+    let top: usize = flags.get("top").map_or(Ok(10), |v| v.parse().map_err(|_| "--top"))?;
+    let gap_open: i32 = flags
+        .get("gap-open")
+        .map_or(Ok(10), |v| v.parse().map_err(|_| "--gap-open"))?;
+    let gap_extend: i32 = flags
+        .get("gap-extend")
+        .map_or(Ok(2), |v| v.parse().map_err(|_| "--gap-extend"))?;
+    let policy = match flags.get("policy").map(String::as_str).unwrap_or("dual") {
+        "dual" => AllocationPolicy::DualApprox(KnapsackMethod::Greedy),
+        "dual-dp" => AllocationPolicy::DualApprox(KnapsackMethod::Dp(DpConfig::default())),
+        "self" => AllocationPolicy::SelfScheduling,
+        other => return Err(format!("unknown policy {other:?} (dual|dual-dp|self)")),
+    };
+    if cpus + gpus == 0 {
+        return Err("need at least one worker (--cpus/--gpus)".into());
+    }
+
+    let database = load_set(db_path)?;
+    let queries = load_set(q_path)?;
+    let db_residues = database.total_residues();
+    eprintln!(
+        "database: {} sequences / {} residues; queries: {}; workers: {cpus} CPU + {gpus} GPU(sim)",
+        database.len(),
+        db_residues,
+        queries.len()
+    );
+
+    let mut workers = Vec::new();
+    for _ in 0..gpus {
+        workers.push(WorkerSpec::gpu_default());
+    }
+    for _ in 0..cpus {
+        workers.push(WorkerSpec::cpu_default());
+    }
+    let scheme = ScoringScheme::new(Matrix::blosum62().clone(), gap_open, gap_extend);
+    let query_lens: Vec<usize> = queries.iter().map(|s| s.len()).collect();
+    let report = SearchBuilder::new()
+        .database(database)
+        .queries(queries)
+        .workers(workers)
+        .scheme(scheme)
+        .policy(policy)
+        .top_k(top)
+        .run();
+
+    let evalues = flags.contains_key("evalues");
+    let stats = karlin::gapped_params(gap_open, gap_extend);
+    if evalues && stats.is_none() {
+        eprintln!(
+            "note: no fitted gapped statistics for open {gap_open} / extend {gap_extend}; \
+             E-values omitted"
+        );
+    }
+    for qh in report.hits() {
+        outln!("Query {}:", report.query_id(qh.query_index));
+        for hit in &qh.hits {
+            match (evalues, stats) {
+                (true, Some(p)) => {
+                    outln!(
+                        "  {:<24} score {:>6}  bits {:>7.1}  E {:.2e}",
+                        report.database_id(hit.db_index),
+                        hit.score,
+                        p.bit_score(hit.score),
+                        p.evalue(hit.score, query_lens[qh.query_index], db_residues)
+                    );
+                }
+                _ => outln!(
+                    "  {:<24} score {:>6}",
+                    report.database_id(hit.db_index),
+                    hit.score
+                ),
+            }
+        }
+    }
+    eprintln!();
+    eprint!("{}", report.render_workers());
+    eprintln!(
+        "wall: {:.2} s ({:.3} GCUPS on this host)",
+        report.wall_seconds(),
+        report.wall_gcups()
+    );
+    Ok(())
+}
+
+fn cmd_convert(flags: HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    let output = flags.get("output").ok_or("--output is required")?;
+    let set = load_set(input)?;
+    if output.ends_with(".sqb") {
+        sqb::write_file(&set, output).map_err(|e| e.to_string())?;
+    } else {
+        fasta::write_file(&set, output).map_err(|e| e.to_string())?;
+    }
+    outln!(
+        "converted {} sequences ({} residues): {input} -> {output}",
+        set.len(),
+        set.total_residues()
+    );
+    Ok(())
+}
+
+fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
+    let n: usize = flags
+        .get("sequences")
+        .ok_or("--sequences is required")?
+        .parse()
+        .map_err(|_| "--sequences must be a number")?;
+    let mean: f64 = flags
+        .get("mean-len")
+        .ok_or("--mean-len is required")?
+        .parse()
+        .map_err(|_| "--mean-len must be a number")?;
+    let output = flags.get("output").ok_or("--output is required")?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(2014), |v| v.parse().map_err(|_| "--seed"))?;
+    let set = synthetic_database("synth", n, LengthModel::protein_database(mean), seed);
+    if output.ends_with(".sqb") {
+        sqb::write_file(&set, output).map_err(|e| e.to_string())?;
+    } else {
+        fasta::write_file(&set, output).map_err(|e| e.to_string())?;
+    }
+    outln!(
+        "generated {} sequences ({} residues) -> {output}",
+        set.len(),
+        set.total_residues()
+    );
+    Ok(())
+}
+
+fn cmd_info(flags: HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("db").ok_or("--db is required")?;
+    let set = load_set(path)?;
+    outln!("file:      {path}");
+    outln!("alphabet:  {:?}", set.alphabet);
+    outln!("sequences: {}", set.len());
+    outln!("residues:  {}", set.total_residues());
+    if let Some(stats) = LengthStats::of_set(&set) {
+        outln!(
+            "lengths:   min {} / median {} / mean {:.1} / max {} (sd {:.1})",
+            stats.min, stats.median, stats.mean, stats.max, stats.std_dev
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "search" => cmd_search(flags),
+        "convert" => cmd_convert(flags),
+        "generate" => cmd_generate(flags),
+        "info" => cmd_info(flags),
+        "help" | "--help" | "-h" => {
+            outln!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The search builder: configure and launch a hybrid database search.
+
+use crate::report::SearchReport;
+use swdual_bio::error::BioError;
+use swdual_bio::fasta::ResiduePolicy;
+use swdual_bio::seq::SequenceSet;
+use swdual_bio::{Alphabet, ScoringScheme};
+use swdual_runtime::{run_search, AllocationPolicy, RuntimeConfig, WorkerSpec};
+use swdual_sched::dual::KnapsackMethod;
+
+/// Builder for one database search — the programmatic equivalent of the
+/// paper's command line ("Receive parameters" in Figure 6).
+pub struct SearchBuilder {
+    database: Option<SequenceSet>,
+    queries: Option<SequenceSet>,
+    scheme: ScoringScheme,
+    workers: Vec<WorkerSpec>,
+    policy: AllocationPolicy,
+    top_k: usize,
+}
+
+impl Default for SearchBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchBuilder {
+    /// A builder with the paper's defaults: BLOSUM62 with gap 10/2, one
+    /// CPU + one GPU worker (the smallest configuration SWDUAL
+    /// supports), dual-approximation allocation, top-10 hits.
+    pub fn new() -> SearchBuilder {
+        SearchBuilder {
+            database: None,
+            queries: None,
+            scheme: ScoringScheme::protein_default(),
+            workers: vec![WorkerSpec::cpu_default(), WorkerSpec::gpu_default()],
+            policy: AllocationPolicy::DualApprox(KnapsackMethod::Greedy),
+            top_k: 10,
+        }
+    }
+
+    /// Set the database to search.
+    pub fn database(mut self, database: SequenceSet) -> Self {
+        self.database = Some(database);
+        self
+    }
+
+    /// Load the database from a FASTA file (lossy residue handling,
+    /// like production tools).
+    pub fn database_fasta(
+        mut self,
+        path: impl AsRef<std::path::Path>,
+        alphabet: Alphabet,
+    ) -> Result<Self, BioError> {
+        self.database = Some(swdual_bio::fasta::read_file(
+            path,
+            alphabet,
+            ResiduePolicy::Lossy,
+        )?);
+        Ok(self)
+    }
+
+    /// Load the database from an SQB binary file (the paper's format).
+    pub fn database_sqb(mut self, path: impl AsRef<std::path::Path>) -> Result<Self, BioError> {
+        let mut file = swdual_bio::sqb::SqbFile::open(path)?;
+        self.database = Some(file.read_all()?);
+        Ok(self)
+    }
+
+    /// Set the query set.
+    pub fn queries(mut self, queries: SequenceSet) -> Self {
+        self.queries = Some(queries);
+        self
+    }
+
+    /// Load queries from a FASTA file.
+    pub fn queries_fasta(
+        mut self,
+        path: impl AsRef<std::path::Path>,
+        alphabet: Alphabet,
+    ) -> Result<Self, BioError> {
+        self.queries = Some(swdual_bio::fasta::read_file(
+            path,
+            alphabet,
+            ResiduePolicy::Lossy,
+        )?);
+        Ok(self)
+    }
+
+    /// Override the scoring scheme.
+    pub fn scheme(mut self, scheme: ScoringScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Set the worker pool.
+    pub fn workers(mut self, workers: Vec<WorkerSpec>) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Convenience: `cpus` CPU workers plus `gpus` GPU workers with the
+    /// default engines.
+    pub fn hybrid_workers(mut self, cpus: usize, gpus: usize) -> Self {
+        let mut workers = Vec::with_capacity(cpus + gpus);
+        for _ in 0..gpus {
+            workers.push(WorkerSpec::gpu_default());
+        }
+        for _ in 0..cpus {
+            workers.push(WorkerSpec::cpu_default());
+        }
+        self.workers = workers;
+        self
+    }
+
+    /// Override the allocation policy.
+    pub fn policy(mut self, policy: AllocationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Hits kept per query.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k.max(1);
+        self
+    }
+
+    /// Launch the search.
+    ///
+    /// # Panics
+    /// Panics when the database or query set is missing, or when the
+    /// worker pool is empty.
+    pub fn run(self) -> SearchReport {
+        let database = self.database.expect("database not set");
+        let queries = self.queries.expect("queries not set");
+        let config = RuntimeConfig {
+            scheme: self.scheme,
+            policy: self.policy,
+            top_k: self.top_k,
+        };
+        let db_meta: Vec<String> = database.iter().map(|s| s.id.clone()).collect();
+        let query_meta: Vec<String> = queries.iter().map(|s| s.id.clone()).collect();
+        let outcome = run_search(database, queries, &self.workers, config);
+        SearchReport::new(outcome, db_meta, query_meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdual_datagen::{queries_from_database, synthetic_database, LengthModel, MutationProfile};
+
+    fn demo_sets() -> (SequenceSet, SequenceSet) {
+        let db = synthetic_database("db", 20, LengthModel::Fixed(80), 21);
+        let q = queries_from_database(&db, 3, 1, usize::MAX, &MutationProfile::homolog(), 22);
+        (db, q)
+    }
+
+    #[test]
+    fn builder_end_to_end() {
+        let (db, q) = demo_sets();
+        let report = SearchBuilder::new()
+            .database(db)
+            .queries(q)
+            .hybrid_workers(1, 1)
+            .top_k(3)
+            .run();
+        assert_eq!(report.hits().len(), 3);
+        for h in report.hits() {
+            assert!(h.hits.len() <= 3);
+        }
+        assert!(report.total_cells() > 0);
+    }
+
+    #[test]
+    fn self_scheduling_policy_through_builder() {
+        let (db, q) = demo_sets();
+        let report = SearchBuilder::new()
+            .database(db)
+            .queries(q)
+            .policy(AllocationPolicy::SelfScheduling)
+            .run();
+        assert!(report.schedule().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_database_panics() {
+        let (_, q) = demo_sets();
+        let _ = SearchBuilder::new().queries(q).run();
+    }
+
+    #[test]
+    fn fasta_and_sqb_loading() {
+        let (db, q) = demo_sets();
+        let dir = std::env::temp_dir().join("swdual_core_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fasta_path = dir.join("db.fasta");
+        let sqb_path = dir.join("db.sqb");
+        let q_path = dir.join("q.fasta");
+        swdual_bio::fasta::write_file(&db, &fasta_path).unwrap();
+        swdual_bio::sqb::write_file(&db, &sqb_path).unwrap();
+        swdual_bio::fasta::write_file(&q, &q_path).unwrap();
+
+        let report_fasta = SearchBuilder::new()
+            .database_fasta(&fasta_path, Alphabet::Protein)
+            .unwrap()
+            .queries_fasta(&q_path, Alphabet::Protein)
+            .unwrap()
+            .run();
+        let report_sqb = SearchBuilder::new()
+            .database_sqb(&sqb_path)
+            .unwrap()
+            .queries(q)
+            .run();
+        assert_eq!(report_fasta.hits(), report_sqb.hits());
+        std::fs::remove_file(&fasta_path).ok();
+        std::fs::remove_file(&sqb_path).ok();
+        std::fs::remove_file(&q_path).ok();
+    }
+}

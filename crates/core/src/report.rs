@@ -1,0 +1,197 @@
+//! Search reports: results plus accounting, with human-readable
+//! rendering ("present them to the user", paper Figure 6).
+
+use swdual_runtime::{QueryHits, SearchOutcome, WorkerStats};
+use swdual_sched::schedule::Schedule;
+
+/// The outcome of one search with the metadata needed to present it.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    outcome: SearchOutcome,
+    database_ids: Vec<String>,
+    query_ids: Vec<String>,
+}
+
+impl SearchReport {
+    /// Wrap a runtime outcome with id metadata.
+    pub fn new(
+        outcome: SearchOutcome,
+        database_ids: Vec<String>,
+        query_ids: Vec<String>,
+    ) -> SearchReport {
+        SearchReport {
+            outcome,
+            database_ids,
+            query_ids,
+        }
+    }
+
+    /// Ranked hits per query.
+    pub fn hits(&self) -> &[QueryHits] {
+        &self.outcome.hits
+    }
+
+    /// Per-worker accounting.
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.outcome.worker_stats
+    }
+
+    /// The static schedule when the dual-approximation allocator ran.
+    pub fn schedule(&self) -> Option<&Schedule> {
+        self.outcome.schedule.as_ref()
+    }
+
+    /// Real elapsed seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.outcome.wall_seconds
+    }
+
+    /// Modelled makespan (the paper-comparable clock).
+    pub fn modelled_makespan(&self) -> f64 {
+        self.outcome.modelled_makespan
+    }
+
+    /// Total DP cells computed.
+    pub fn total_cells(&self) -> u64 {
+        self.outcome.total_cells
+    }
+
+    /// Modelled throughput in GCUPS.
+    pub fn modelled_gcups(&self) -> f64 {
+        self.outcome.modelled_gcups()
+    }
+
+    /// Real throughput in GCUPS.
+    pub fn wall_gcups(&self) -> f64 {
+        self.outcome.wall_gcups()
+    }
+
+    /// Id of a database sequence.
+    pub fn database_id(&self, index: usize) -> &str {
+        &self.database_ids[index]
+    }
+
+    /// Id of a query.
+    pub fn query_id(&self, index: usize) -> &str {
+        &self.query_ids[index]
+    }
+
+    /// Annotate one query's hits with Karlin–Altschul statistics: each
+    /// hit becomes `(db_index, raw score, bit score, E-value)`.
+    /// `query_len`/`db_residues` define the search space; `params`
+    /// usually comes from [`swdual_bio::karlin::gapped_params`].
+    pub fn hits_with_statistics(
+        &self,
+        query_index: usize,
+        query_len: usize,
+        db_residues: u64,
+        params: &swdual_bio::karlin::KarlinParams,
+    ) -> Vec<(usize, i32, f64, f64)> {
+        self.outcome.hits[query_index]
+            .hits
+            .iter()
+            .map(|h| {
+                (
+                    h.db_index,
+                    h.score,
+                    params.bit_score(h.score),
+                    params.evalue(h.score, query_len, db_residues),
+                )
+            })
+            .collect()
+    }
+
+    /// Render the hit lists like a classic search tool report.
+    pub fn render_hits(&self, per_query: usize) -> String {
+        let mut out = String::new();
+        for qh in &self.outcome.hits {
+            out.push_str(&format!("Query {}:\n", self.query_ids[qh.query_index]));
+            for hit in qh.hits.iter().take(per_query) {
+                out.push_str(&format!(
+                    "  {:>8}  score {}\n",
+                    self.database_ids[hit.db_index], hit.score
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render the per-worker summary table.
+    pub fn render_workers(&self) -> String {
+        let mut out = String::from(
+            "worker  engine                     tasks  modelled-busy(s)  GCUPS\n",
+        );
+        for s in &self.outcome.worker_stats {
+            out.push_str(&format!(
+                "{:>6}  {:<25} {:>6}  {:>16.3}  {:>5.2}\n",
+                s.worker_id,
+                s.description,
+                s.tasks,
+                s.busy_modelled,
+                s.modelled_gcups()
+            ));
+        }
+        out.push_str(&format!(
+            "modelled makespan {:.3} s, {:.2} GCUPS ({} cells)\n",
+            self.modelled_makespan(),
+            self.modelled_gcups(),
+            self.total_cells()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SearchBuilder;
+    use swdual_datagen::{queries_from_database, synthetic_database, LengthModel, MutationProfile};
+
+    fn report() -> SearchReport {
+        let db = synthetic_database("db", 12, LengthModel::Fixed(60), 5);
+        let q = queries_from_database(&db, 2, 1, usize::MAX, &MutationProfile::homolog(), 6);
+        SearchBuilder::new().database(db).queries(q).run()
+    }
+
+    #[test]
+    fn render_hits_names_queries_and_subjects() {
+        let r = report();
+        let text = r.render_hits(3);
+        assert!(text.contains("Query query_0:"));
+        assert!(text.contains("score"));
+        assert!(text.contains("db_"));
+    }
+
+    #[test]
+    fn render_workers_includes_totals() {
+        let r = report();
+        let text = r.render_workers();
+        assert!(text.contains("modelled makespan"));
+        assert!(text.contains("GCUPS"));
+        assert!(text.contains("CPU(") || text.contains("GPU("));
+    }
+
+    #[test]
+    fn statistics_annotation_is_monotone() {
+        let r = report();
+        let params = swdual_bio::karlin::gapped_params(10, 2).unwrap();
+        let annotated = r.hits_with_statistics(0, 60, 720, &params);
+        assert!(!annotated.is_empty());
+        for w in annotated.windows(2) {
+            // Hits are score-sorted, so bit scores fall and E-values rise.
+            assert!(w[0].2 >= w[1].2);
+            assert!(w[0].3 <= w[1].3);
+        }
+        // The top hit is the (near-)identical source: tiny E-value.
+        assert!(annotated[0].3 < 1e-6, "E = {}", annotated[0].3);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let r = report();
+        assert_eq!(r.query_id(0), "query_0");
+        assert!(r.database_id(0).starts_with("db_"));
+        assert!(r.wall_seconds() > 0.0);
+        assert!(r.wall_gcups() >= 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Query-set construction.
+//!
+//! The paper's query sets were "taken from" the databases themselves
+//! (§V-A), so real searches have strong true hits. We provide both
+//! flavours: fresh random queries in a length range, and queries derived
+//! from database members through a mutation model (substitutions plus
+//! indels) so that reduced-scale end-to-end runs produce meaningful hit
+//! rankings.
+
+use crate::generator::ProteinSampler;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use swdual_bio::seq::{Sequence, SequenceSet};
+use swdual_bio::Alphabet;
+
+/// Random queries with lengths uniform in `[min_len, max_len]` —
+/// matches the paper's "minimum size 100 and maximum size 5,000".
+pub fn random_queries(
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+    seed: u64,
+) -> SequenceSet {
+    assert!(min_len >= 1 && min_len <= max_len);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = ProteinSampler::new();
+    let mut set = SequenceSet::new(Alphabet::Protein);
+    for i in 0..count {
+        let len = rng.gen_range(min_len..=max_len);
+        let residues = sampler.sample_sequence(len, &mut rng);
+        set.push(
+            Sequence::from_codes(format!("query_{i}"), Alphabet::Protein, residues)
+                .with_description(format!("random query len {len}")),
+        )
+        .expect("protein alphabet");
+    }
+    set
+}
+
+/// How a derived query mutates away from its source sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationProfile {
+    /// Per-residue probability of a substitution.
+    pub substitution_rate: f64,
+    /// Per-residue probability of deleting the residue.
+    pub deletion_rate: f64,
+    /// Per-residue probability of inserting a random residue after it.
+    pub insertion_rate: f64,
+}
+
+impl MutationProfile {
+    /// A homolog at roughly 80% identity — close enough to rank first
+    /// against its source, far enough to exercise gaps.
+    pub fn homolog() -> MutationProfile {
+        MutationProfile {
+            substitution_rate: 0.15,
+            deletion_rate: 0.02,
+            insertion_rate: 0.02,
+        }
+    }
+
+    /// A distant homolog (~50% identity).
+    pub fn distant() -> MutationProfile {
+        MutationProfile {
+            substitution_rate: 0.40,
+            deletion_rate: 0.05,
+            insertion_rate: 0.05,
+        }
+    }
+}
+
+/// Mutate an encoded protein sequence under `profile`.
+pub fn mutate(residues: &[u8], profile: &MutationProfile, rng: &mut impl Rng) -> Vec<u8> {
+    let sampler = ProteinSampler::new();
+    let mut out = Vec::with_capacity(residues.len() + 8);
+    for &r in residues {
+        let u: f64 = rng.gen();
+        if u < profile.deletion_rate {
+            // Residue dropped.
+        } else if u < profile.deletion_rate + profile.substitution_rate {
+            out.push(sampler.sample(rng));
+        } else {
+            out.push(r);
+        }
+        if rng.gen::<f64>() < profile.insertion_rate {
+            out.push(sampler.sample(rng));
+        }
+    }
+    out
+}
+
+/// Build a query set by sampling `count` members of `database` and
+/// mutating each — the paper's "40 query sequences taken from it"
+/// (§V-A), with controllable divergence. Queries are filtered to the
+/// `[min_len, max_len]` range, resampling as needed.
+pub fn queries_from_database(
+    database: &SequenceSet,
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+    profile: &MutationProfile,
+    seed: u64,
+) -> SequenceSet {
+    assert!(!database.is_empty(), "database must be nonempty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = SequenceSet::new(Alphabet::Protein);
+    let eligible: Vec<usize> = (0..database.len())
+        .filter(|&i| {
+            let l = database.get(i).unwrap().len();
+            (min_len..=max_len).contains(&l)
+        })
+        .collect();
+    assert!(
+        !eligible.is_empty(),
+        "no database sequences in the requested length range"
+    );
+    for i in 0..count {
+        let src_idx = eligible[rng.gen_range(0..eligible.len())];
+        let src = database.get(src_idx).unwrap();
+        let mutated = mutate(src.codes(), profile, &mut rng);
+        set.push(
+            Sequence::from_codes(format!("query_{i}"), Alphabet::Protein, mutated)
+                .with_description(format!("derived from {}", src.id)),
+        )
+        .expect("protein alphabet");
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{synthetic_database, LengthModel};
+    use swdual_align::scalar::gotoh_score;
+    use swdual_bio::ScoringScheme;
+
+    #[test]
+    fn random_queries_respect_length_bounds() {
+        let q = random_queries(40, 100, 5000, 1);
+        assert_eq!(q.len(), 40);
+        assert!(q.iter().all(|s| (100..=5000).contains(&s.len())));
+    }
+
+    #[test]
+    fn random_queries_deterministic() {
+        assert_eq!(random_queries(10, 50, 60, 9), random_queries(10, 50, 60, 9));
+    }
+
+    #[test]
+    fn mutation_preserves_rough_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampler = ProteinSampler::new();
+        let src = sampler.sample_sequence(1000, &mut rng);
+        let m = mutate(&src, &MutationProfile::homolog(), &mut rng);
+        // Insertion and deletion rates are equal, so length is stable
+        // within a few percent.
+        assert!((m.len() as i64 - 1000).unsigned_abs() < 100);
+    }
+
+    #[test]
+    fn homolog_query_ranks_its_source_first() {
+        let db = synthetic_database("db", 30, LengthModel::Fixed(200), 11);
+        let queries =
+            queries_from_database(&db, 3, 1, usize::MAX, &MutationProfile::homolog(), 12);
+        let scheme = ScoringScheme::protein_default();
+        for q in &queries {
+            let src_id = q.description.strip_prefix("derived from ").unwrap();
+            let mut best = (i32::MIN, String::new());
+            for d in &db {
+                let s = gotoh_score(q.codes(), d.codes(), &scheme);
+                if s > best.0 {
+                    best = (s, d.id.clone());
+                }
+            }
+            assert_eq!(&best.1, src_id, "query {} should rank its source first", q.id);
+        }
+    }
+
+    #[test]
+    fn distant_profile_diverges_more() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sampler = ProteinSampler::new();
+        let src = sampler.sample_sequence(500, &mut rng);
+        let near = mutate(&src, &MutationProfile::homolog(), &mut rng);
+        let far = mutate(&src, &MutationProfile::distant(), &mut rng);
+        let scheme = ScoringScheme::protein_default();
+        let near_score = gotoh_score(&src, &near, &scheme);
+        let far_score = gotoh_score(&src, &far, &scheme);
+        assert!(near_score > far_score);
+    }
+
+    #[test]
+    fn queries_from_database_filters_lengths() {
+        let db = synthetic_database("db", 50, LengthModel::Uniform { min: 50, max: 500 }, 2);
+        let q = queries_from_database(&db, 10, 400, 500, &MutationProfile::homolog(), 4);
+        assert_eq!(q.len(), 10);
+        // Sources were all 400-500; mutated lengths stay near that.
+        assert!(q.iter().all(|s| s.len() > 300 && s.len() < 600));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_database_panics() {
+        let db = SequenceSet::new(Alphabet::Protein);
+        let _ = queries_from_database(&db, 1, 1, 10, &MutationProfile::homolog(), 0);
+    }
+}

@@ -1,0 +1,402 @@
+//! The simulated GPU device: database residency, batched SW kernels,
+//! virtual clock and counters.
+//!
+//! Execution model (one kernel = one query against a resident database
+//! chunk, the CUDASW++ task shape):
+//!
+//! * Subjects are processed in **warps** of `warp_size` lanes running in
+//!   lock-step; a warp occupies the pipeline until its *longest* subject
+//!   finishes, so the cost of a warp is `query_len · warp_size ·
+//!   max_subject_len` cells — shorter lanes are padding waste. Sorting
+//!   the database by length (which [`GpuDevice::upload`] can do, like
+//!   CUDASW++'s pre-sorted database) recovers most of that waste.
+//! * Padded cells are charged at the query-length-dependent effective
+//!   rate of [`DeviceSpec::effective_gcups`], plus a fixed kernel launch
+//!   latency.
+//! * Scores themselves are computed exactly with the inter-sequence
+//!   kernel of `swdual-align` (the algorithmic core CUDASW++'s SIMT
+//!   kernel implements per thread).
+
+use crate::memory::{Allocation, DeviceMemory, MemoryError};
+use crate::spec::DeviceSpec;
+use swdual_align::interseq;
+use swdual_bio::seq::SequenceSet;
+use swdual_bio::ScoringScheme;
+
+/// Counters accumulated over the device's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Useful DP cells (query × subject residues actually compared).
+    pub useful_cells: u64,
+    /// Cells charged including warp padding.
+    pub padded_cells: u64,
+    /// Bytes moved host→device.
+    pub bytes_h2d: u64,
+    /// Seconds of simulated busy time (kernels + transfers).
+    pub busy_seconds: f64,
+}
+
+impl DeviceStats {
+    /// Fraction of charged cells that were useful (1.0 = no padding
+    /// waste).
+    pub fn warp_efficiency(&self) -> f64 {
+        if self.padded_cells == 0 {
+            1.0
+        } else {
+            self.useful_cells as f64 / self.padded_cells as f64
+        }
+    }
+}
+
+/// Result of one simulated kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Exact local-alignment score per database sequence, in database
+    /// order.
+    pub scores: Vec<i32>,
+    /// Simulated execution time of the kernel in seconds.
+    pub kernel_seconds: f64,
+}
+
+/// A database resident in device memory.
+#[derive(Debug)]
+pub struct ResidentDb {
+    allocation: Allocation,
+    /// Encoded subjects in device order.
+    subjects: Vec<Vec<u8>>,
+    /// Mapping device order → original database index (identity when the
+    /// upload did not sort).
+    original_index: Vec<usize>,
+}
+
+impl ResidentDb {
+    /// Number of resident sequences.
+    pub fn len(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// True when no sequences are resident.
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+}
+
+/// One simulated GPU.
+///
+/// ```
+/// use swdual_gpusim::{DeviceSpec, GpuDevice};
+/// use swdual_bio::{Alphabet, ScoringScheme, Sequence, SequenceSet};
+///
+/// let mut db = SequenceSet::new(Alphabet::Protein);
+/// db.push(Sequence::from_text("d0", Alphabet::Protein, b"MKWVTFISLL").unwrap()).unwrap();
+///
+/// let mut device = GpuDevice::new(DeviceSpec::tesla_c2050());
+/// let resident = device.upload(&db, true).unwrap();
+/// let query = Alphabet::Protein.encode(b"MKWVTF").unwrap();
+/// let result = device.search(&query, &resident, &ScoringScheme::protein_default());
+/// assert_eq!(result.scores.len(), 1);
+/// assert!(device.clock() > 0.0); // transfers + kernel on the virtual clock
+/// ```
+#[derive(Debug)]
+pub struct GpuDevice {
+    spec: DeviceSpec,
+    memory: DeviceMemory,
+    clock: f64,
+    stats: DeviceStats,
+}
+
+impl GpuDevice {
+    /// Bring up a device of the given spec with an empty memory and a
+    /// zeroed clock.
+    pub fn new(spec: DeviceSpec) -> GpuDevice {
+        let memory = DeviceMemory::new(spec.global_memory);
+        GpuDevice {
+            spec,
+            memory,
+            clock: 0.0,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Current virtual time in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Device memory state.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Upload a database to the device, charging the PCIe transfer to
+    /// the clock. `sort_by_length` mimics CUDASW++'s pre-sorted database
+    /// layout, which minimises warp padding.
+    pub fn upload(
+        &mut self,
+        database: &SequenceSet,
+        sort_by_length: bool,
+    ) -> Result<ResidentDb, MemoryError> {
+        let bytes: u64 = database.total_residues();
+        let allocation = self.memory.alloc(bytes)?;
+
+        let mut order: Vec<usize> = (0..database.len()).collect();
+        if sort_by_length {
+            // Descending length: warps see near-equal neighbours.
+            order.sort_by(|&a, &b| {
+                database
+                    .get(b)
+                    .unwrap()
+                    .len()
+                    .cmp(&database.get(a).unwrap().len())
+                    .then(a.cmp(&b))
+            });
+        }
+        let subjects: Vec<Vec<u8>> = order
+            .iter()
+            .map(|&i| database.get(i).unwrap().residues.clone())
+            .collect();
+
+        let t = self.spec.transfer_time(bytes);
+        self.clock += t;
+        self.stats.bytes_h2d += bytes;
+        self.stats.busy_seconds += t;
+        Ok(ResidentDb {
+            allocation,
+            subjects,
+            original_index: order,
+        })
+    }
+
+    /// Release a resident database.
+    pub fn release(&mut self, db: ResidentDb) -> Result<(), MemoryError> {
+        self.memory.release(db.allocation)
+    }
+
+    /// Predict (without executing) the kernel time for a query of
+    /// `query_len` against a resident database. The scheduler's
+    /// processing-time estimates `p̄ⱼ` use exactly this function, so
+    /// estimate and simulation agree by construction.
+    pub fn predict_kernel_seconds(&self, query_len: usize, db: &ResidentDb) -> f64 {
+        Self::predict_with_spec(&self.spec, query_len, &db.subjects)
+    }
+
+    /// Prediction from lengths only (used by the platform model before
+    /// any device exists).
+    pub fn predict_from_lengths(spec: &DeviceSpec, query_len: usize, subject_lengths_sorted_desc: &[usize]) -> f64 {
+        if query_len == 0 || subject_lengths_sorted_desc.is_empty() {
+            return spec.kernel_launch_latency;
+        }
+        let mut padded: u64 = 0;
+        for warp in subject_lengths_sorted_desc.chunks(spec.warp_size) {
+            let max_len = *warp.iter().max().unwrap() as u64;
+            padded += max_len * warp.len() as u64;
+        }
+        let padded_cells = padded * query_len as u64;
+        let rate = spec.effective_gcups(query_len) * 1e9;
+        spec.kernel_launch_latency + padded_cells as f64 / rate
+    }
+
+    fn predict_with_spec(spec: &DeviceSpec, query_len: usize, subjects: &[Vec<u8>]) -> f64 {
+        if query_len == 0 || subjects.is_empty() {
+            return spec.kernel_launch_latency;
+        }
+        let mut padded: u64 = 0;
+        for warp in subjects.chunks(spec.warp_size) {
+            let max_len = warp.iter().map(|s| s.len()).max().unwrap() as u64;
+            padded += max_len * warp.len() as u64;
+        }
+        let padded_cells = padded * query_len as u64;
+        let rate = spec.effective_gcups(query_len) * 1e9;
+        spec.kernel_launch_latency + padded_cells as f64 / rate
+    }
+
+    /// Launch one search kernel: `query` against the whole resident
+    /// database. Returns exact scores (in the database's *original*
+    /// order) and advances the virtual clock by the modelled kernel
+    /// time.
+    pub fn search(
+        &mut self,
+        query: &[u8],
+        db: &ResidentDb,
+        scheme: &ScoringScheme,
+    ) -> KernelResult {
+        // Exact scores via the inter-sequence kernel (device order).
+        let refs: Vec<&[u8]> = db.subjects.iter().map(|s| s.as_slice()).collect();
+        let device_scores = interseq::interseq_search(query, &refs, scheme);
+
+        // Undo the residency permutation.
+        let mut scores = vec![0i32; db.subjects.len()];
+        for (device_pos, &orig) in db.original_index.iter().enumerate() {
+            scores[orig] = device_scores[device_pos];
+        }
+
+        // Timing model.
+        let kernel_seconds = Self::predict_with_spec(&self.spec, query.len(), &db.subjects);
+        let useful: u64 = db
+            .subjects
+            .iter()
+            .map(|s| s.len() as u64 * query.len() as u64)
+            .sum();
+        let mut padded: u64 = 0;
+        for warp in db.subjects.chunks(self.spec.warp_size) {
+            let max_len = warp.iter().map(|s| s.len()).max().unwrap_or(0) as u64;
+            padded += max_len * warp.len() as u64 * query.len() as u64;
+        }
+
+        self.clock += kernel_seconds;
+        self.stats.kernels += 1;
+        self.stats.useful_cells += useful;
+        self.stats.padded_cells += padded;
+        self.stats.busy_seconds += kernel_seconds;
+
+        KernelResult {
+            scores,
+            kernel_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdual_align::scalar::gotoh_score;
+    use swdual_bio::seq::Sequence;
+    use swdual_bio::Alphabet;
+
+    fn db(texts: &[&str]) -> SequenceSet {
+        let mut set = SequenceSet::new(Alphabet::Protein);
+        for (i, t) in texts.iter().enumerate() {
+            set.push(
+                Sequence::from_text(format!("d{i}"), Alphabet::Protein, t.as_bytes()).unwrap(),
+            )
+            .unwrap();
+        }
+        set
+    }
+
+    fn scheme() -> ScoringScheme {
+        ScoringScheme::protein_default()
+    }
+
+    #[test]
+    fn upload_charges_transfer_and_memory() {
+        let mut dev = GpuDevice::new(DeviceSpec::toy(1000));
+        let database = db(&["MKVLAT", "GGAR"]);
+        let resident = dev.upload(&database, false).unwrap();
+        assert_eq!(resident.len(), 2);
+        assert_eq!(dev.memory().used(), 10);
+        assert!(dev.clock() > 0.0);
+        assert_eq!(dev.stats().bytes_h2d, 10);
+        dev.release(resident).unwrap();
+        assert_eq!(dev.memory().used(), 0);
+    }
+
+    #[test]
+    fn oversized_database_is_rejected() {
+        let mut dev = GpuDevice::new(DeviceSpec::toy(5));
+        let database = db(&["MKVLAT", "GGAR"]); // 10 residues
+        assert!(dev.upload(&database, false).is_err());
+        // Clock must not advance on a failed upload.
+        assert_eq!(dev.clock(), 0.0);
+    }
+
+    #[test]
+    fn kernel_scores_are_exact_in_original_order() {
+        let mut dev = GpuDevice::new(GpuDevice::new(DeviceSpec::toy(10_000)).spec.clone());
+        let database = db(&["MKVLATGGAR", "MK", "GGARMKVLAT", "WWWW"]);
+        let resident = dev.upload(&database, true).unwrap(); // sorted residency
+        let query = Alphabet::Protein.encode(b"MKVLAT").unwrap();
+        let result = dev.search(&query, &resident, &scheme());
+        for (i, seq) in database.iter().enumerate() {
+            assert_eq!(
+                result.scores[i],
+                gotoh_score(&query, seq.codes(), &scheme()),
+                "db sequence {i}"
+            );
+        }
+        assert!(result.kernel_seconds > 0.0);
+        assert_eq!(dev.stats().kernels, 1);
+    }
+
+    #[test]
+    fn sorted_residency_improves_warp_efficiency() {
+        // Wildly mixed lengths: unsorted warps pay heavy padding.
+        let texts: Vec<String> = (0..32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "M".repeat(400)
+                } else {
+                    "M".repeat(10)
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let database = db(&refs);
+        let query = Alphabet::Protein.encode(&[b'K'; 200]).unwrap();
+
+        let mut unsorted_dev = GpuDevice::new(DeviceSpec::toy(100_000));
+        let r = unsorted_dev.upload(&database, false).unwrap();
+        unsorted_dev.search(&query, &r, &scheme());
+
+        let mut sorted_dev = GpuDevice::new(DeviceSpec::toy(100_000));
+        let r = sorted_dev.upload(&database, true).unwrap();
+        sorted_dev.search(&query, &r, &scheme());
+
+        assert!(
+            sorted_dev.stats().warp_efficiency() > unsorted_dev.stats().warp_efficiency(),
+            "sorted {} <= unsorted {}",
+            sorted_dev.stats().warp_efficiency(),
+            unsorted_dev.stats().warp_efficiency()
+        );
+        // Sorted is also faster on the clock.
+        assert!(sorted_dev.clock() < unsorted_dev.clock());
+    }
+
+    #[test]
+    fn prediction_matches_execution() {
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+        let database = db(&["MKVLATGGAR", "MKVL", "GGARMKVLATAAAA"]);
+        let resident = dev.upload(&database, true).unwrap();
+        let query = Alphabet::Protein.encode(b"MKVLATGGARNDCEQ").unwrap();
+        let predicted = dev.predict_kernel_seconds(query.len(), &resident);
+        let result = dev.search(&query, &resident, &scheme());
+        assert!((predicted - result.kernel_seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_query_costs_only_launch_latency() {
+        let mut dev = GpuDevice::new(DeviceSpec::toy(1000));
+        let database = db(&["MKVL"]);
+        let resident = dev.upload(&database, false).unwrap();
+        let result = dev.search(&[], &resident, &scheme());
+        assert_eq!(result.scores, vec![0]);
+        assert!((result.kernel_seconds - dev.spec().kernel_launch_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_queries_run_at_higher_gcups() {
+        // Same database; query 10x longer must take < 10x+launch time
+        // (rate improves with length).
+        let database_texts: Vec<String> = (0..64).map(|_| "M".repeat(300)).collect();
+        let refs: Vec<&str> = database_texts.iter().map(|s| s.as_str()).collect();
+        let database = db(&refs);
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+        let resident = dev.upload(&database, true).unwrap();
+        let short = dev.predict_kernel_seconds(100, &resident);
+        let long = dev.predict_kernel_seconds(1000, &resident);
+        let launch = dev.spec().kernel_launch_latency;
+        assert!(long - launch < 10.0 * (short - launch));
+    }
+}

@@ -1,0 +1,149 @@
+//! Device specifications and the throughput model.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU.
+///
+/// The architectural fields (SMs, warp size, clock) shape the padding
+/// and occupancy behaviour of the kernel model; `peak_gcups` and
+/// `query_half_length` are calibrated end-to-end observables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sm_count: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Threads per warp (lock-step width).
+    pub warp_size: usize,
+    /// Global memory capacity in bytes.
+    pub global_memory: u64,
+    /// Host-to-device / device-to-host bandwidth in bytes per second
+    /// (PCIe, assumed symmetric).
+    pub pcie_bytes_per_sec: f64,
+    /// Fixed cost of one kernel launch in seconds (driver + dispatch).
+    pub kernel_launch_latency: f64,
+    /// Peak sustained Smith-Waterman throughput in GCUPS for long
+    /// queries — the number CUDASW++-class kernels report.
+    pub peak_gcups: f64,
+    /// Query length at which throughput reaches half of peak. GPU SW
+    /// kernels need long queries to fill the pipeline; CUDASW++ 2.0's
+    /// own evaluation shows exactly this saturation shape.
+    pub query_half_length: f64,
+}
+
+impl DeviceSpec {
+    /// The Nvidia Tesla C2050 of the paper's Idgraf machine (§V).
+    ///
+    /// Calibration: Table II gives CUDASW++ 2.0 on one C2050 785.26 s
+    /// for the UniProt workload of ≈ 1.95e13 cells ⇒ ≈ 24.8 GCUPS
+    /// sustained; the paper's query mix (100–5000 aa, mean ≈ 2500)
+    /// reaches ≈ 90% of peak under this half-length, putting peak at
+    /// ≈ 27.5 GCUPS — consistent with published CUDASW++ 2.0 numbers
+    /// for Fermi-class boards.
+    pub fn tesla_c2050() -> DeviceSpec {
+        DeviceSpec {
+            name: "Tesla C2050 (simulated)".into(),
+            sm_count: 14,
+            cores_per_sm: 32,
+            clock_ghz: 1.15,
+            global_memory: 3 * 1024 * 1024 * 1024,
+            warp_size: 32,
+            pcie_bytes_per_sec: 5.0e9, // PCIe 2.0 x16 effective
+            kernel_launch_latency: 15e-6,
+            peak_gcups: 27.5,
+            query_half_length: 280.0,
+        }
+    }
+
+    /// A deliberately small device for tests: tiny memory, low rate, so
+    /// capacity and chunking paths are exercised cheaply.
+    pub fn toy(memory_bytes: u64) -> DeviceSpec {
+        DeviceSpec {
+            name: "ToyGPU".into(),
+            sm_count: 2,
+            cores_per_sm: 8,
+            clock_ghz: 1.0,
+            warp_size: 4,
+            global_memory: memory_bytes,
+            pcie_bytes_per_sec: 1.0e9,
+            kernel_launch_latency: 1e-5,
+            peak_gcups: 1.0,
+            query_half_length: 100.0,
+        }
+    }
+
+    /// Effective sustained throughput (GCUPS) for a query of `len`
+    /// residues: `peak · len / (len + half_length)`.
+    ///
+    /// This saturation curve is what makes short queries *relatively*
+    /// cheaper on CPUs — the heterogeneity the SWDUAL knapsack exploits.
+    pub fn effective_gcups(&self, query_len: usize) -> f64 {
+        if query_len == 0 {
+            return 0.0;
+        }
+        let len = query_len as f64;
+        self.peak_gcups * len / (len + self.query_half_length)
+    }
+
+    /// Seconds to move `bytes` across PCIe.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.pcie_bytes_per_sec
+    }
+
+    /// Total CUDA cores.
+    pub fn total_cores(&self) -> usize {
+        self.sm_count * self.cores_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2050_architecture() {
+        let d = DeviceSpec::tesla_c2050();
+        assert_eq!(d.total_cores(), 448); // the C2050's CUDA core count
+        assert_eq!(d.warp_size, 32);
+        assert!(d.global_memory >= 3 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn throughput_saturates_with_query_length() {
+        let d = DeviceSpec::tesla_c2050();
+        assert_eq!(d.effective_gcups(0), 0.0);
+        let short = d.effective_gcups(100);
+        let medium = d.effective_gcups(1000);
+        let long = d.effective_gcups(5000);
+        assert!(short < medium && medium < long);
+        assert!(long < d.peak_gcups);
+        // Half-length means literally half of peak.
+        let half = d.effective_gcups(d.query_half_length as usize);
+        assert!((half - d.peak_gcups / 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn calibration_matches_paper_table2() {
+        // One C2050 must land near 24.8 GCUPS on the paper's query mix
+        // (mean length ≈ 2500).
+        let d = DeviceSpec::tesla_c2050();
+        let sustained = d.effective_gcups(2500);
+        assert!(
+            (sustained - 24.8).abs() < 0.5,
+            "sustained {sustained} GCUPS vs paper-derived 24.8"
+        );
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let d = DeviceSpec::tesla_c2050();
+        let t1 = d.transfer_time(1_000_000_000);
+        let t2 = d.transfer_time(2_000_000_000);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+        assert!((t1 - 0.2).abs() < 1e-9); // 1 GB over 5 GB/s
+    }
+}

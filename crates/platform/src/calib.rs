@@ -1,0 +1,271 @@
+//! Engine throughput models calibrated against the paper's own numbers.
+//!
+//! The UniProt workload of §V totals `T ≈ 1.9455e13` DP cells (Table IV:
+//! 543.28 s × 35.81 GCUPS at 2 workers; identical products at 4 and 8
+//! workers confirm the figure). Table II's single-worker times then fix
+//! each engine's sustained rate, and the multi-worker rows expose each
+//! engine's serial (Amdahl) component:
+//!
+//! | engine   | T(1 w) s | fitted serial s | kernel GCUPS/worker |
+//! |----------|---------:|----------------:|--------------------:|
+//! | SWPS3    | 69 208.2 |           2 136 | 0.290               |
+//! | STRIPED  |  7 190   |  0 (see note)   | 2.72                |
+//! | SWIPE    |  2 367.2 |              24 | 8.30                |
+//! | CUDASW++ |    785.3 |             128 | 29.6                |
+//!
+//! Fit check (Amdahl `T(w) = serial + parallel/w`): CUDASW++ predicts
+//! 456/347/292 s at 2/3/4 workers vs the paper's 445.6/350.1/292.2;
+//! SWIPE predicts 1195/805/610 vs 1199.5/816.6/610.2; SWPS3 predicts
+//! 35 672/24 493/18 904 vs 36 174/25 207/18 904. STRIPED's published
+//! scaling is *superlinear* (7 190 → 1 027 s on 4 workers, 7.0×) —
+//! unreproducible with any work-conserving model; we keep serial = 0
+//! (ideal linear scaling) and note the discrepancy in EXPERIMENTS.md.
+//!
+//! SWDUAL's own runs resolve differently: its per-worker rates match
+//! the *kernel* rates above (its workers embed SWIPE and CUDASW++ 2.0),
+//! its binary database format removes the large serial component, and
+//! the residual is a **per-task overhead** of ≈ 1.8 s (dispatch, worker
+//! query load, result merge). That constant reproduces the
+//! database-size dependence of Table IV: small databases (Ensembl Dog,
+//! ~1.5e12 cells) reach only ~19 GCUPS at 2 workers while UniProt
+//! reaches ~36, because 40 × 1.8 s of overhead dwarfs ~1 s of per-task
+//! compute on a small database.
+//!
+//! Rates depend on query length through the saturation curve
+//! `rate(len) = peak · len / (len + half_length)`: GPU kernels need long
+//! queries to fill their pipelines (CUDASW++ 2.0 reports exactly this),
+//! CPU SIMD kernels saturate almost immediately. This length dependence
+//! is what differentiates the per-task acceleration ratios the SWDUAL
+//! knapsack sorts on.
+
+use serde::{Deserialize, Serialize};
+
+/// Total residues of the synthetic UniProt database (537 505 sequences,
+/// mean length ≈ 362; product chosen so the §V workload reproduces the
+/// paper's ≈ 1.9455e13 cells with the 40-query mean of ≈ 2500 aa).
+pub const UNIPROT_RESIDUES: u64 = 194_550_000;
+
+/// A calibrated engine model: how fast one worker of this engine chews
+/// DP cells, and what fixed costs surround the work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineModel {
+    /// Engine name as it appears in the tables.
+    pub name: String,
+    /// Peak sustained GCUPS of one worker on long queries.
+    pub peak_gcups: f64,
+    /// Query length at which half of peak is reached.
+    pub half_length: f64,
+    /// Fixed overhead added to every task on a worker of this engine
+    /// (seconds): dispatch, query transfer, result merge.
+    pub per_task_overhead: f64,
+    /// One-off serial startup for a UniProt-sized database (seconds);
+    /// scaled linearly with database size.
+    pub serial_startup_uniprot: f64,
+}
+
+impl EngineModel {
+    /// SWPS3 (CPU, multi-threaded vectorised SW). Fitted to Table II
+    /// row 1: 69 208.2 s at 1 worker, 18 904.3 s at 4.
+    pub fn swps3() -> EngineModel {
+        EngineModel {
+            name: "SWPS3".into(),
+            peak_gcups: 0.293,
+            half_length: 25.0,
+            per_task_overhead: 0.0,
+            serial_startup_uniprot: 2136.0,
+        }
+    }
+
+    /// Farrar's STRIPED (CPU). Fitted to Table II row 2 at 1 worker;
+    /// serial kept at 0 (see module docs on the superlinear anomaly).
+    pub fn striped() -> EngineModel {
+        EngineModel {
+            name: "STRIPED".into(),
+            peak_gcups: 2.73,
+            half_length: 25.0,
+            per_task_overhead: 0.0,
+            serial_startup_uniprot: 40.0,
+        }
+    }
+
+    /// SWIPE (CPU, inter-sequence SIMD). Fitted to Table II row 3:
+    /// 2 367.2 s at 1 worker, 610.2 s at 4.
+    pub fn swipe() -> EngineModel {
+        EngineModel {
+            name: "SWIPE".into(),
+            peak_gcups: 8.38,
+            half_length: 25.0,
+            per_task_overhead: 0.0,
+            serial_startup_uniprot: 24.0,
+        }
+    }
+
+    /// CUDASW++ 2.0 (GPU). Fitted to Table II row 4: 785.3 s at 1
+    /// worker with a 128 s serial component (database load + sort +
+    /// result handling), kernel rate 29.6 GCUPS at the workload's mean
+    /// query length of ≈ 2500 aa.
+    pub fn cudasw() -> EngineModel {
+        EngineModel {
+            name: "CUDASW++".into(),
+            peak_gcups: 32.9,
+            half_length: 280.0,
+            per_task_overhead: 0.0,
+            serial_startup_uniprot: 128.0,
+        }
+    }
+
+    /// SWDUAL's CPU worker: the SWIPE kernel inside the master-slave
+    /// runtime; the shared per-task overhead models dispatch and merge.
+    pub fn swdual_cpu_worker() -> EngineModel {
+        EngineModel {
+            name: "SWDUAL-CPU(SWIPE)".into(),
+            per_task_overhead: 1.8,
+            serial_startup_uniprot: 0.0,
+            ..EngineModel::swipe()
+        }
+    }
+
+    /// SWDUAL's GPU worker: the CUDASW++ kernel inside the master-slave
+    /// runtime; the SQB binary format removes CUDASW++'s standalone
+    /// serial cost (paper §IV).
+    pub fn swdual_gpu_worker() -> EngineModel {
+        EngineModel {
+            name: "SWDUAL-GPU(CUDASW++)".into(),
+            per_task_overhead: 1.8,
+            serial_startup_uniprot: 0.0,
+            ..EngineModel::cudasw()
+        }
+    }
+
+    /// Sustained GCUPS of one worker for a query of `len` residues.
+    pub fn rate_gcups(&self, query_len: usize) -> f64 {
+        if query_len == 0 {
+            return 0.0;
+        }
+        let len = query_len as f64;
+        self.peak_gcups * len / (len + self.half_length)
+    }
+
+    /// Seconds one worker needs for a task of `query_len` residues
+    /// against `db_residues` database residues (including the per-task
+    /// overhead).
+    pub fn task_seconds(&self, query_len: usize, db_residues: u64) -> f64 {
+        if query_len == 0 {
+            return self.per_task_overhead.max(f64::MIN_POSITIVE);
+        }
+        let cells = query_len as u64 as f64 * db_residues as f64;
+        self.per_task_overhead + cells / (self.rate_gcups(query_len) * 1e9)
+    }
+
+    /// Serial startup for a database of `db_residues` residues (linear
+    /// scaling from the UniProt fit).
+    pub fn serial_startup(&self, db_residues: u64) -> f64 {
+        self.serial_startup_uniprot * db_residues as f64 / UNIPROT_RESIDUES as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mean query length of the §V query set (40 queries totalling
+    /// 1e5 residues ⇒ 1.9455e13 cells against UniProt).
+    const MEAN_QUERY: usize = 2500;
+
+    fn one_worker_time(model: &EngineModel) -> f64 {
+        // 40 tasks of mean length on one worker + serial.
+        model.serial_startup(UNIPROT_RESIDUES)
+            + 40.0 * model.task_seconds(MEAN_QUERY, UNIPROT_RESIDUES)
+    }
+
+    #[test]
+    fn swps3_matches_table2_single_worker() {
+        let t = one_worker_time(&EngineModel::swps3());
+        assert!((t - 69_208.2).abs() / 69_208.2 < 0.02, "got {t}");
+    }
+
+    #[test]
+    fn striped_matches_table2_single_worker() {
+        let t = one_worker_time(&EngineModel::striped());
+        assert!((t - 7190.0).abs() / 7190.0 < 0.02, "got {t}");
+    }
+
+    #[test]
+    fn swipe_matches_table2_single_worker() {
+        let t = one_worker_time(&EngineModel::swipe());
+        assert!((t - 2367.24).abs() / 2367.24 < 0.02, "got {t}");
+    }
+
+    #[test]
+    fn cudasw_matches_table2_single_worker() {
+        let t = one_worker_time(&EngineModel::cudasw());
+        assert!((t - 785.26).abs() / 785.26 < 0.03, "got {t}");
+    }
+
+    #[test]
+    fn amdahl_fit_predicts_four_worker_rows() {
+        // serial + parallel/4 must land near the Table II 4-worker cells.
+        for (model, t4_paper, tol) in [
+            (EngineModel::swps3(), 18_904.31, 0.03),
+            (EngineModel::swipe(), 610.23, 0.04),
+            (EngineModel::cudasw(), 292.157, 0.08),
+        ] {
+            let serial = model.serial_startup(UNIPROT_RESIDUES);
+            let parallel = one_worker_time(&model) - serial;
+            let t4 = serial + parallel / 4.0;
+            assert!(
+                (t4 - t4_paper).abs() / t4_paper < tol,
+                "{}: predicted {t4}, paper {t4_paper}",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_rate_depends_on_query_length_more_than_cpu() {
+        let gpu = EngineModel::cudasw();
+        let cpu = EngineModel::swipe();
+        let gpu_drop = gpu.rate_gcups(100) / gpu.rate_gcups(5000);
+        let cpu_drop = cpu.rate_gcups(100) / cpu.rate_gcups(5000);
+        assert!(gpu_drop < 0.35, "GPU keeps {gpu_drop} of its rate at len 100");
+        assert!(cpu_drop > 0.75, "CPU keeps only {cpu_drop} at len 100");
+    }
+
+    #[test]
+    fn acceleration_ratio_varies_with_length() {
+        // The heterogeneity the knapsack exploits: long queries are far
+        // better accelerated than short ones.
+        let gpu = EngineModel::swdual_gpu_worker();
+        let cpu = EngineModel::swdual_cpu_worker();
+        let db = UNIPROT_RESIDUES;
+        let accel = |len: usize| {
+            cpu.task_seconds(len, db) / gpu.task_seconds(len, db)
+        };
+        assert!(accel(5000) > accel(100) * 1.5);
+    }
+
+    #[test]
+    fn per_task_overhead_dominates_small_databases() {
+        // Ensembl-Dog-sized database: overhead ≈ compute, which is what
+        // caps Table IV's small-database GCUPS.
+        let gpu = EngineModel::swdual_gpu_worker();
+        let dog_residues = 14_800_000u64;
+        let t = gpu.task_seconds(2500, dog_residues);
+        let compute = t - gpu.per_task_overhead;
+        assert!(gpu.per_task_overhead > compute * 0.5, "overhead {} compute {}", gpu.per_task_overhead, compute);
+    }
+
+    #[test]
+    fn serial_scales_with_database() {
+        let m = EngineModel::cudasw();
+        let half = m.serial_startup(UNIPROT_RESIDUES / 2);
+        assert!((half - 64.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_length_query_is_cheap_but_positive() {
+        let m = EngineModel::swipe();
+        assert!(m.task_seconds(0, 1000) > 0.0);
+        assert_eq!(m.rate_gcups(0), 0.0);
+    }
+}

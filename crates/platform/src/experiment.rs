@@ -1,0 +1,351 @@
+//! Virtual-time experiment driver: run one (engine/policy, workers,
+//! workload) configuration and report the numbers the paper's tables
+//! report.
+
+use crate::calib::EngineModel;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use swdual_sched::binsearch::{dual_approx_schedule, BinarySearchConfig};
+use swdual_sched::dual::KnapsackMethod;
+use swdual_sched::knapsack::DpConfig;
+use swdual_sched::policies;
+use swdual_sched::schedule::{PeKind, Schedule};
+use swdual_sched::{PlatformSpec, TaskSet};
+
+/// Allocation policy of a hybrid run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HybridPolicy {
+    /// SWDUAL: dual approximation with the greedy knapsack (the paper's
+    /// implementation).
+    DualGreedy,
+    /// Dual approximation with the DP knapsack (the 3/2 refinement).
+    DualDp,
+    /// Self-scheduling, one task at a time to the next free worker [10].
+    SelfScheduling,
+    /// Static proportional-power split [12].
+    Proportional,
+    /// Static equal-power split [11].
+    EqualPower,
+    /// Earliest-finish-time insertion.
+    HeftLite,
+}
+
+impl HybridPolicy {
+    /// All policies, for sweeps and ablations.
+    pub const ALL: [HybridPolicy; 6] = [
+        HybridPolicy::DualGreedy,
+        HybridPolicy::DualDp,
+        HybridPolicy::SelfScheduling,
+        HybridPolicy::Proportional,
+        HybridPolicy::EqualPower,
+        HybridPolicy::HeftLite,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HybridPolicy::DualGreedy => "SWDUAL(greedy)",
+            HybridPolicy::DualDp => "SWDUAL(dp)",
+            HybridPolicy::SelfScheduling => "self-scheduling",
+            HybridPolicy::Proportional => "proportional",
+            HybridPolicy::EqualPower => "equal-power",
+            HybridPolicy::HeftLite => "heft-lite",
+        }
+    }
+
+    /// Produce a schedule for `tasks` on `platform`.
+    pub fn schedule(self, tasks: &TaskSet, platform: &PlatformSpec) -> Schedule {
+        match self {
+            HybridPolicy::DualGreedy => {
+                dual_approx_schedule(tasks, platform, BinarySearchConfig::default()).schedule
+            }
+            HybridPolicy::DualDp => dual_approx_schedule(
+                tasks,
+                platform,
+                BinarySearchConfig {
+                    method: KnapsackMethod::Dp(DpConfig::default()),
+                    ..BinarySearchConfig::default()
+                },
+            )
+            .schedule,
+            HybridPolicy::SelfScheduling => policies::self_scheduling(tasks, platform),
+            HybridPolicy::Proportional => policies::proportional_split(tasks, platform),
+            HybridPolicy::EqualPower => policies::equal_power_split(tasks, platform),
+            HybridPolicy::HeftLite => policies::heft_lite(tasks, platform),
+        }
+    }
+}
+
+/// Result of one simulated run — one cell of a paper table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Configuration label ("SWIPE", "SWDUAL(greedy)" ...).
+    pub label: String,
+    /// Worker count (total PEs used).
+    pub workers: usize,
+    /// Simulated wall-clock seconds (serial startup + schedule
+    /// makespan).
+    pub seconds: f64,
+    /// Useful throughput in GCUPS (workload cells / seconds).
+    pub gcups: f64,
+    /// Total idle time across PEs during the schedule.
+    pub idle_seconds: f64,
+    /// Mean PE utilisation during the schedule phase.
+    pub utilisation: f64,
+    /// Tasks executed on GPUs.
+    pub gpu_tasks: usize,
+}
+
+/// Run a single-engine (CPU-only or GPU-only) tool with `workers`
+/// workers — the Table II baselines. Tasks are self-scheduled, which is
+/// what SWIPE/STRIPED/SWPS3/CUDASW++ do internally when given a query
+/// list.
+pub fn run_single_kind(
+    workload: &Workload,
+    engine: &EngineModel,
+    workers: usize,
+    kind: PeKind,
+) -> RunResult {
+    assert!(workers > 0, "need at least one worker");
+    let platform = match kind {
+        PeKind::Cpu => PlatformSpec::new(workers, 0),
+        PeKind::Gpu => PlatformSpec::new(0, workers),
+    };
+    let tasks = workload.build_tasks_single(engine);
+    let schedule = policies::self_scheduling(&tasks, &platform);
+    schedule
+        .validate(&tasks, &platform)
+        .expect("baseline schedule must be valid");
+    let serial = engine.serial_startup(workload.database.residues);
+    let seconds = serial + schedule.makespan();
+    let cells = workload.total_cells();
+    RunResult {
+        label: engine.name.clone(),
+        workers,
+        seconds,
+        gcups: cells as f64 / seconds / 1e9,
+        idle_seconds: schedule.total_idle(&platform),
+        utilisation: schedule.utilisation(&platform),
+        gpu_tasks: if kind == PeKind::Gpu { tasks.len() } else { 0 },
+    }
+}
+
+/// Run the hybrid engine (SWDUAL or a hybrid baseline policy) on a
+/// platform of `platform.cpus` CPU workers and `platform.gpus` GPU
+/// workers.
+pub fn run_hybrid(
+    workload: &Workload,
+    platform: &PlatformSpec,
+    policy: HybridPolicy,
+    cpu_model: &EngineModel,
+    gpu_model: &EngineModel,
+) -> RunResult {
+    let tasks = workload.build_tasks(cpu_model, gpu_model);
+    let schedule = policy.schedule(&tasks, platform);
+    schedule
+        .validate(&tasks, platform)
+        .expect("hybrid schedule must be valid");
+    // SWDUAL's serial part is folded into per-task overheads (see
+    // calib); any engine-level serial startup still applies.
+    let serial = cpu_model
+        .serial_startup(workload.database.residues)
+        .max(gpu_model.serial_startup(workload.database.residues));
+    let seconds = serial + schedule.makespan();
+    let cells = workload.total_cells();
+    let gpu_tasks = schedule
+        .placements
+        .iter()
+        .filter(|p| p.pe.kind == PeKind::Gpu)
+        .count();
+    RunResult {
+        label: policy.name().to_string(),
+        workers: platform.total(),
+        seconds,
+        gcups: cells as f64 / seconds / 1e9,
+        idle_seconds: schedule.total_idle(platform),
+        utilisation: schedule.utilisation(platform),
+        gpu_tasks,
+    }
+}
+
+/// Convenience: the SWDUAL configuration of the paper for `workers`
+/// total workers (GPU-first mix capped at `max_gpus`).
+pub fn run_swdual(workload: &Workload, workers: usize, max_gpus: usize) -> RunResult {
+    let platform = PlatformSpec::swdual_mix(workers, max_gpus);
+    run_hybrid(
+        workload,
+        &platform,
+        HybridPolicy::DualGreedy,
+        &EngineModel::swdual_cpu_worker(),
+        &EngineModel::swdual_gpu_worker(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::DatabaseSpec;
+
+    fn uniprot() -> Workload {
+        Workload::paper_queries(DatabaseSpec::uniprot())
+    }
+
+    #[test]
+    fn table2_single_worker_cells_reproduced() {
+        let w = uniprot();
+        for (engine, kind, paper, tol) in [
+            (EngineModel::swps3(), PeKind::Cpu, 69_208.2, 0.03),
+            (EngineModel::striped(), PeKind::Cpu, 7_190.0, 0.03),
+            (EngineModel::swipe(), PeKind::Cpu, 2_367.24, 0.03),
+            (EngineModel::cudasw(), PeKind::Gpu, 785.26, 0.03),
+        ] {
+            let r = run_single_kind(&w, &engine, 1, kind);
+            assert!(
+                (r.seconds - paper).abs() / paper < tol,
+                "{}: {} vs paper {}",
+                engine.name,
+                r.seconds,
+                paper
+            );
+        }
+    }
+
+    #[test]
+    fn table2_four_worker_ordering_holds() {
+        // The paper's ranking at 4 workers:
+        // SWPS3 > STRIPED > SWIPE > CUDASW++ > SWDUAL.
+        let w = uniprot();
+        let swps3 = run_single_kind(&w, &EngineModel::swps3(), 4, PeKind::Cpu).seconds;
+        let striped = run_single_kind(&w, &EngineModel::striped(), 4, PeKind::Cpu).seconds;
+        let swipe = run_single_kind(&w, &EngineModel::swipe(), 4, PeKind::Cpu).seconds;
+        let cudasw = run_single_kind(&w, &EngineModel::cudasw(), 4, PeKind::Gpu).seconds;
+        let swdual = run_swdual(&w, 4, 4).seconds;
+        assert!(swps3 > striped, "{swps3} vs {striped}");
+        assert!(striped > swipe, "{striped} vs {swipe}");
+        assert!(swipe > cudasw, "{swipe} vs {cudasw}");
+        assert!(cudasw > swdual, "{cudasw} vs {swdual}");
+    }
+
+    #[test]
+    fn swdual_two_workers_near_paper_time() {
+        // Table II/IV: 543.28 s at 2 workers (1 GPU + 1 CPU).
+        let r = run_swdual(&uniprot(), 2, 4);
+        assert!(
+            (r.seconds - 543.28).abs() / 543.28 < 0.10,
+            "simulated {} vs paper 543.28",
+            r.seconds
+        );
+    }
+
+    #[test]
+    fn swdual_eight_workers_near_paper_time() {
+        // Table II/IV: 142.98 s at 8 workers (4 GPUs + 4 CPUs).
+        let r = run_swdual(&uniprot(), 8, 4);
+        assert!(
+            (r.seconds - 142.98).abs() / 142.98 < 0.20,
+            "simulated {} vs paper 142.98",
+            r.seconds
+        );
+    }
+
+    #[test]
+    fn swdual_scales_monotonically() {
+        let w = uniprot();
+        let mut prev = f64::INFINITY;
+        for workers in 2..=8 {
+            let r = run_swdual(&w, workers, 4);
+            assert!(
+                r.seconds < prev * 1.02,
+                "{workers} workers: {} vs previous {prev}",
+                r.seconds
+            );
+            prev = r.seconds;
+        }
+    }
+
+    #[test]
+    fn swdual_beats_all_baseline_policies() {
+        let w = uniprot();
+        let platform = PlatformSpec::new(4, 4);
+        let cpu = EngineModel::swdual_cpu_worker();
+        let gpu = EngineModel::swdual_gpu_worker();
+        let dual = run_hybrid(&w, &platform, HybridPolicy::DualGreedy, &cpu, &gpu);
+        for policy in [
+            HybridPolicy::SelfScheduling,
+            HybridPolicy::Proportional,
+            HybridPolicy::EqualPower,
+        ] {
+            let other = run_hybrid(&w, &platform, policy, &cpu, &gpu);
+            assert!(
+                dual.seconds <= other.seconds * 1.001,
+                "{}: {} vs SWDUAL {}",
+                policy.name(),
+                other.seconds,
+                dual.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn swdual_has_low_idle_time() {
+        // §V-A: "the execution on each of the processing elements
+        // finished with almost no idle time".
+        let r = run_swdual(&uniprot(), 8, 4);
+        assert!(
+            r.utilisation > 0.85,
+            "utilisation {} too low for the no-idle claim",
+            r.utilisation
+        );
+    }
+
+    #[test]
+    fn gcups_scales_with_workers_table4_shape() {
+        // Table IV: GCUPS roughly doubles 2→4→8 workers on UniProt.
+        let w = uniprot();
+        let g2 = run_swdual(&w, 2, 4).gcups;
+        let g4 = run_swdual(&w, 4, 4).gcups;
+        let g8 = run_swdual(&w, 8, 4).gcups;
+        assert!(g4 / g2 > 1.5, "2->4 scaling {}", g4 / g2);
+        // 4->8 adds only CPUs (the GPU side is already maxed at 4), so
+        // scaling is weaker; the paper's own 4-worker point (71.53) is
+        // lower than ours because its measured run was less balanced.
+        assert!(g8 / g4 > 1.3, "4->8 scaling {}", g8 / g4);
+        // Absolute values in the paper's ballpark at the calibrated
+        // endpoints (35.81 at 2 workers, 136.06 at 8).
+        assert!((g2 - 35.81).abs() / 35.81 < 0.15, "g2 = {g2}");
+        assert!((g8 - 136.06).abs() / 136.06 < 0.25, "g8 = {g8}");
+    }
+
+    #[test]
+    fn small_database_gcups_capped_by_overhead() {
+        // Table IV: Ensembl Dog reaches only ~19 GCUPS at 2 workers.
+        let w = Workload::paper_queries(DatabaseSpec::ensembl_dog());
+        let r = run_swdual(&w, 2, 4);
+        assert!(
+            (15.0..25.0).contains(&r.gcups),
+            "Dog GCUPS {} out of the paper's range",
+            r.gcups
+        );
+        // And the run is tens of seconds, not hundreds (paper: 78.36 s).
+        assert!((r.seconds - 78.36).abs() / 78.36 < 0.3, "{}", r.seconds);
+    }
+
+    #[test]
+    fn heterogeneous_and_homogeneous_sets_both_scale() {
+        // Table V shape: both sets roughly halve 2→4→8 workers, and the
+        // heterogeneous set costs ~3.6x the homogeneous one.
+        let hom = Workload::homogeneous_queries(DatabaseSpec::uniprot());
+        let het = Workload::heterogeneous_queries(DatabaseSpec::uniprot());
+        let h2 = run_swdual(&hom, 2, 4).seconds;
+        let h8 = run_swdual(&hom, 8, 4).seconds;
+        let t2 = run_swdual(&het, 2, 4).seconds;
+        let t8 = run_swdual(&het, 8, 4).seconds;
+        assert!(h2 / h8 > 2.5, "homogeneous scaling {}", h2 / h8);
+        assert!(t2 / t8 > 2.5, "heterogeneous scaling {}", t2 / t8);
+        let ratio = t2 / h2;
+        assert!(
+            (2.5..5.0).contains(&ratio),
+            "hetero/homo ratio {ratio}, paper ≈ 3.56"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # swdual-platform — calibrated hybrid-platform simulator
+//!
+//! The paper's evaluation ran on *Idgraf* (2× quad-core Xeon, 8× Tesla
+//! C2050) against multi-gigacell workloads — ≈ 2·10¹³ DP cells for the
+//! UniProt runs. Recomputing those literally is infeasible here, so the
+//! tables and figures are regenerated on a *virtual-time* model of the
+//! same machine:
+//!
+//! * [`calib`] — per-engine throughput models (SWPS3, STRIPED, SWIPE,
+//!   CUDASW++, and SWDUAL's worker engines), each constant fitted to a
+//!   specific cell of the paper's Table II/IV and documented as such.
+//! * [`workload`] — the paper's workloads as length distributions:
+//!   40 queries of 100–5000 aa, the five §V-B databases (Table III),
+//!   and the §V-C homogeneous/heterogeneous query sets; plus the
+//!   conversion from a workload to a scheduler [`swdual_sched::TaskSet`].
+//! * [`experiment`] — run one configuration (engine/policy × workers ×
+//!   database) in virtual time and report wall-clock seconds and GCUPS
+//!   exactly like the paper's tables.
+//!
+//! The simulation is *schedule-exact*: task completion times come from
+//! the same list-scheduling/dual-approximation machinery the real
+//! implementation uses, so load imbalance, idle time and the
+//! heterogeneity effects the paper discusses all emerge rather than
+//! being painted on. Only the per-task processing times are modelled.
+
+pub mod calib;
+pub mod experiment;
+pub mod workload;
+
+pub use calib::EngineModel;
+pub use experiment::{run_hybrid, run_single_kind, HybridPolicy, RunResult};
+pub use workload::{DatabaseSpec, Workload};

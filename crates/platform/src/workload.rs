@@ -1,0 +1,258 @@
+//! The paper's workloads as length distributions, and the conversion to
+//! scheduler task sets.
+//!
+//! Database sizes follow Table III; total residue counts are derived
+//! from Table IV (`cells = GCUPS × seconds` at 2 workers, divided by the
+//! query set's 1e5 residues). Query sets follow §V: 40 sequences of
+//! 100–5000 aa (mean ≈ 2500); §V-C adds a homogeneous set (4500–5000)
+//! and a heterogeneous one (4–35213, the extremes of UniProt).
+
+use crate::calib::{EngineModel, UNIPROT_RESIDUES};
+use serde::{Deserialize, Serialize};
+use swdual_sched::{Task, TaskSet};
+
+/// A database described by its aggregate shape (what the virtual-time
+/// model needs; `swdual-datagen` generates matching real sequences for
+/// the reduced-scale executions).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseSpec {
+    /// Database name as in Table III.
+    pub name: String,
+    /// Number of sequences (Table III).
+    pub sequences: u64,
+    /// Total residues (derived from Table IV; see module docs).
+    pub residues: u64,
+}
+
+impl DatabaseSpec {
+    /// Ensembl Dog Proteins: 25 160 sequences, ≈ 1.48e7 residues
+    /// (Table IV: 78.36 s × 18.91 GCUPS at 2 workers ⇒ 1.482e12 cells).
+    pub fn ensembl_dog() -> DatabaseSpec {
+        DatabaseSpec { name: "Ensembl Dog".into(), sequences: 25_160, residues: 14_820_000 }
+    }
+
+    /// Ensembl Rat Proteins: 32 971 sequences, ≈ 1.74e7 residues
+    /// (75.85 s × 22.97 GCUPS ⇒ 1.742e12 cells).
+    pub fn ensembl_rat() -> DatabaseSpec {
+        DatabaseSpec { name: "Ensembl Rat".into(), sequences: 32_971, residues: 17_420_000 }
+    }
+
+    /// RefSeq Mouse Proteins: 29 437 sequences, ≈ 1.60e7 residues
+    /// (84.40 s × 18.99 GCUPS ⇒ 1.603e12 cells).
+    pub fn refseq_mouse() -> DatabaseSpec {
+        DatabaseSpec { name: "RefSeq Mouse".into(), sequences: 29_437, residues: 16_030_000 }
+    }
+
+    /// RefSeq Human Proteins: 34 705 sequences, ≈ 1.97e7 residues
+    /// (95.09 s × 20.70 GCUPS ⇒ 1.968e12 cells).
+    pub fn refseq_human() -> DatabaseSpec {
+        DatabaseSpec { name: "RefSeq Human".into(), sequences: 34_705, residues: 19_680_000 }
+    }
+
+    /// UniProt: 537 505 sequences, ≈ 1.9455e8 residues (Table IV:
+    /// 543.28 s × 35.81 GCUPS ⇒ 1.9455e13 cells over 1e5 query
+    /// residues).
+    pub fn uniprot() -> DatabaseSpec {
+        DatabaseSpec { name: "UniProt".into(), sequences: 537_505, residues: UNIPROT_RESIDUES }
+    }
+
+    /// The five databases of Table III, in the paper's order.
+    pub fn all_paper_databases() -> Vec<DatabaseSpec> {
+        vec![
+            DatabaseSpec::ensembl_dog(),
+            DatabaseSpec::ensembl_rat(),
+            DatabaseSpec::refseq_human(),
+            DatabaseSpec::refseq_mouse(),
+            DatabaseSpec::uniprot(),
+        ]
+    }
+
+    /// Mean sequence length.
+    pub fn mean_length(&self) -> f64 {
+        self.residues as f64 / self.sequences as f64
+    }
+}
+
+/// Deterministic uniform sampler (splitmix-style) so workloads are
+/// reproducible without threading a RNG through every call site.
+fn det_uniform(seed: u64, i: u64, lo: usize, hi: usize) -> usize {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    lo + (z % (hi - lo + 1) as u64) as usize
+}
+
+/// One experiment workload: a query set (lengths) against a database.
+///
+/// ```
+/// use swdual_platform::workload::{DatabaseSpec, Workload};
+/// let w = Workload::paper_queries(DatabaseSpec::uniprot());
+/// assert_eq!(w.query_lengths.len(), 40);
+/// // ≈ 1.95e13 DP cells, the paper's UniProt workload.
+/// assert!((w.total_cells() as f64 - 1.9455e13).abs() / 1.9455e13 < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Query lengths in task order.
+    pub query_lengths: Vec<usize>,
+    /// The database searched.
+    pub database: DatabaseSpec,
+}
+
+impl Workload {
+    /// The paper's standard query set: 40 sequences, lengths uniform in
+    /// 100–5000 ("40 real query sequences of minimum size 100 and
+    /// maximum size 5,000 amino acids"), seeded deterministically. The
+    /// sample is nudged so the total is exactly 1e5 residues (mean
+    /// 2500), matching the Table IV cell-count derivation.
+    pub fn paper_queries(database: DatabaseSpec) -> Workload {
+        let mut lengths: Vec<usize> = (0..40)
+            .map(|i| det_uniform(0x5EED_2014, i, 100, 5000))
+            .collect();
+        // Rescale to hit the derived total of 1e5 residues.
+        let total: usize = lengths.iter().sum();
+        let target = 100_000usize;
+        for l in &mut lengths {
+            *l = ((*l as f64) * target as f64 / total as f64).round().max(100.0) as usize;
+        }
+        // Final exact correction on the largest entry.
+        let diff = target as i64 - lengths.iter().sum::<usize>() as i64;
+        let imax = (0..lengths.len()).max_by_key(|&i| lengths[i]).unwrap();
+        lengths[imax] = (lengths[imax] as i64 + diff).max(100) as usize;
+        Workload { query_lengths: lengths, database }
+    }
+
+    /// §V-C homogeneous set: 40 sequences of 4500–5000 aa.
+    pub fn homogeneous_queries(database: DatabaseSpec) -> Workload {
+        let lengths = (0..40)
+            .map(|i| det_uniform(0x5EED_4500, i, 4500, 5000))
+            .collect();
+        Workload { query_lengths: lengths, database }
+    }
+
+    /// §V-C heterogeneous set: 40 sequences of 4–35 213 aa (the
+    /// smallest and largest sequences in UniProt).
+    pub fn heterogeneous_queries(database: DatabaseSpec) -> Workload {
+        let lengths = (0..40)
+            .map(|i| det_uniform(0x5EED_3521, i, 4, 35_213))
+            .collect();
+        Workload { query_lengths: lengths, database }
+    }
+
+    /// Total DP cells of this workload.
+    pub fn total_cells(&self) -> u64 {
+        self.query_lengths.iter().map(|&l| l as u64).sum::<u64>() * self.database.residues
+    }
+
+    /// Build the scheduler instance: one task per query, processing
+    /// times from the two worker models (paper §II-C: "each task is
+    /// equivalent to the comparison of one [query] to the whole
+    /// database").
+    pub fn build_tasks(&self, cpu: &EngineModel, gpu: &EngineModel) -> TaskSet {
+        TaskSet::new(
+            self.query_lengths
+                .iter()
+                .enumerate()
+                .map(|(id, &len)| {
+                    Task::new(
+                        id,
+                        cpu.task_seconds(len, self.database.residues),
+                        gpu.task_seconds(len, self.database.residues),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Single-engine task set (used for the CPU-only / GPU-only
+    /// baselines, where both "times" are the same engine).
+    pub fn build_tasks_single(&self, engine: &EngineModel) -> TaskSet {
+        self.build_tasks(engine, engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_counts_match_paper() {
+        let dbs = DatabaseSpec::all_paper_databases();
+        assert_eq!(dbs.len(), 5);
+        assert_eq!(dbs[0].sequences, 25_160);
+        assert_eq!(dbs[1].sequences, 32_971);
+        assert_eq!(dbs[2].sequences, 34_705);
+        assert_eq!(dbs[3].sequences, 29_437);
+        assert_eq!(dbs[4].sequences, 537_505);
+    }
+
+    #[test]
+    fn database_mean_lengths_are_plausible_proteins() {
+        for db in DatabaseSpec::all_paper_databases() {
+            let mean = db.mean_length();
+            assert!(
+                (300.0..700.0).contains(&mean),
+                "{}: mean {mean}",
+                db.name
+            );
+        }
+    }
+
+    #[test]
+    fn paper_queries_match_derived_totals() {
+        let w = Workload::paper_queries(DatabaseSpec::uniprot());
+        assert_eq!(w.query_lengths.len(), 40);
+        assert_eq!(w.query_lengths.iter().sum::<usize>(), 100_000);
+        assert!(w.query_lengths.iter().all(|&l| (100..=5100).contains(&l)));
+        // Total cells ≈ the paper's 1.9455e13.
+        let cells = w.total_cells() as f64;
+        assert!((cells - 1.9455e13).abs() / 1.9455e13 < 0.001, "{cells}");
+    }
+
+    #[test]
+    fn homogeneous_set_is_tight() {
+        let w = Workload::homogeneous_queries(DatabaseSpec::uniprot());
+        assert!(w.query_lengths.iter().all(|&l| (4500..=5000).contains(&l)));
+        // Total cells near the paper's 3.62e13 (998.27 s × 36.3 GCUPS).
+        let cells = w.total_cells() as f64;
+        assert!((cells - 3.62e13).abs() / 3.62e13 < 0.05, "{cells}");
+    }
+
+    #[test]
+    fn heterogeneous_set_spans_uniprot_extremes() {
+        let w = Workload::heterogeneous_queries(DatabaseSpec::uniprot());
+        assert!(w.query_lengths.iter().all(|&l| (4..=35_213).contains(&l)));
+        let min = *w.query_lengths.iter().min().unwrap();
+        let max = *w.query_lengths.iter().max().unwrap();
+        assert!(min < 2000, "min {min}");
+        assert!(max > 25_000, "max {max}");
+        // Total cells near the paper's 1.335e14 (3554.36 s × 37.55).
+        let cells = w.total_cells() as f64;
+        assert!((cells - 1.335e14).abs() / 1.335e14 < 0.2, "{cells}");
+    }
+
+    #[test]
+    fn tasks_inherit_length_heterogeneity() {
+        let w = Workload::paper_queries(DatabaseSpec::uniprot());
+        let tasks = w.build_tasks(
+            &EngineModel::swdual_cpu_worker(),
+            &EngineModel::swdual_gpu_worker(),
+        );
+        assert_eq!(tasks.len(), 40);
+        assert!(tasks.all_accelerated());
+        // Acceleration varies: the knapsack has real choices to make.
+        let accels: Vec<f64> = tasks.iter().map(|t| t.acceleration()).collect();
+        let min = accels.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = accels.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1.2, "accel range {min}..{max} too flat");
+    }
+
+    #[test]
+    fn deterministic_workloads() {
+        let a = Workload::paper_queries(DatabaseSpec::uniprot());
+        let b = Workload::paper_queries(DatabaseSpec::uniprot());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,84 @@
+//! Task-time estimation for the allocator.
+//!
+//! The master must predict each task's processing time on both worker
+//! species before any task has run (the paper's master does the same:
+//! the dual approximation consumes `pⱼ` and `p̄ⱼ`, not measurements).
+//! Estimates use the saturating-rate model shared with
+//! `swdual-platform::calib`; the defaults below describe the paper's
+//! machine (SWIPE-class CPU worker, Tesla C2050-class GPU worker).
+
+use serde::{Deserialize, Serialize};
+
+/// Throughput model of one worker species.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerRateModel {
+    /// Peak sustained GCUPS for long queries.
+    pub peak_gcups: f64,
+    /// Query length reaching half of peak.
+    pub half_length: f64,
+    /// Fixed per-task overhead in seconds (dispatch + merge).
+    pub per_task_overhead: f64,
+}
+
+impl WorkerRateModel {
+    /// SWIPE-class CPU worker (one core), from the Table II calibration.
+    pub fn cpu_swipe() -> WorkerRateModel {
+        WorkerRateModel {
+            peak_gcups: 8.38,
+            half_length: 25.0,
+            per_task_overhead: 1.8,
+        }
+    }
+
+    /// CUDASW++-class GPU worker (one Tesla C2050), from the Table II
+    /// calibration.
+    pub fn gpu_tesla() -> WorkerRateModel {
+        WorkerRateModel {
+            peak_gcups: 32.9,
+            half_length: 280.0,
+            per_task_overhead: 1.8,
+        }
+    }
+
+    /// Sustained GCUPS for a query of `len` residues.
+    pub fn rate_gcups(&self, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        self.peak_gcups * len as f64 / (len as f64 + self.half_length)
+    }
+
+    /// Estimated seconds for a task of `query_len` against
+    /// `db_residues`.
+    pub fn task_seconds(&self, query_len: usize, db_residues: u64) -> f64 {
+        if query_len == 0 {
+            return self.per_task_overhead.max(1e-9);
+        }
+        let cells = query_len as f64 * db_residues as f64;
+        self.per_task_overhead + cells / (self.rate_gcups(query_len) * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_is_faster_on_long_queries() {
+        let cpu = WorkerRateModel::cpu_swipe();
+        let gpu = WorkerRateModel::gpu_tesla();
+        let db = 10_000_000u64;
+        assert!(gpu.task_seconds(5000, db) < cpu.task_seconds(5000, db));
+        // Acceleration grows with query length.
+        let accel_short = cpu.task_seconds(100, db) / gpu.task_seconds(100, db);
+        let accel_long = cpu.task_seconds(5000, db) / gpu.task_seconds(5000, db);
+        assert!(accel_long > accel_short);
+    }
+
+    #[test]
+    fn zero_length_task_is_overhead_only() {
+        let cpu = WorkerRateModel::cpu_swipe();
+        assert!((cpu.task_seconds(0, 1_000_000) - cpu.per_task_overhead).abs() < 1e-12);
+        assert_eq!(cpu.rate_gcups(0), 0.0);
+    }
+}

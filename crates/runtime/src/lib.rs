@@ -1,0 +1,35 @@
+//! # swdual-runtime — the master-slave execution engine
+//!
+//! Implements the paper's Figure 6 with real OS threads: a **master**
+//! that loads the sequences, builds the task list (one task = one query
+//! against the whole database), allocates tasks to workers through a
+//! pluggable policy, and merges results; and **workers** (slaves) that
+//! register, receive tasks, execute them with their engine and stream
+//! results back.
+//!
+//! Two worker species exist, matching the paper's platform:
+//! * CPU workers run a `swdual-align` kernel (SWIPE-style by default)
+//!   directly on their thread;
+//! * GPU workers drive a `swdual-gpusim` device: results are computed
+//!   exactly, and the device's *virtual clock* records what the kernel
+//!   would have cost on the real board.
+//!
+//! Allocation policies: the SWDUAL **one-round dual-approximation**
+//! (static schedule computed upfront from modelled task times, then
+//! dispatched per worker) and dynamic **self-scheduling** (a shared
+//! task queue workers drain — the baseline the paper contrasts with).
+//!
+//! Timing is reported on two clocks: the real wall clock of this
+//! process, and the *modelled* clock in which GPU workers run at Tesla
+//! speed. The modelled clock is what corresponds to the paper's tables;
+//! the wall clock is what proves the machinery actually works.
+
+pub mod estimator;
+pub mod master;
+pub mod messages;
+pub mod worker;
+
+pub use estimator::WorkerRateModel;
+pub use master::{run_search, AllocationPolicy, RuntimeConfig, SearchOutcome};
+pub use messages::{Hit, QueryHits, WorkerStats};
+pub use worker::WorkerSpec;

@@ -1,0 +1,547 @@
+//! The master: task generation, allocation, dispatch and result
+//! merging (paper Figure 6, left column).
+
+use crate::messages::{top_k_hits, Job, JobResult, QueryHits, WorkerStats};
+use crate::worker::{WorkerContext, WorkerSpec};
+use crossbeam::channel;
+use std::sync::Arc;
+use std::time::Instant;
+use swdual_bio::seq::SequenceSet;
+use swdual_bio::ScoringScheme;
+use swdual_sched::binsearch::{dual_approx_schedule, BinarySearchConfig};
+use swdual_sched::dual::KnapsackMethod;
+use swdual_sched::schedule::{PeKind, Schedule};
+use swdual_sched::{PlatformSpec, Task, TaskSet};
+
+/// How the master allocates tasks to workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocationPolicy {
+    /// SWDUAL's one-round allocation: compute a static schedule with
+    /// the dual-approximation algorithm, then send each worker its
+    /// ordered task list upfront.
+    DualApprox(KnapsackMethod),
+    /// Dynamic self-scheduling: all workers drain one shared queue.
+    SelfScheduling,
+    /// Iterative allocation (paper §IV's "iteratively until all tasks
+    /// are executed"): the task list is released in `rounds` batches,
+    /// each scheduled by the dual approximation on top of the loads the
+    /// previous batches left.
+    MultiRound {
+        /// Number of release batches.
+        rounds: usize,
+    },
+}
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Scoring parameters.
+    pub scheme: ScoringScheme,
+    /// Allocation policy.
+    pub policy: AllocationPolicy,
+    /// Hits kept per query.
+    pub top_k: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            scheme: ScoringScheme::protein_default(),
+            policy: AllocationPolicy::DualApprox(KnapsackMethod::Greedy),
+            top_k: 10,
+        }
+    }
+}
+
+/// Everything a finished search reports.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Ranked hits per query, in query order.
+    pub hits: Vec<QueryHits>,
+    /// Per-worker accounting.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Real elapsed seconds of the whole search.
+    pub wall_seconds: f64,
+    /// Modelled makespan: the latest modelled finish over workers —
+    /// the quantity comparable to the paper's tables.
+    pub modelled_makespan: f64,
+    /// Total DP cells computed.
+    pub total_cells: u64,
+    /// The static schedule, when the policy produced one.
+    pub schedule: Option<Schedule>,
+}
+
+impl SearchOutcome {
+    /// Modelled aggregate throughput in GCUPS.
+    pub fn modelled_gcups(&self) -> f64 {
+        if self.modelled_makespan <= 0.0 {
+            0.0
+        } else {
+            self.total_cells as f64 / self.modelled_makespan / 1e9
+        }
+    }
+
+    /// Real aggregate throughput in GCUPS.
+    pub fn wall_gcups(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_cells as f64 / self.wall_seconds / 1e9
+        }
+    }
+}
+
+/// Build the scheduler instance from the rate models the workers
+/// declared at registration.
+fn build_tasks(
+    queries: &SequenceSet,
+    db_residues: u64,
+    cpu_model: Option<crate::estimator::WorkerRateModel>,
+    gpu_model: Option<crate::estimator::WorkerRateModel>,
+) -> TaskSet {
+    TaskSet::new(
+        queries
+            .iter()
+            .enumerate()
+            .map(|(id, q)| {
+                // With a species absent, give it a prohibitive (but
+                // finite) time so the scheduler never selects it.
+                let p_cpu = cpu_model
+                    .map(|m| m.task_seconds(q.len(), db_residues))
+                    .unwrap_or(f64::MAX / 4.0);
+                let p_gpu = gpu_model
+                    .map(|m| m.task_seconds(q.len(), db_residues))
+                    .unwrap_or(f64::MAX / 4.0);
+                Task::new(id, p_cpu, p_gpu)
+            })
+            .collect(),
+    )
+}
+
+/// Execute a full database search on the given workers.
+///
+/// # Panics
+/// Panics when `workers` is empty or a query/database is inconsistent
+/// with the scheme's alphabet.
+pub fn run_search(
+    database: SequenceSet,
+    queries: SequenceSet,
+    workers: &[WorkerSpec],
+    config: RuntimeConfig,
+) -> SearchOutcome {
+    assert!(!workers.is_empty(), "at least one worker required");
+    let n_tasks = queries.len();
+    let database = Arc::new(database);
+    let queries = Arc::new(queries);
+    let db_residues = database.total_residues();
+    let total_cells: u64 = queries
+        .iter()
+        .map(|q| q.len() as u64 * db_residues)
+        .sum();
+
+    // Identify species.
+    let cpu_worker_ids: Vec<usize> = workers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, w)| (!w.is_gpu()).then_some(i))
+        .collect();
+    let gpu_worker_ids: Vec<usize> = workers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, w)| w.is_gpu().then_some(i))
+        .collect();
+    let platform = PlatformSpec::new(cpu_worker_ids.len(), gpu_worker_ids.len());
+
+    // Phase 1 — spawn workers; each registers with the master before
+    // waiting for jobs (paper Figure 6: "Register with master" /
+    // "Register slaves"). Job queues exist upfront but are filled only
+    // after allocation.
+    let (reg_tx, reg_rx) = channel::unbounded::<crate::messages::Registration>();
+    let (result_tx, result_rx) = channel::unbounded::<JobResult>();
+    let shared_queue = matches!(config.policy, AllocationPolicy::SelfScheduling);
+    let (shared_tx, shared_rx) = channel::unbounded::<Job>();
+    let mut private_tx: Vec<Option<channel::Sender<Job>>> = Vec::with_capacity(workers.len());
+
+    let start = Instant::now();
+    let mut results: Vec<JobResult> = Vec::with_capacity(n_tasks);
+    let mut schedule: Option<Schedule> = None;
+
+    std::thread::scope(|scope| {
+        for (worker_id, spec) in workers.iter().enumerate() {
+            let job_rx = if shared_queue {
+                private_tx.push(None);
+                shared_rx.clone()
+            } else {
+                let (tx, rx) = channel::unbounded::<Job>();
+                private_tx.push(Some(tx));
+                rx
+            };
+            let ctx = WorkerContext {
+                worker_id,
+                database: Arc::clone(&database),
+                queries: Arc::clone(&queries),
+                scheme: config.scheme.clone(),
+            };
+            let spec = spec.clone();
+            let result_tx = result_tx.clone();
+            let reg_tx = reg_tx.clone();
+            scope.spawn(move || {
+                crate::worker::worker_loop_registered(spec, ctx, Some(reg_tx), job_rx, result_tx)
+            });
+        }
+        drop(reg_tx);
+        drop(result_tx);
+        drop(shared_rx);
+
+        // Phase 2 — collect every registration ("Register slaves").
+        let mut registrations: Vec<crate::messages::Registration> =
+            reg_rx.iter().take(workers.len()).collect();
+        registrations.sort_by_key(|r| r.worker_id);
+        assert_eq!(registrations.len(), workers.len(), "every worker registers");
+
+        // Phase 3 — allocate from the *declared* rate models.
+        let cpu_model = registrations.iter().find(|r| !r.is_gpu).map(|r| r.rate_model);
+        let gpu_model = registrations.iter().find(|r| r.is_gpu).map(|r| r.rate_model);
+        let tasks = build_tasks(&queries, db_residues, cpu_model, gpu_model);
+        match config.policy {
+            AllocationPolicy::DualApprox(method) => {
+                let outcome = dual_approx_schedule(
+                    &tasks,
+                    &platform,
+                    BinarySearchConfig {
+                        method,
+                        ..BinarySearchConfig::default()
+                    },
+                );
+                // Map PE -> worker id and order each worker's tasks by
+                // planned start time.
+                let mut jobs: Vec<Vec<(f64, Job)>> = vec![Vec::new(); workers.len()];
+                for p in &outcome.schedule.placements {
+                    let worker_id = match p.pe.kind {
+                        PeKind::Cpu => cpu_worker_ids[p.pe.index],
+                        PeKind::Gpu => gpu_worker_ids[p.pe.index],
+                    };
+                    jobs[worker_id].push((
+                        p.start,
+                        Job {
+                            task_id: p.task,
+                            query_index: p.task,
+                        },
+                    ));
+                }
+                for (worker_id, mut list) in jobs.into_iter().enumerate() {
+                    list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    let tx = private_tx[worker_id].as_ref().expect("private queue");
+                    for (_, job) in list {
+                        tx.send(job).expect("queue open");
+                    }
+                }
+                schedule = Some(outcome.schedule);
+            }
+            AllocationPolicy::SelfScheduling => {
+                for task_id in 0..n_tasks {
+                    shared_tx
+                        .send(Job {
+                            task_id,
+                            query_index: task_id,
+                        })
+                        .expect("queue open");
+                }
+            }
+            AllocationPolicy::MultiRound { rounds } => {
+                let s = swdual_sched::multiround::multi_round_schedule(
+                    &tasks,
+                    &platform,
+                    rounds,
+                    BinarySearchConfig::default(),
+                );
+                let mut jobs: Vec<Vec<(f64, Job)>> = vec![Vec::new(); workers.len()];
+                for p in &s.placements {
+                    let worker_id = match p.pe.kind {
+                        PeKind::Cpu => cpu_worker_ids[p.pe.index],
+                        PeKind::Gpu => gpu_worker_ids[p.pe.index],
+                    };
+                    jobs[worker_id].push((
+                        p.start,
+                        Job {
+                            task_id: p.task,
+                            query_index: p.task,
+                        },
+                    ));
+                }
+                for (worker_id, mut list) in jobs.into_iter().enumerate() {
+                    list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    let tx = private_tx[worker_id].as_ref().expect("private queue");
+                    for (_, job) in list {
+                        tx.send(job).expect("queue open");
+                    }
+                }
+                schedule = Some(s);
+            }
+        }
+        // Close all job queues: one-round dispatch is complete.
+        private_tx.clear();
+        drop(shared_tx);
+
+        // Phase 4 — merge results as they stream in.
+        for r in result_rx.iter() {
+            results.push(r);
+        }
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(results.len(), n_tasks, "every task must report a result");
+
+    // Per-query hits.
+    let mut hits: Vec<Option<QueryHits>> = vec![None; n_tasks];
+    let mut stats: Vec<WorkerStats> = workers
+        .iter()
+        .enumerate()
+        .map(|(worker_id, spec)| WorkerStats {
+            worker_id,
+            description: spec.description(),
+            tasks: 0,
+            busy_wall: 0.0,
+            busy_modelled: 0.0,
+            cells: 0,
+        })
+        .collect();
+    for r in &results {
+        hits[r.task_id] = Some(top_k_hits(r.task_id, &r.scores, config.top_k));
+        let s = &mut stats[r.worker_id];
+        s.tasks += 1;
+        s.busy_wall += r.wall_seconds;
+        s.busy_modelled += r.modelled_seconds;
+        s.cells += r.cells;
+    }
+    let hits: Vec<QueryHits> = hits.into_iter().map(|h| h.expect("all merged")).collect();
+    let modelled_makespan = stats
+        .iter()
+        .map(|s| s.busy_modelled)
+        .fold(0.0, f64::max);
+
+    SearchOutcome {
+        hits,
+        worker_stats: stats,
+        wall_seconds,
+        modelled_makespan,
+        total_cells,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdual_bio::seq::Sequence;
+    use swdual_bio::Alphabet;
+
+    fn db(n: usize, len: usize) -> SequenceSet {
+        swdual_datagen_stub::database(n, len)
+    }
+
+    // Minimal local generator to avoid a dev-dependency cycle with
+    // swdual-datagen (which this crate must not depend on).
+    mod swdual_datagen_stub {
+        use super::*;
+        pub fn database(n: usize, len: usize) -> SequenceSet {
+            let mut set = SequenceSet::new(Alphabet::Protein);
+            let mut state = 0xDEAD_BEEFu64;
+            for i in 0..n {
+                let residues: Vec<u8> = (0..len)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) % 20) as u8
+                    })
+                    .collect();
+                set.push(Sequence::from_codes(
+                    format!("d{i}"),
+                    Alphabet::Protein,
+                    residues,
+                ))
+                .unwrap();
+            }
+            set
+        }
+    }
+
+    fn queries_from(db: &SequenceSet, picks: &[usize]) -> SequenceSet {
+        let mut set = SequenceSet::new(Alphabet::Protein);
+        for (i, &p) in picks.iter().enumerate() {
+            let mut s = db.get(p).unwrap().clone();
+            s.id = format!("q{i}");
+            set.push(s).unwrap();
+        }
+        set
+    }
+
+    #[test]
+    fn dual_approx_search_finds_planted_sources() {
+        let database = db(24, 120);
+        let queries = queries_from(&database, &[3, 11, 17, 20]);
+        let workers = vec![
+            WorkerSpec::cpu_default(),
+            WorkerSpec::cpu_default(),
+            WorkerSpec::gpu_default(),
+        ];
+        let outcome = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig::default(),
+        );
+        assert_eq!(outcome.hits.len(), 4);
+        // Each query is an exact copy of a database entry: its top hit
+        // must be that entry.
+        for (qi, src) in [3usize, 11, 17, 20].iter().enumerate() {
+            assert_eq!(outcome.hits[qi].hits[0].db_index, *src, "query {qi}");
+        }
+        assert!(outcome.schedule.is_some());
+        assert!(outcome.total_cells > 0);
+        assert!(outcome.modelled_makespan > 0.0);
+        assert!(outcome.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn self_scheduling_gives_identical_hits() {
+        let database = db(16, 90);
+        let queries = queries_from(&database, &[0, 5, 9]);
+        let workers = vec![WorkerSpec::cpu_default(), WorkerSpec::gpu_default()];
+        let a = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let b = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                policy: AllocationPolicy::SelfScheduling,
+                ..RuntimeConfig::default()
+            },
+        );
+        // Allocation changes, results must not.
+        assert_eq!(a.hits, b.hits);
+        assert!(b.schedule.is_none());
+    }
+
+    #[test]
+    fn every_worker_species_alone_works() {
+        let database = db(12, 60);
+        let queries = queries_from(&database, &[1, 2]);
+        for workers in [
+            vec![WorkerSpec::cpu_default()],
+            vec![WorkerSpec::gpu_default()],
+            vec![WorkerSpec::gpu_default(), WorkerSpec::gpu_default()],
+        ] {
+            let outcome = run_search(
+                database.clone(),
+                queries.clone(),
+                &workers,
+                RuntimeConfig::default(),
+            );
+            assert_eq!(outcome.hits[0].hits[0].db_index, 1);
+            assert_eq!(outcome.hits[1].hits[0].db_index, 2);
+            // All tasks accounted for.
+            let total: usize = outcome.worker_stats.iter().map(|s| s.tasks).sum();
+            assert_eq!(total, 2);
+        }
+    }
+
+    #[test]
+    fn stats_partition_the_work() {
+        let database = db(20, 80);
+        let queries = queries_from(&database, &[0, 4, 8, 12, 16]);
+        let workers = vec![
+            WorkerSpec::cpu_default(),
+            WorkerSpec::gpu_default(),
+            WorkerSpec::gpu_default(),
+        ];
+        let outcome = run_search(database, queries, &workers, RuntimeConfig::default());
+        let tasks: usize = outcome.worker_stats.iter().map(|s| s.tasks).sum();
+        assert_eq!(tasks, 5);
+        let cells: u64 = outcome.worker_stats.iter().map(|s| s.cells).sum();
+        assert_eq!(cells, outcome.total_cells);
+        // GPU workers must carry most of the load under the dual
+        // allocator (they are modelled ~4x faster).
+        let gpu_tasks: usize = outcome
+            .worker_stats
+            .iter()
+            .filter(|s| s.description.starts_with("GPU"))
+            .map(|s| s.tasks)
+            .sum();
+        assert!(gpu_tasks >= 3, "GPUs only got {gpu_tasks} of 5 tasks");
+    }
+
+    #[test]
+    fn multi_round_policy_gives_identical_hits() {
+        let database = db(18, 70);
+        let queries = queries_from(&database, &[2, 6, 10, 14]);
+        let workers = vec![WorkerSpec::cpu_default(), WorkerSpec::gpu_default()];
+        let one = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let multi = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                policy: AllocationPolicy::MultiRound { rounds: 2 },
+                ..RuntimeConfig::default()
+            },
+        );
+        assert_eq!(one.hits, multi.hits);
+        assert!(multi.schedule.is_some());
+        let tasks: usize = multi.worker_stats.iter().map(|s| s.tasks).sum();
+        assert_eq!(tasks, 4);
+    }
+
+    #[test]
+    fn top_k_truncates_hit_lists() {
+        let database = db(30, 50);
+        let queries = queries_from(&database, &[7]);
+        let outcome = run_search(
+            database,
+            queries,
+            &[WorkerSpec::cpu_default()],
+            RuntimeConfig {
+                top_k: 5,
+                ..RuntimeConfig::default()
+            },
+        );
+        assert_eq!(outcome.hits[0].hits.len(), 5);
+        // Scores are sorted descending.
+        let scores: Vec<i32> = outcome.hits[0].hits.iter().map(|h| h.score).collect();
+        let mut sorted = scores.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(scores, sorted);
+    }
+
+    #[test]
+    #[should_panic]
+    fn no_workers_panics() {
+        let database = db(2, 10);
+        let queries = queries_from(&database, &[0]);
+        let _ = run_search(database, queries, &[], RuntimeConfig::default());
+    }
+
+    #[test]
+    fn empty_query_set_is_fine() {
+        let database = db(4, 20);
+        let queries = SequenceSet::new(Alphabet::Protein);
+        let outcome = run_search(
+            database,
+            queries,
+            &[WorkerSpec::cpu_default()],
+            RuntimeConfig::default(),
+        );
+        assert!(outcome.hits.is_empty());
+        assert_eq!(outcome.total_cells, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Message types of the master-slave protocol (paper Figure 6).
+
+/// One hit in a query's result list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Index of the database sequence.
+    pub db_index: usize,
+    /// Local-alignment score.
+    pub score: i32,
+}
+
+/// Ranked hits of one query against the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryHits {
+    /// Index of the query in the query set.
+    pub query_index: usize,
+    /// Hits sorted by descending score (ties by ascending db index),
+    /// truncated to the configured `top_k`.
+    pub hits: Vec<Hit>,
+}
+
+/// A worker's registration message — the paper's Figure 6 "Register
+/// with master" step. The master builds its task-time estimates from
+/// the rate models the workers *declare*, not from static assumptions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registration {
+    /// Worker id assigned at spawn.
+    pub worker_id: usize,
+    /// Human-readable engine description.
+    pub description: String,
+    /// Whether this worker is a GPU.
+    pub is_gpu: bool,
+    /// Declared throughput model for task-time estimation.
+    pub rate_model: crate::estimator::WorkerRateModel,
+}
+
+/// A task sent from master to a worker: compare query `query_index`
+/// against the whole database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Task id (equals the query index in SWDUAL).
+    pub task_id: usize,
+    /// Query to compare.
+    pub query_index: usize,
+}
+
+/// A completed task reported back to the master.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Task id of the finished job.
+    pub task_id: usize,
+    /// Worker that executed it.
+    pub worker_id: usize,
+    /// Scores against every database sequence, in database order.
+    pub scores: Vec<i32>,
+    /// Real seconds the worker spent computing.
+    pub wall_seconds: f64,
+    /// Modelled seconds (virtual device time for GPU workers, modelled
+    /// kernel time for CPU workers).
+    pub modelled_seconds: f64,
+    /// DP cells computed.
+    pub cells: u64,
+}
+
+/// Per-worker accounting the master reports at the end of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Worker id (registration order).
+    pub worker_id: usize,
+    /// Human-readable description ("CPU(interseq)", "GPU(Tesla ...)").
+    pub description: String,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Real busy seconds.
+    pub busy_wall: f64,
+    /// Modelled busy seconds.
+    pub busy_modelled: f64,
+    /// DP cells computed.
+    pub cells: u64,
+}
+
+impl WorkerStats {
+    /// Modelled GCUPS of this worker over its busy time.
+    pub fn modelled_gcups(&self) -> f64 {
+        if self.busy_modelled <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / self.busy_modelled / 1e9
+        }
+    }
+}
+
+/// Reduce a full score vector to the top-`k` hits.
+pub fn top_k_hits(query_index: usize, scores: &[i32], k: usize) -> QueryHits {
+    let mut hits: Vec<Hit> = scores
+        .iter()
+        .enumerate()
+        .map(|(db_index, &score)| Hit { db_index, score })
+        .collect();
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    hits.truncate(k);
+    QueryHits { query_index, hits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_sorts_and_truncates() {
+        let scores = vec![5, 9, 1, 9, 3];
+        let h = top_k_hits(7, &scores, 3);
+        assert_eq!(h.query_index, 7);
+        assert_eq!(h.hits.len(), 3);
+        // Ties (9 at indices 1 and 3) break by db index.
+        assert_eq!(h.hits[0], Hit { db_index: 1, score: 9 });
+        assert_eq!(h.hits[1], Hit { db_index: 3, score: 9 });
+        assert_eq!(h.hits[2], Hit { db_index: 0, score: 5 });
+    }
+
+    #[test]
+    fn top_k_larger_than_list() {
+        let h = top_k_hits(0, &[1, 2], 10);
+        assert_eq!(h.hits.len(), 2);
+        assert_eq!(h.hits[0].score, 2);
+    }
+
+    #[test]
+    fn worker_stats_gcups() {
+        let s = WorkerStats {
+            worker_id: 0,
+            description: "x".into(),
+            tasks: 1,
+            busy_wall: 1.0,
+            busy_modelled: 2.0,
+            cells: 4_000_000_000,
+        };
+        assert!((s.modelled_gcups() - 2.0).abs() < 1e-12);
+    }
+}

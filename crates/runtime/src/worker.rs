@@ -1,0 +1,305 @@
+//! Worker (slave) threads.
+//!
+//! A worker registers with the master, acquires the shared sequences
+//! (paper Fig. 6: "Acquire sequences"), then loops: receive a task,
+//! execute it with its engine, send the result. CPU workers run an
+//! alignment kernel in-thread; GPU workers drive a simulated device
+//! whose virtual clock supplies the modelled task time.
+
+use crate::estimator::WorkerRateModel;
+use crate::messages::{Job, JobResult};
+use crossbeam::channel::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+use swdual_align::engine::EngineKind;
+use swdual_bio::seq::SequenceSet;
+use swdual_bio::ScoringScheme;
+use swdual_gpusim::{DeviceSpec, GpuDevice};
+
+/// Worker species and its engine configuration.
+#[derive(Debug, Clone)]
+pub enum WorkerSpec {
+    /// A CPU worker running the given kernel on one thread.
+    Cpu {
+        /// Which alignment kernel this worker runs.
+        engine: EngineKind,
+    },
+    /// A GPU worker driving a simulated device.
+    Gpu {
+        /// Device description (calibrated Tesla C2050 by default).
+        device: DeviceSpec,
+    },
+}
+
+impl WorkerSpec {
+    /// The paper's CPU worker: the SWIPE (inter-sequence SIMD) kernel.
+    pub fn cpu_default() -> WorkerSpec {
+        WorkerSpec::Cpu {
+            engine: EngineKind::InterSeq,
+        }
+    }
+
+    /// The paper's GPU worker: a CUDASW++-class device.
+    pub fn gpu_default() -> WorkerSpec {
+        WorkerSpec::Gpu {
+            device: DeviceSpec::tesla_c2050(),
+        }
+    }
+
+    /// Human-readable description for stats.
+    pub fn description(&self) -> String {
+        match self {
+            WorkerSpec::Cpu { engine } => format!("CPU({engine})"),
+            WorkerSpec::Gpu { device } => format!("GPU({})", device.name),
+        }
+    }
+
+    /// Is this a GPU worker?
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, WorkerSpec::Gpu { .. })
+    }
+
+    /// The rate model the master uses to estimate this worker's task
+    /// times.
+    pub fn rate_model(&self) -> WorkerRateModel {
+        match self {
+            WorkerSpec::Cpu { .. } => WorkerRateModel::cpu_swipe(),
+            WorkerSpec::Gpu { .. } => WorkerRateModel::gpu_tesla(),
+        }
+    }
+}
+
+/// Everything a worker needs to execute tasks.
+pub struct WorkerContext {
+    /// Worker id assigned at registration.
+    pub worker_id: usize,
+    /// The database (shared, already encoded).
+    pub database: Arc<SequenceSet>,
+    /// The query set (shared).
+    pub queries: Arc<SequenceSet>,
+    /// Scoring parameters.
+    pub scheme: ScoringScheme,
+}
+
+/// Run a worker loop until the job channel closes, registering with the
+/// master first when a registration channel is supplied (the paper's
+/// Figure 6 "Register with master" step). This is the body of each
+/// worker thread; it is public so tests can drive workers synchronously.
+pub fn worker_loop_registered(
+    spec: WorkerSpec,
+    ctx: WorkerContext,
+    registration: Option<Sender<crate::messages::Registration>>,
+    jobs: Receiver<Job>,
+    results: Sender<JobResult>,
+) {
+    if let Some(reg) = registration {
+        let hello = crate::messages::Registration {
+            worker_id: ctx.worker_id,
+            description: spec.description(),
+            is_gpu: spec.is_gpu(),
+            rate_model: spec.rate_model(),
+        };
+        if reg.send(hello).is_err() {
+            return; // master went away before registration
+        }
+    }
+    worker_loop(spec, ctx, jobs, results)
+}
+
+/// Run a worker loop until the job channel closes (no registration
+/// step; used by tests that drive workers directly).
+pub fn worker_loop(
+    spec: WorkerSpec,
+    ctx: WorkerContext,
+    jobs: Receiver<Job>,
+    results: Sender<JobResult>,
+) {
+    match spec {
+        WorkerSpec::Cpu { engine } => {
+            let engine = engine.build();
+            let db_refs: Vec<&[u8]> = ctx.database.iter().map(|s| s.codes()).collect();
+            let model = WorkerRateModel::cpu_swipe();
+            for job in jobs.iter() {
+                let query = ctx
+                    .queries
+                    .get(job.query_index)
+                    .expect("query index in range");
+                let start = Instant::now();
+                let scores = engine.score_many(query.codes(), &db_refs, &ctx.scheme);
+                let wall = start.elapsed().as_secs_f64();
+                let cells = query.len() as u64 * ctx.database.total_residues();
+                let modelled = model.task_seconds(query.len(), ctx.database.total_residues());
+                let send = results.send(JobResult {
+                    task_id: job.task_id,
+                    worker_id: ctx.worker_id,
+                    scores,
+                    wall_seconds: wall,
+                    modelled_seconds: modelled,
+                    cells,
+                });
+                if send.is_err() {
+                    break; // master went away
+                }
+            }
+        }
+        WorkerSpec::Gpu { device } => {
+            let mut device = GpuDevice::new(device);
+            // Databases that fit stay resident across tasks (the
+            // CUDASW++ pattern); oversized ones fall back to the
+            // chunked streaming path per kernel. The fallback re-streams
+            // (and re-splits) the database for every task — the same
+            // cost the real tools pay when a database exceeds device
+            // memory, since chunks must be re-uploaded per kernel pass
+            // anyway; only the host-side split could be cached.
+            let resident = device.upload(&ctx.database, true).ok();
+            for job in jobs.iter() {
+                let query = ctx
+                    .queries
+                    .get(job.query_index)
+                    .expect("query index in range");
+                let start = Instant::now();
+                let (scores, modelled) = match &resident {
+                    Some(db) => {
+                        let r = device.search(query.codes(), db, &ctx.scheme);
+                        (r.scores, r.kernel_seconds)
+                    }
+                    None => {
+                        let r = swdual_gpusim::chunked::overlapped_search(
+                            &mut device,
+                            &ctx.database,
+                            query.codes(),
+                            &ctx.scheme,
+                            true,
+                        )
+                        .expect("chunked search handles oversized databases");
+                        (r.scores, r.seconds)
+                    }
+                };
+                let wall = start.elapsed().as_secs_f64();
+                let cells = query.len() as u64 * ctx.database.total_residues();
+                let send = results.send(JobResult {
+                    task_id: job.task_id,
+                    worker_id: ctx.worker_id,
+                    scores,
+                    wall_seconds: wall,
+                    modelled_seconds: modelled,
+                    cells,
+                });
+                if send.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+    use swdual_align::scalar::gotoh_score;
+    use swdual_bio::seq::Sequence;
+    use swdual_bio::Alphabet;
+
+    fn tiny_db() -> SequenceSet {
+        let mut set = SequenceSet::new(Alphabet::Protein);
+        for (i, t) in ["MKVLATGGAR", "GGARMKVLAT", "WWWWWWW", "MKV"].iter().enumerate() {
+            set.push(Sequence::from_text(format!("d{i}"), Alphabet::Protein, t.as_bytes()).unwrap())
+                .unwrap();
+        }
+        set
+    }
+
+    fn tiny_queries() -> SequenceSet {
+        let mut set = SequenceSet::new(Alphabet::Protein);
+        for (i, t) in ["MKVLAT", "WWWW"].iter().enumerate() {
+            set.push(Sequence::from_text(format!("q{i}"), Alphabet::Protein, t.as_bytes()).unwrap())
+                .unwrap();
+        }
+        set
+    }
+
+    fn run_one(spec: WorkerSpec) -> Vec<JobResult> {
+        let (job_tx, job_rx) = channel::unbounded();
+        let (res_tx, res_rx) = channel::unbounded();
+        let ctx = WorkerContext {
+            worker_id: 3,
+            database: Arc::new(tiny_db()),
+            queries: Arc::new(tiny_queries()),
+            scheme: ScoringScheme::protein_default(),
+        };
+        job_tx.send(Job { task_id: 0, query_index: 0 }).unwrap();
+        job_tx.send(Job { task_id: 1, query_index: 1 }).unwrap();
+        drop(job_tx);
+        worker_loop(spec, ctx, job_rx, res_tx);
+        res_rx.iter().collect()
+    }
+
+    fn expected_scores(query_index: usize) -> Vec<i32> {
+        let db = tiny_db();
+        let q = tiny_queries();
+        let scheme = ScoringScheme::protein_default();
+        db.iter()
+            .map(|d| gotoh_score(q.get(query_index).unwrap().codes(), d.codes(), &scheme))
+            .collect()
+    }
+
+    #[test]
+    fn cpu_worker_computes_exact_scores() {
+        let results = run_one(WorkerSpec::cpu_default());
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.worker_id, 3);
+            assert_eq!(r.scores, expected_scores(r.task_id));
+            assert!(r.cells > 0);
+            assert!(r.modelled_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn gpu_worker_computes_exact_scores() {
+        let results = run_one(WorkerSpec::gpu_default());
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.scores, expected_scores(r.task_id));
+            // Virtual kernel time is tiny but positive.
+            assert!(r.modelled_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn gpu_is_modelled_faster_than_cpu_for_long_queries() {
+        let spec_descr = WorkerSpec::gpu_default().description();
+        assert!(spec_descr.contains("GPU"));
+        let cpu = WorkerSpec::cpu_default().rate_model();
+        let gpu = WorkerSpec::gpu_default().rate_model();
+        assert!(gpu.task_seconds(5000, 1_000_000) < cpu.task_seconds(5000, 1_000_000));
+    }
+
+    #[test]
+    fn gpu_worker_falls_back_to_chunked_search_when_db_oversized() {
+        // A device with 25 bytes of memory cannot hold the 30-residue
+        // tiny_db; the worker must stream it in chunks and still return
+        // exact scores.
+        let spec = WorkerSpec::Gpu {
+            device: DeviceSpec::toy(25),
+        };
+        let results = run_one(spec);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.scores, expected_scores(r.task_id));
+            assert!(r.modelled_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_cpu_engines_work_as_workers() {
+        for engine in EngineKind::ALL {
+            let results = run_one(WorkerSpec::Cpu { engine });
+            assert_eq!(results.len(), 2, "engine {engine}");
+            for r in &results {
+                assert_eq!(r.scores, expected_scores(r.task_id), "engine {engine}");
+            }
+        }
+    }
+}

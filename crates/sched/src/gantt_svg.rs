@@ -1,0 +1,193 @@
+//! SVG Gantt-chart rendering of schedules.
+//!
+//! The ASCII chart of [`crate::schedule::Schedule::gantt`] is handy in a
+//! terminal; this module renders the same information as a standalone
+//! SVG document (one row per PE, one rectangle per task, GPUs on top
+//! like the paper's Figures 4–5 sketches) for reports and the examples.
+
+use crate::platform::PlatformSpec;
+use crate::schedule::{PeId, Schedule};
+
+/// Geometry and styling knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Total drawing width in pixels (time axis).
+    pub width: f64,
+    /// Height of one PE row in pixels.
+    pub row_height: f64,
+    /// Left margin reserved for PE labels.
+    pub label_width: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 800.0,
+            row_height: 26.0,
+            label_width: 64.0,
+        }
+    }
+}
+
+/// A small qualitative palette; task `t` gets `PALETTE[t % len]`.
+const PALETTE: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
+];
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render `schedule` as a complete SVG document.
+pub fn render_svg(schedule: &Schedule, platform: &PlatformSpec, options: SvgOptions) -> String {
+    let cmax = schedule.makespan();
+    let pes: Vec<PeId> = (0..platform.gpus)
+        .map(PeId::gpu)
+        .chain((0..platform.cpus).map(PeId::cpu))
+        .collect();
+    let height = options.row_height * pes.len() as f64 + 24.0;
+    // Guard against degenerate geometry: keep at least one pixel of
+    // plot area so rects never land left of the label gutter.
+    let plot_width = (options.width - options.label_width).max(1.0);
+    let scale = if cmax > 0.0 { plot_width / cmax } else { 0.0 };
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" font-family="monospace" font-size="11">"##,
+        options.width, height
+    ));
+    svg.push('\n');
+
+    for (row, pe) in pes.iter().enumerate() {
+        let y = row as f64 * options.row_height;
+        // Row label and baseline.
+        svg.push_str(&format!(
+            r##"<text x="2" y="{:.1}">{}</text>"##,
+            y + options.row_height * 0.65,
+            xml_escape(&pe.to_string())
+        ));
+        svg.push('\n');
+        svg.push_str(&format!(
+            r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+            options.label_width,
+            y + options.row_height - 1.0,
+            options.width,
+            y + options.row_height - 1.0
+        ));
+        svg.push('\n');
+        for p in schedule.placements.iter().filter(|p| p.pe == *pe) {
+            let x = options.label_width + p.start * scale;
+            let w = ((p.end - p.start) * scale).max(1.0);
+            let color = PALETTE[p.task % PALETTE.len()];
+            svg.push_str(&format!(
+                r##"<rect x="{x:.1}" y="{:.1}" width="{w:.1}" height="{:.1}" fill="{color}" stroke="white" stroke-width="0.5"><title>task {} on {}: {:.3}..{:.3}</title></rect>"##,
+                y + 2.0,
+                options.row_height - 5.0,
+                p.task,
+                pe,
+                p.start,
+                p.end
+            ));
+            svg.push('\n');
+            if w > 18.0 {
+                svg.push_str(&format!(
+                    r##"<text x="{:.1}" y="{:.1}" fill="white">{}</text>"##,
+                    x + 3.0,
+                    y + options.row_height * 0.65,
+                    p.task
+                ));
+                svg.push('\n');
+            }
+        }
+    }
+    // Time axis caption.
+    svg.push_str(&format!(
+        r##"<text x="{:.1}" y="{:.1}" fill="#333">C_max = {:.3}</text>"##,
+        options.label_width,
+        options.row_height * pes.len() as f64 + 16.0,
+        cmax
+    ));
+    svg.push_str("\n</svg>\n");
+    svg
+}
+
+/// Render with default options.
+pub fn render_svg_default(schedule: &Schedule, platform: &PlatformSpec) -> String {
+    render_svg(schedule, platform, SvgOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binsearch::{dual_approx_schedule, BinarySearchConfig};
+    use crate::task::TaskSet;
+
+    fn demo() -> (Schedule, TaskSet, PlatformSpec) {
+        let tasks = TaskSet::from_times(&[(6.0, 2.0), (4.0, 2.0), (2.0, 1.0), (3.0, 3.0)]);
+        let platform = PlatformSpec::new(1, 2);
+        let schedule =
+            dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default()).schedule;
+        (schedule, tasks, platform)
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let (schedule, tasks, platform) = demo();
+        let svg = render_svg_default(&schedule, &platform);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per task.
+        assert_eq!(svg.matches("<rect").count(), tasks.len());
+        // Every PE row is labelled.
+        assert!(svg.contains("GPU0") && svg.contains("GPU1") && svg.contains("CPU0"));
+        assert!(svg.contains("C_max"));
+        // Balanced tags.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn rect_positions_scale_with_time() {
+        let (schedule, _, platform) = demo();
+        let narrow = render_svg(
+            &schedule,
+            &platform,
+            SvgOptions { width: 400.0, ..SvgOptions::default() },
+        );
+        let wide = render_svg(
+            &schedule,
+            &platform,
+            SvgOptions { width: 1600.0, ..SvgOptions::default() },
+        );
+        assert!(narrow.len() <= wide.len() + 64);
+        assert!(narrow.contains(r##"width="400""##));
+        assert!(wide.contains(r##"width="1600""##));
+    }
+
+    #[test]
+    fn degenerate_width_is_clamped() {
+        let (schedule, _, platform) = demo();
+        let svg = render_svg(
+            &schedule,
+            &platform,
+            SvgOptions { width: 10.0, label_width: 64.0, row_height: 20.0 },
+        );
+        // No rect may start left of the label gutter.
+        for cap in svg.split("<rect x=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!(x >= 64.0, "rect at x={x}");
+        }
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let svg = render_svg_default(&Schedule::default(), &PlatformSpec::new(1, 1));
+        assert!(svg.contains("C_max = 0.000"));
+        assert_eq!(svg.matches("<rect").count(), 0);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(xml_escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+}

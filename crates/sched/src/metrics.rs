@@ -1,0 +1,102 @@
+//! Schedule-quality metrics used by the experiments.
+
+use crate::binsearch::lower_bound;
+use crate::platform::PlatformSpec;
+use crate::schedule::Schedule;
+use crate::task::TaskSet;
+use serde::{Deserialize, Serialize};
+
+/// A summary row describing one schedule — what the paper's tables
+/// report per (policy, worker-count) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Makespan `C_max` (seconds).
+    pub makespan: f64,
+    /// Total idle time across PEs up to `C_max`.
+    pub total_idle: f64,
+    /// Mean PE utilisation in `[0, 1]`.
+    pub utilisation: f64,
+    /// Proven lower bound on the optimal makespan for this instance.
+    pub lower_bound: f64,
+    /// `makespan / lower_bound` — an upper bound on distance from
+    /// optimal (1.0 means provably optimal).
+    pub ratio_to_lb: f64,
+    /// Number of tasks placed on GPUs.
+    pub gpu_tasks: usize,
+    /// Number of tasks placed on CPUs.
+    pub cpu_tasks: usize,
+}
+
+/// Compute the full metric row for a schedule.
+pub fn evaluate(schedule: &Schedule, tasks: &TaskSet, platform: &PlatformSpec) -> ScheduleMetrics {
+    let makespan = schedule.makespan();
+    let lb = lower_bound(tasks, platform);
+    let gpu_tasks = schedule
+        .placements
+        .iter()
+        .filter(|p| p.pe.kind == crate::schedule::PeKind::Gpu)
+        .count();
+    ScheduleMetrics {
+        makespan,
+        total_idle: schedule.total_idle(platform),
+        utilisation: schedule.utilisation(platform),
+        lower_bound: lb,
+        ratio_to_lb: if lb > 0.0 { makespan / lb } else { 1.0 },
+        gpu_tasks,
+        cpu_tasks: schedule.placements.len() - gpu_tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binsearch::{dual_approx_schedule, BinarySearchConfig};
+    use crate::policies::self_scheduling;
+
+    #[test]
+    fn metrics_of_dual_schedule() {
+        let tasks = TaskSet::from_times(&[(10.0, 2.0), (8.0, 2.0), (4.0, 2.0), (2.0, 2.0)]);
+        let platform = PlatformSpec::new(2, 2);
+        let out = dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
+        let m = evaluate(&out.schedule, &tasks, &platform);
+        assert!(m.makespan > 0.0);
+        assert!(m.ratio_to_lb >= 1.0 - 1e-9);
+        assert!(m.ratio_to_lb <= 2.0 + 1e-9);
+        assert_eq!(m.gpu_tasks + m.cpu_tasks, 4);
+        assert!(m.utilisation > 0.0 && m.utilisation <= 1.0);
+        assert!(m.total_idle >= 0.0);
+    }
+
+    #[test]
+    fn idle_time_dual_vs_self_scheduling() {
+        // The paper claims SWDUAL leaves "almost no idle time"; at
+        // minimum it must not be worse than naive self-scheduling on a
+        // skewed instance.
+        let tasks = TaskSet::from_times(&[
+            (100.0, 2.0),
+            (100.0, 2.0),
+            (100.0, 2.5),
+            (100.0, 2.5),
+            (3.0, 2.9),
+            (3.0, 2.9),
+        ]);
+        let platform = PlatformSpec::new(2, 2);
+        let dual = dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
+        let selfs = self_scheduling(&tasks, &platform);
+        let md = evaluate(&dual.schedule, &tasks, &platform);
+        let ms = evaluate(&selfs, &tasks, &platform);
+        assert!(md.makespan <= ms.makespan + 1e-9);
+    }
+
+    #[test]
+    fn empty_schedule_metrics() {
+        let m = evaluate(
+            &Schedule::default(),
+            &TaskSet::default(),
+            &PlatformSpec::new(1, 1),
+        );
+        assert_eq!(m.makespan, 0.0);
+        assert_eq!(m.ratio_to_lb, 1.0);
+        assert_eq!(m.gpu_tasks, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the dual-approximation scheduler: the 2λ
+//! guarantee, NO-answer soundness, knapsack invariants and schedule
+//! validity for every policy on arbitrary instances.
+
+use proptest::prelude::*;
+use swdual_sched::binsearch::{dual_approx_schedule, lower_bound, BinarySearchConfig};
+use swdual_sched::dual::{dual_step, DualStepResult, KnapsackMethod};
+use swdual_sched::knapsack::{greedy_knapsack, DpConfig};
+use swdual_sched::policies;
+use swdual_sched::schedule::PeKind;
+use swdual_sched::{PlatformSpec, TaskSet};
+
+/// Random task set: GPU time in (0.1, 5.0), acceleration in (0.2, 12) —
+/// includes GPU-averse tasks (acceleration < 1).
+fn task_set(max_n: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((0.1f64..5.0, 0.2f64..12.0), 1..max_n)
+        .prop_map(|v| {
+            let times: Vec<(f64, f64)> =
+                v.into_iter().map(|(gpu, acc)| (gpu * acc, gpu)).collect();
+            TaskSet::from_times(&times)
+        })
+}
+
+fn platform() -> impl Strategy<Value = PlatformSpec> {
+    (1usize..6, 1usize..6).prop_map(|(m, k)| PlatformSpec::new(m, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dual_step_guarantee(tasks in task_set(40), pf in platform(), lambda_scale in 0.2f64..3.0) {
+        // Probe λ around the instance's lower bound.
+        let lambda = lower_bound(&tasks, &pf) * lambda_scale;
+        match dual_step(&tasks, &pf, lambda, KnapsackMethod::Greedy) {
+            DualStepResult::Schedule(s) => {
+                prop_assert!(s.validate(&tasks, &pf).is_ok());
+                prop_assert!(s.makespan() <= 2.0 * lambda + 1e-9,
+                    "makespan {} > 2λ = {}", s.makespan(), 2.0 * lambda);
+            }
+            DualStepResult::No(_) => {
+                // Sound NO: λ must be below *some* achievable makespan
+                // certificate. The area/length certificates used by the
+                // step imply λ < OPT; we verify the weaker, checkable
+                // fact that λ is under the proven lower bound times 2
+                // could fail, so instead verify against a constructive
+                // schedule below.
+            }
+        }
+    }
+
+    #[test]
+    fn dual_step_never_says_no_above_known_makespan(tasks in task_set(30), pf in platform()) {
+        // Completeness: any constructively achievable makespan M means
+        // dual_step(λ = M) cannot answer NO (a schedule of length M
+        // exists, so the step must find one of length ≤ 2M).
+        for sched in [
+            policies::self_scheduling(&tasks, &pf),
+            policies::heft_lite(&tasks, &pf),
+        ] {
+            let m = sched.makespan();
+            let r = dual_step(&tasks, &pf, m, KnapsackMethod::Greedy);
+            prop_assert!(!r.is_no(), "NO at λ = achievable makespan {m}");
+        }
+    }
+
+    #[test]
+    fn binary_search_outcome_is_valid_and_bounded(tasks in task_set(40), pf in platform()) {
+        let out = dual_approx_schedule(&tasks, &pf, BinarySearchConfig::default());
+        prop_assert!(out.schedule.validate(&tasks, &pf).is_ok());
+        // Makespan within 2x the final YES guess.
+        prop_assert!(out.schedule.makespan() <= 2.0 * out.upper_bound + 1e-6);
+        // Bound bookkeeping.
+        prop_assert!(out.lower_bound <= out.upper_bound + 1e-9);
+        prop_assert!(out.iterations >= 1);
+        // Guarantee vs the instance-intrinsic lower bound.
+        prop_assert!(out.schedule.makespan() >= lower_bound(&tasks, &pf) - 1e-9);
+    }
+
+    #[test]
+    fn dp_binary_search_also_valid(tasks in task_set(24), pf in platform()) {
+        let config = BinarySearchConfig {
+            method: KnapsackMethod::Dp(DpConfig { resolution: 128 }),
+            max_iterations: 24,
+            ..BinarySearchConfig::default()
+        };
+        let out = dual_approx_schedule(&tasks, &pf, config);
+        prop_assert!(out.schedule.validate(&tasks, &pf).is_ok());
+    }
+
+    #[test]
+    fn greedy_knapsack_invariants(tasks in task_set(40), budget in 0.0f64..60.0) {
+        let ids: Vec<usize> = (0..tasks.len()).collect();
+        let sol = greedy_knapsack(&tasks, &ids, budget);
+        // Partition covers everything exactly once.
+        let mut all: Vec<usize> = sol.gpu_ids.iter().chain(sol.cpu_ids.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, ids.clone());
+        // Area bookkeeping.
+        let gpu_area: f64 = sol.gpu_ids.iter().map(|&i| tasks.tasks()[i].p_gpu).sum();
+        prop_assert!((gpu_area - sol.gpu_area).abs() < 1e-9);
+        // Constraint (6) modulo the overflow task: area without j_last
+        // stays under the budget.
+        match sol.j_last {
+            Some(last) => {
+                prop_assert_eq!(*sol.gpu_ids.last().unwrap(), last);
+                let without: f64 = sol.gpu_ids.iter()
+                    .filter(|&&i| i != last)
+                    .map(|&i| tasks.tasks()[i].p_gpu)
+                    .sum();
+                prop_assert!(without < budget + 1e-9);
+                prop_assert!(sol.gpu_area >= budget - 1e-9);
+            }
+            None => prop_assert!(sol.gpu_area < budget + 1e-9),
+        }
+        // CPU side of the partition holds everything else.
+        prop_assert_eq!(sol.gpu_ids.len() + sol.cpu_ids.len(), tasks.len());
+    }
+
+    #[test]
+    fn all_policies_valid_on_arbitrary_instances(tasks in task_set(40), pf in platform()) {
+        for (name, sched) in [
+            ("self", policies::self_scheduling(&tasks, &pf)),
+            ("equal", policies::equal_power_split(&tasks, &pf)),
+            ("prop", policies::proportional_split(&tasks, &pf)),
+            ("heft", policies::heft_lite(&tasks, &pf)),
+            ("lpt-cpu", policies::lpt_single_kind(&tasks, &pf, PeKind::Cpu)),
+            ("lpt-gpu", policies::lpt_single_kind(&tasks, &pf, PeKind::Gpu)),
+        ] {
+            prop_assert!(sched.validate(&tasks, &pf).is_ok(), "{} invalid", name);
+            prop_assert!(sched.makespan() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dual_never_loses_badly_to_baselines(tasks in task_set(30), pf in platform()) {
+        // SWDUAL's schedule must stay within its guarantee of the best
+        // baseline (baselines upper-bound OPT).
+        let out = dual_approx_schedule(&tasks, &pf, BinarySearchConfig::default());
+        let best_baseline = [
+            policies::self_scheduling(&tasks, &pf).makespan(),
+            policies::heft_lite(&tasks, &pf).makespan(),
+            policies::proportional_split(&tasks, &pf).makespan(),
+        ]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            out.schedule.makespan() <= 2.0 * best_baseline + 1e-6,
+            "dual {} vs best baseline {}",
+            out.schedule.makespan(),
+            best_baseline
+        );
+    }
+
+    #[test]
+    fn lower_bound_is_actually_a_lower_bound(tasks in task_set(25), pf in platform()) {
+        // No policy can beat the lower bound.
+        let lb = lower_bound(&tasks, &pf);
+        for sched in [
+            policies::self_scheduling(&tasks, &pf),
+            policies::heft_lite(&tasks, &pf),
+            dual_approx_schedule(&tasks, &pf, BinarySearchConfig::default()).schedule,
+        ] {
+            prop_assert!(sched.makespan() >= lb - 1e-9,
+                "makespan {} < lower bound {}", sched.makespan(), lb);
+        }
+    }
+}

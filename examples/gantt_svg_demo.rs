@@ -1,0 +1,28 @@
+//! Render the SWDUAL schedule of the paper workload as an SVG Gantt
+//! chart (written to swdual_gantt.svg in the current directory).
+//!
+//! Run with: `cargo run --release --example gantt_svg_demo`
+
+use swdual_repro::platform::calib::EngineModel;
+use swdual_repro::platform::workload::{DatabaseSpec, Workload};
+use swdual_repro::sched::binsearch::{dual_approx_schedule, BinarySearchConfig};
+use swdual_repro::sched::gantt_svg::render_svg_default;
+use swdual_repro::sched::PlatformSpec;
+
+fn main() {
+    let workload = Workload::paper_queries(DatabaseSpec::uniprot());
+    let tasks = workload.build_tasks(
+        &EngineModel::swdual_cpu_worker(),
+        &EngineModel::swdual_gpu_worker(),
+    );
+    let platform = PlatformSpec::new(4, 4);
+    let out = dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
+    let svg = render_svg_default(&out.schedule, &platform);
+    std::fs::write("swdual_gantt.svg", &svg).expect("write SVG");
+    println!(
+        "wrote swdual_gantt.svg ({} bytes, C_max = {:.2} s, {} tasks)",
+        svg.len(),
+        out.schedule.makespan(),
+        out.schedule.placements.len()
+    );
+}

@@ -1,0 +1,72 @@
+//! Paper-scale scaling study (Figures 7 and 8 in miniature).
+//!
+//! Runs the calibrated virtual-time platform model over the paper's
+//! workloads: the four baselines at 1–4 workers and SWDUAL at 2–8
+//! workers on UniProt (Figure 7), then SWDUAL across all five databases
+//! (Figure 8). Prints gnuplot-ready series.
+//!
+//! Run with: `cargo run --release --example paper_scaling`
+
+use swdual_repro::platform::calib::EngineModel;
+use swdual_repro::platform::experiment::{run_single_kind, run_swdual};
+use swdual_repro::platform::workload::{DatabaseSpec, Workload};
+use swdual_repro::sched::schedule::PeKind;
+
+fn main() {
+    let uniprot = Workload::paper_queries(DatabaseSpec::uniprot());
+
+    println!("# Figure 7 — execution time (s) vs workers, UniProt");
+    println!("# (compare: paper Fig. 7, log-scale y)");
+    for (name, model, kind) in [
+        ("SWPS3", EngineModel::swps3(), PeKind::Cpu),
+        ("STRIPED", EngineModel::striped(), PeKind::Cpu),
+        ("SWIPE", EngineModel::swipe(), PeKind::Cpu),
+        ("CUDASW++", EngineModel::cudasw(), PeKind::Gpu),
+    ] {
+        print!("{name:<10}");
+        for workers in 1..=4 {
+            let r = run_single_kind(&uniprot, &model, workers, kind);
+            print!(" {:>10.1}", r.seconds);
+        }
+        println!();
+    }
+    print!("{:<10}", "SWDUAL");
+    print!(" {:>10}", "-");
+    for workers in 2..=8 {
+        let r = run_swdual(&uniprot, workers, 4);
+        print!(" {:>10.1}", r.seconds);
+    }
+    println!("\n");
+
+    println!("# Figure 8 — SWDUAL execution time (s) vs workers, five databases");
+    println!("# workers: 2..8");
+    for db in DatabaseSpec::all_paper_databases() {
+        let name = db.name.clone();
+        let workload = Workload::paper_queries(db);
+        print!("{name:<14}");
+        for workers in 2..=8 {
+            let r = run_swdual(&workload, workers, 4);
+            print!(" {:>8.1}", r.seconds);
+        }
+        println!();
+    }
+
+    println!("\n# Figure 9 — homogeneous vs heterogeneous query sets (s)");
+    for (name, workload) in [
+        (
+            "Heterogeneous",
+            Workload::heterogeneous_queries(DatabaseSpec::uniprot()),
+        ),
+        (
+            "Homogeneous",
+            Workload::homogeneous_queries(DatabaseSpec::uniprot()),
+        ),
+    ] {
+        print!("{name:<14}");
+        for workers in 2..=8 {
+            let r = run_swdual(&workload, workers, 4);
+            print!(" {:>9.1}", r.seconds);
+        }
+        println!();
+    }
+}
