@@ -66,10 +66,7 @@ pub fn banded_gotoh_score(
             let s = subject[j - 1];
             e = (e.max(h_cur[j - 1] - gs)) - ge;
             f[j] = (f[j].max(h_prev[j] - gs)) - ge;
-            let h = (h_prev[j - 1] + row[s as usize])
-                .max(e)
-                .max(f[j])
-                .max(0);
+            let h = (h_prev[j - 1] + row[s as usize]).max(e).max(f[j]).max(0);
             h_cur[j] = h;
             best = best.max(h);
         }

@@ -76,12 +76,7 @@ pub trait AlignEngine: Send + Sync {
 
     /// Score one query against many subjects. The default loops over
     /// [`AlignEngine::score`]; batched engines override this.
-    fn score_many(
-        &self,
-        query: &[u8],
-        subjects: &[&[u8]],
-        scheme: &ScoringScheme,
-    ) -> Vec<i32> {
+    fn score_many(&self, query: &[u8], subjects: &[&[u8]], scheme: &ScoringScheme) -> Vec<i32> {
         subjects
             .iter()
             .map(|s| self.score(query, s, scheme))
@@ -113,12 +108,7 @@ impl AlignEngine for StripedEngine {
     fn score(&self, query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
         striped::striped_score_exact(query, subject, scheme)
     }
-    fn score_many(
-        &self,
-        query: &[u8],
-        subjects: &[&[u8]],
-        scheme: &ScoringScheme,
-    ) -> Vec<i32> {
+    fn score_many(&self, query: &[u8], subjects: &[&[u8]], scheme: &ScoringScheme) -> Vec<i32> {
         let profile = StripedProfile::build(query, &scheme.matrix);
         subjects
             .iter()
@@ -141,12 +131,7 @@ impl AlignEngine for InterSeqEngine {
     fn score(&self, query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
         interseq::interseq_batch_exact(query, &[subject], scheme)[0]
     }
-    fn score_many(
-        &self,
-        query: &[u8],
-        subjects: &[&[u8]],
-        scheme: &ScoringScheme,
-    ) -> Vec<i32> {
+    fn score_many(&self, query: &[u8], subjects: &[&[u8]], scheme: &ScoringScheme) -> Vec<i32> {
         interseq::interseq_search(query, subjects, scheme)
     }
 }
@@ -194,10 +179,7 @@ mod tests {
         let q = prot(b"MKWVTFISLLFLFSSAYSRGVFRR");
         let subs = subjects();
         let refs: Vec<&[u8]> = subs.iter().map(|s| s.as_slice()).collect();
-        let expected: Vec<i32> = refs
-            .iter()
-            .map(|s| gotoh_score(&q, s, &scheme))
-            .collect();
+        let expected: Vec<i32> = refs.iter().map(|s| gotoh_score(&q, s, &scheme)).collect();
         for kind in EngineKind::ALL {
             let engine = kind.build();
             assert_eq!(engine.kind(), kind);

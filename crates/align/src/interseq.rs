@@ -65,11 +65,7 @@ impl Profile16 {
 
 /// Compare one query against up to [`LANES`] subjects simultaneously.
 /// Missing subjects (batch shorter than `LANES`) score 0.
-pub fn interseq_batch(
-    query: &[u8],
-    subjects: &[&[u8]],
-    scheme: &ScoringScheme,
-) -> BatchResult {
+pub fn interseq_batch(query: &[u8], subjects: &[&[u8]], scheme: &ScoringScheme) -> BatchResult {
     assert!(
         subjects.len() <= LANES,
         "at most {LANES} subjects per batch"
@@ -114,8 +110,7 @@ pub fn interseq_batch(
             // `f`, fed by H[i][j] of the row above (already updated).
             let mut h_new = [0i16; LANES];
             for l in 0..LANES {
-                let e_upd =
-                    (e[i][l].saturating_sub(ext)).max(h_old[l].saturating_sub(open));
+                let e_upd = (e[i][l].saturating_sub(ext)).max(h_old[l].saturating_sub(open));
                 e[i][l] = e_upd;
                 let sub = diag[l].saturating_add(rows[l][i]);
                 let hv = sub.max(e_upd).max(f[l]).max(0);
@@ -140,11 +135,7 @@ pub fn interseq_batch(
 
 /// Exact batched comparison: runs [`interseq_batch`] and recomputes any
 /// overflowed lane with the scalar kernel.
-pub fn interseq_batch_exact(
-    query: &[u8],
-    subjects: &[&[u8]],
-    scheme: &ScoringScheme,
-) -> Vec<i32> {
+pub fn interseq_batch_exact(query: &[u8], subjects: &[&[u8]], scheme: &ScoringScheme) -> Vec<i32> {
     let batch = interseq_batch(query, subjects, scheme);
     subjects
         .iter()
@@ -161,11 +152,7 @@ pub fn interseq_batch_exact(
 
 /// Score one query against a whole list of subjects, batching
 /// [`LANES`]-wide — the inner loop of a SWIPE worker.
-pub fn interseq_search(
-    query: &[u8],
-    subjects: &[&[u8]],
-    scheme: &ScoringScheme,
-) -> Vec<i32> {
+pub fn interseq_search(query: &[u8], subjects: &[&[u8]], scheme: &ScoringScheme) -> Vec<i32> {
     let mut out = Vec::with_capacity(subjects.len());
     for chunk in subjects.chunks(LANES) {
         out.extend(interseq_batch_exact(query, chunk, scheme));

@@ -26,12 +26,7 @@ const NEG_BOUND: i32 = i32::MIN / 4;
 /// alignment of `a` vs `b[..j]`, and `dd[j]` the best score of one that
 /// ends inside an open vertical-gap run (open charge `tb` at the top
 /// boundary already included).
-fn forward_pass(
-    a: &[u8],
-    b: &[u8],
-    scheme: &ScoringScheme,
-    tb: i32,
-) -> (Vec<i32>, Vec<i32>) {
+fn forward_pass(a: &[u8], b: &[u8], scheme: &ScoringScheme, tb: i32) -> (Vec<i32>, Vec<i32>) {
     let gs = scheme.gap_open;
     let ge = scheme.gap_extend;
     let n = b.len();
@@ -72,12 +67,7 @@ fn _doc_anchor() {}
 
 /// Reverse strip pass: mirror of [`forward_pass`] from the bottom-right
 /// corner, with bottom-boundary vertical open charge `te`.
-fn reverse_pass(
-    a: &[u8],
-    b: &[u8],
-    scheme: &ScoringScheme,
-    te: i32,
-) -> (Vec<i32>, Vec<i32>) {
+fn reverse_pass(a: &[u8], b: &[u8], scheme: &ScoringScheme, te: i32) -> (Vec<i32>, Vec<i32>) {
     let ar: Vec<u8> = a.iter().rev().copied().collect();
     let br: Vec<u8> = b.iter().rev().copied().collect();
     let (cc_r, dd_r) = forward_pass(&ar, &br, scheme, te);
@@ -95,14 +85,7 @@ fn reverse_pass(
 /// Recursive divide-and-conquer, appending ops for `a` vs `b`.
 /// `tb`/`te` are the open charges of a vertical gap touching the
 /// top/bottom strip boundary (0 when the parent already opened it).
-fn diff(
-    a: &[u8],
-    b: &[u8],
-    scheme: &ScoringScheme,
-    tb: i32,
-    te: i32,
-    ops: &mut Vec<AlignOp>,
-) {
+fn diff(a: &[u8], b: &[u8], scheme: &ScoringScheme, tb: i32, te: i32, ops: &mut Vec<AlignOp>) {
     let gs = scheme.gap_open;
     let ge = scheme.gap_extend;
     let m = a.len();
@@ -233,11 +216,7 @@ pub fn local_linear_space(query: &[u8], subject: &[u8], scheme: &ScoringScheme) 
     let start_i = end_i - len_i;
     let start_j = end_j - len_j;
 
-    let mut aln = global_linear_space(
-        &query[start_i..end_i],
-        &subject[start_j..end_j],
-        scheme,
-    );
+    let mut aln = global_linear_space(&query[start_i..end_i], &subject[start_j..end_j], scheme);
     aln.query_start = start_i;
     aln.query_end = end_i;
     aln.subject_start = start_j;

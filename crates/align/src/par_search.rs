@@ -98,10 +98,7 @@ mod tests {
         let q = pseudo_random(150, 99);
         let subs = subjects(70);
         let refs: Vec<&[u8]> = subs.iter().map(|s| s.as_slice()).collect();
-        let expected: Vec<i32> = refs
-            .iter()
-            .map(|s| gotoh_score(&q, s, &scheme))
-            .collect();
+        let expected: Vec<i32> = refs.iter().map(|s| gotoh_score(&q, s, &scheme)).collect();
         for kind in EngineKind::ALL {
             let got = par_score_many(&q, &refs, &scheme, kind);
             assert_eq!(got, expected, "engine {kind}");
@@ -146,10 +143,7 @@ mod tests {
         let subs = subjects(3 * CHUNK + 5);
         let refs: Vec<&[u8]> = subs.iter().map(|s| s.as_slice()).collect();
         let par = par_score_many(&q, &refs, &scheme, EngineKind::InterSeq);
-        let serial: Vec<i32> = refs
-            .iter()
-            .map(|s| gotoh_score(&q, s, &scheme))
-            .collect();
+        let serial: Vec<i32> = refs.iter().map(|s| gotoh_score(&q, s, &scheme)).collect();
         assert_eq!(par, serial);
     }
 }

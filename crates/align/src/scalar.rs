@@ -191,10 +191,7 @@ mod tests {
         let scheme = ScoringScheme::new(m.clone(), 0, 2);
         let a = dna(b"ACTTGTCCGACGT");
         let b = dna(b"ATTGTCAGTT");
-        assert_eq!(
-            gotoh_score(&a, &b, &scheme),
-            sw_linear_score(&a, &b, &m, 2)
-        );
+        assert_eq!(gotoh_score(&a, &b, &scheme), sw_linear_score(&a, &b, &m, 2));
     }
 
     #[test]
@@ -232,10 +229,7 @@ mod tests {
         let scheme = ScoringScheme::protein_default();
         let a = prot(b"MKVLATGGARNDCEQ");
         let b = prot(b"KVTAGGWYNDC");
-        assert_eq!(
-            gotoh_score(&a, &b, &scheme),
-            gotoh_score(&b, &a, &scheme)
-        );
+        assert_eq!(gotoh_score(&a, &b, &scheme), gotoh_score(&b, &a, &scheme));
     }
 
     #[test]
@@ -244,11 +238,7 @@ mod tests {
         let scheme = ScoringScheme::new(m, 0, 2);
         // Best local region is the common TTGTC; ends at query pos 7 ("ACTTGTC"),
         // subject pos 6 ("ATTGTC").
-        let (score, qi, sj) = gotoh_score_with_end(
-            &dna(b"ACTTGTCCG"),
-            &dna(b"ATTGTCAG"),
-            &scheme,
-        );
+        let (score, qi, sj) = gotoh_score_with_end(&dna(b"ACTTGTCCG"), &dna(b"ATTGTCAG"), &scheme);
         assert_eq!(score, 5);
         assert_eq!(qi, 7);
         assert_eq!(sj, 6);

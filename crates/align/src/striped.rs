@@ -289,7 +289,9 @@ mod tests {
         // unit tests; the integration proptests cover random cases).
         let mut state = 0x1234_5678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 20) as u8
         };
         let q: Vec<u8> = (0..300).map(|_| next()).collect();

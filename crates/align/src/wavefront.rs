@@ -86,10 +86,7 @@ fn process_block(
         for c in 0..bw {
             e = (e - ge).max(h_west - gs - ge);
             f[c] = (f[c] - ge).max(h_prev[c] - gs - ge);
-            let h = (diag + row[s_block[c] as usize])
-                .max(e)
-                .max(f[c])
-                .max(0);
+            let h = (diag + row[s_block[c] as usize]).max(e).max(f[c]).max(0);
             diag = h_prev[c];
             h_prev[c] = h;
             h_west = h;
@@ -152,7 +149,9 @@ pub fn wavefront_score(
                 let (top_h, top_f): (Vec<i32>, Vec<i32>) = if bi == 0 {
                     (vec![0; bw], vec![NEG_BOUND; bw])
                 } else {
-                    let nb = done[(bi - 1) * nbj + bj].as_ref().expect("north block done");
+                    let nb = done[(bi - 1) * nbj + bj]
+                        .as_ref()
+                        .expect("north block done");
                     (nb.bottom_h.clone(), nb.bottom_f.clone())
                 };
                 // West border: right of block (bi, bj-1) or the matrix

@@ -28,9 +28,7 @@ fn scheme() -> impl Strategy<Value = ScoringScheme> {
 
 /// Random *biological* scheme: BLOSUM62 with random affine penalties.
 fn blosum_scheme() -> impl Strategy<Value = ScoringScheme> {
-    (1i32..16, 1i32..5).prop_map(|(gs, ge)| {
-        ScoringScheme::new(Matrix::blosum62().clone(), gs, ge)
-    })
+    (1i32..16, 1i32..5).prop_map(|(gs, ge)| ScoringScheme::new(Matrix::blosum62().clone(), gs, ge))
 }
 
 proptest! {

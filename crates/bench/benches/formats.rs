@@ -44,7 +44,10 @@ fn random_access(c: &mut Criterion) {
             // What the paper says tools must do without an index: parse
             // everything to reach specific records.
             let set = fasta::parse(fasta_text.as_bytes(), Alphabet::Protein).unwrap();
-            picks.iter().map(|&i| set.get(i).unwrap().len()).sum::<usize>()
+            picks
+                .iter()
+                .map(|&i| set.get(i).unwrap().len())
+                .sum::<usize>()
         })
     });
     group.finish();

@@ -77,5 +77,10 @@ fn bench_dp_vs_greedy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dual_step, bench_binary_search, bench_dp_vs_greedy);
+criterion_group!(
+    benches,
+    bench_dual_step,
+    bench_binary_search,
+    bench_dp_vs_greedy
+);
 criterion_main!(benches);

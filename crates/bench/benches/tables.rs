@@ -38,5 +38,10 @@ fn bench_reduced_execution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_ablations, bench_reduced_execution);
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_ablations,
+    bench_reduced_execution
+);
 criterion_main!(benches);

@@ -132,9 +132,7 @@ pub fn ablation_binsearch() -> Report {
 /// dynamic self-scheduling replayed under the *same* noise. This
 /// evaluates the paper's §IV choice of a one-round allocation.
 pub fn ablation_robustness() -> Report {
-    use swdual_sched::robustness::{
-        replay_self_scheduling, replay_static, ActualTimes,
-    };
+    use swdual_sched::robustness::{replay_self_scheduling, replay_static, ActualTimes};
     let workload = Workload::paper_queries(DatabaseSpec::uniprot());
     let cpu = EngineModel::swdual_cpu_worker();
     let gpu = EngineModel::swdual_gpu_worker();
@@ -221,9 +219,7 @@ mod tests {
             // and is allowed to be competitive (it occasionally edges
             // out the greedy dual by a few percent).
             for r in report.rows.iter().filter(|r| {
-                r.workers == workers
-                    && !r.label.starts_with("SWDUAL")
-                    && r.label != "heft-lite"
+                r.workers == workers && !r.label.starts_with("SWDUAL") && r.label != "heft-lite"
             }) {
                 assert!(
                     dual <= r.seconds * 1.01,

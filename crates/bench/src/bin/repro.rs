@@ -5,6 +5,8 @@
 //! repro table1|table2|table3|table4|table5|conclusion
 //! repro fig7|fig8|fig9      figure data blocks (gnuplot format)
 //! repro execute             reduced-scale real execution (wall clock)
+//!       [--trace-out TRACE.json] [--metrics-out METRICS.prom]
+//!       [--journal-out EVENTS.jsonl]   export one observed hybrid run
 //! repro ablation-policy|ablation-knapsack|ablation-binsearch|ablation-robustness
 //! repro write-experiments [PATH]   write EXPERIMENTS.md (default ./EXPERIMENTS.md)
 //! repro write-json [PATH]          machine-readable results (default ./results.json)
@@ -89,6 +91,31 @@ fn main() {
                 "scores agree across engines and worker mixes: {}",
                 out.scores_agree
             );
+            // Optional observability exports from one observed run.
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+                    .cloned()
+            };
+            let trace_out = flag("--trace-out");
+            let metrics_out = flag("--metrics-out");
+            let journal_out = flag("--journal-out");
+            if trace_out.is_some() || metrics_out.is_some() || journal_out.is_some() {
+                let report = swdual_bench::execute::execute_traced(ExecuteConfig::default());
+                if let Some(path) = trace_out {
+                    std::fs::write(&path, report.timeline()).expect("write trace");
+                    println!("wrote {path}");
+                }
+                if let Some(path) = metrics_out {
+                    std::fs::write(&path, report.metrics()).expect("write metrics");
+                    println!("wrote {path}");
+                }
+                if let Some(path) = journal_out {
+                    std::fs::write(&path, report.journal()).expect("write journal");
+                    println!("wrote {path}");
+                }
+            }
         }
         "ablation-policy" => print!("{}", ablation::ablation_policy().to_text()),
         "ablation-knapsack" => print!("{}", ablation::ablation_knapsack().to_text()),

@@ -136,9 +136,45 @@ pub fn execute_reduced(config: ExecuteConfig) -> ExecuteOutcome {
     }
 }
 
+/// Run one observed hybrid search (1 CPU + 1 GPU) on the reduced-scale
+/// dataset and return its report, from which callers export the
+/// Chrome-trace timeline, metrics and journal (`repro execute
+/// --trace-out ...`).
+pub fn execute_traced(config: ExecuteConfig) -> swdual_core::SearchReport {
+    let database = scaled_database("uniprot", 537_505, 362.0, config.db_scale, config.seed);
+    let queries = queries_from_database(
+        &database,
+        config.queries,
+        30,
+        5000,
+        &MutationProfile::homolog(),
+        config.seed + 1,
+    );
+    SearchBuilder::new()
+        .database(database)
+        .queries(queries)
+        .hybrid_workers(1, 1)
+        .policy(AllocationPolicy::DualApprox(KnapsackMethod::Greedy))
+        .top_k(5)
+        .observe()
+        .run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traced_execution_produces_events() {
+        let report = execute_traced(ExecuteConfig {
+            db_scale: 0.0002,
+            queries: 2,
+            seed: 5,
+        });
+        assert!(report.obs().is_enabled());
+        assert!(report.obs().event_count() > 0);
+        assert!(report.timeline().contains("traceEvents"));
+    }
 
     #[test]
     fn reduced_execution_is_consistent() {

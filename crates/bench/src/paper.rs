@@ -11,10 +11,27 @@ pub const TABLE1: &[(&str, &str, &str)] = &[
 /// Table II: execution times (s) for 1–4 workers on UniProt, 40
 /// queries. `None` marks cells the paper leaves empty.
 pub const TABLE2_BASELINES: &[(&str, [Option<f64>; 4])] = &[
-    ("SWPS3", [Some(69208.2), Some(36174.09), Some(25206.563), Some(18904.31)]),
-    ("STRIPED", [Some(7190.0), Some(3615.38), Some(1369.33), Some(1027.28)]),
-    ("SWIPE", [Some(2367.24), Some(1199.47), Some(816.61), Some(610.23)]),
-    ("CUDASW++", [Some(785.26), Some(445.611), Some(350.09), Some(292.157)]),
+    (
+        "SWPS3",
+        [
+            Some(69208.2),
+            Some(36174.09),
+            Some(25206.563),
+            Some(18904.31),
+        ],
+    ),
+    (
+        "STRIPED",
+        [Some(7190.0), Some(3615.38), Some(1369.33), Some(1027.28)],
+    ),
+    (
+        "SWIPE",
+        [Some(2367.24), Some(1199.47), Some(816.61), Some(610.23)],
+    ),
+    (
+        "CUDASW++",
+        [Some(785.26), Some(445.611), Some(350.09), Some(292.157)],
+    ),
 ];
 
 /// Table II, SWDUAL block: times (s) for 2–8 workers (GPU-first mix,
@@ -45,18 +62,37 @@ pub type WorkerRows = [(usize, f64, f64); 3];
 
 /// Table IV: SWDUAL on the five databases — (database, rows).
 pub const TABLE4: &[(&str, WorkerRows)] = &[
-    ("Ensembl Dog", [(2, 78.36, 18.91), (4, 39.63, 37.39), (8, 20.45, 72.45)]),
-    ("Ensembl Rat", [(2, 75.85, 22.97), (4, 37.97, 45.89), (8, 20.17, 86.38)]),
-    ("RefSeq Mouse", [(2, 84.40, 18.99), (4, 46.25, 34.66), (8, 23.59, 67.95)]),
-    ("RefSeq Human", [(2, 95.09, 20.70), (4, 48.01, 41.00), (8, 24.82, 79.31)]),
-    ("UniProt", [(2, 543.28, 35.81), (4, 271.98, 71.53), (8, 142.98, 136.06)]),
+    (
+        "Ensembl Dog",
+        [(2, 78.36, 18.91), (4, 39.63, 37.39), (8, 20.45, 72.45)],
+    ),
+    (
+        "Ensembl Rat",
+        [(2, 75.85, 22.97), (4, 37.97, 45.89), (8, 20.17, 86.38)],
+    ),
+    (
+        "RefSeq Mouse",
+        [(2, 84.40, 18.99), (4, 46.25, 34.66), (8, 23.59, 67.95)],
+    ),
+    (
+        "RefSeq Human",
+        [(2, 95.09, 20.70), (4, 48.01, 41.00), (8, 24.82, 79.31)],
+    ),
+    (
+        "UniProt",
+        [(2, 543.28, 35.81), (4, 271.98, 71.53), (8, 142.98, 136.06)],
+    ),
 ];
 
 /// Table V: §V-C query sets on UniProt — (set, rows).
 pub const TABLE5: &[(&str, WorkerRows)] = &[
     (
         "Heterogeneous",
-        [(2, 3554.36, 37.55), (4, 1785.73, 74.74), (8, 908.45, 146.92)],
+        [
+            (2, 3554.36, 37.55),
+            (4, 1785.73, 74.74),
+            (8, 908.45, 146.92),
+        ],
     ),
     (
         "Homogeneous",
@@ -111,12 +147,8 @@ mod tests {
     fn headline_reductions_match_table2() {
         // e.g. SWIPE at 2 workers: 1199.47 -> SWDUAL 543.28 = 54.7%.
         for &(app, workers, pct) in HEADLINE_REDUCTIONS {
-            let baseline = TABLE2_BASELINES
-                .iter()
-                .find(|(n, _)| *n == app)
-                .unwrap()
-                .1[workers - 1]
-                .unwrap();
+            let baseline =
+                TABLE2_BASELINES.iter().find(|(n, _)| *n == app).unwrap().1[workers - 1].unwrap();
             let swdual = TABLE2_SWDUAL
                 .iter()
                 .find(|&&(w, _)| w == workers)

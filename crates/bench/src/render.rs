@@ -96,7 +96,10 @@ impl Report {
 
     /// Gnuplot-style data block (the format behind the paper's figures).
     pub fn to_plot_data(&self) -> String {
-        let mut out = format!("# {} — {}\n# workers seconds label\n", self.id, self.description);
+        let mut out = format!(
+            "# {} — {}\n# workers seconds label\n",
+            self.id, self.description
+        );
         for r in &self.rows {
             out.push_str(&format!("{} {} {}\n", r.workers, r.seconds, r.label));
         }

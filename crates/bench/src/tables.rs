@@ -19,7 +19,10 @@ use swdual_sched::schedule::PeKind;
 /// Table I: the compared applications (inventory; mirrors the paper).
 pub fn table1() -> String {
     let mut out = String::from("== Table I — applications included in the comparison ==\n");
-    out.push_str(&format!("{:<10} {:<10} {}\n", "app", "version", "command line"));
+    out.push_str(&format!(
+        "{:<10} {:<10} {}\n",
+        "app", "version", "command line"
+    ));
     for (app, version, cmd) in paper::TABLE1 {
         out.push_str(&format!("{app:<10} {version:<10} {cmd}\n"));
     }
@@ -256,17 +259,33 @@ mod tests {
             }
             // Within 2x of the paper everywhere (shape criterion).
             let ratio = r.seconds_ratio().unwrap();
-            assert!((0.5..2.0).contains(&ratio), "{}@{}: ratio {ratio}", r.label, r.workers);
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}@{}: ratio {ratio}",
+                r.label,
+                r.workers
+            );
         }
     }
 
     #[test]
     fn table5_hetero_costs_more_than_homo() {
         let report = table5();
-        let het2 = report.rows.iter().find(|r| r.label == "Heterogeneous" && r.workers == 2).unwrap();
-        let hom2 = report.rows.iter().find(|r| r.label == "Homogeneous" && r.workers == 2).unwrap();
+        let het2 = report
+            .rows
+            .iter()
+            .find(|r| r.label == "Heterogeneous" && r.workers == 2)
+            .unwrap();
+        let hom2 = report
+            .rows
+            .iter()
+            .find(|r| r.label == "Homogeneous" && r.workers == 2)
+            .unwrap();
         let ratio = het2.seconds / hom2.seconds;
-        assert!((2.0..5.5).contains(&ratio), "hetero/homo {ratio}, paper 3.56");
+        assert!(
+            (2.0..5.5).contains(&ratio),
+            "hetero/homo {ratio}, paper 3.56"
+        );
         // Both scale with workers.
         for label in ["Heterogeneous", "Homogeneous"] {
             let series: Vec<f64> = report
@@ -275,7 +294,10 @@ mod tests {
                 .filter(|r| r.label == label)
                 .map(|r| r.seconds)
                 .collect();
-            assert!(series[0] > series[1] && series[1] > series[2], "{label}: {series:?}");
+            assert!(
+                series[0] > series[1] && series[1] > series[2],
+                "{label}: {series:?}"
+            );
         }
     }
 

@@ -148,10 +148,7 @@ impl Alphabet {
 
     /// Decode a slice of residue codes back to an ASCII string.
     pub fn decode(self, codes: &[u8]) -> String {
-        codes
-            .iter()
-            .map(|&c| self.decode_byte(c) as char)
-            .collect()
+        codes.iter().map(|&c| self.decode_byte(c) as char).collect()
     }
 
     /// The code of the ambiguity wildcard residue (`N` or `X`).
@@ -277,7 +274,10 @@ mod tests {
 
     #[test]
     fn wildcard_codes_decode_to_n_and_x() {
-        assert_eq!(Alphabet::Dna.decode_byte(Alphabet::Dna.wildcard_code()), b'N');
+        assert_eq!(
+            Alphabet::Dna.decode_byte(Alphabet::Dna.wildcard_code()),
+            b'N'
+        );
         assert_eq!(
             Alphabet::Protein.decode_byte(Alphabet::Protein.wildcard_code()),
             b'X'

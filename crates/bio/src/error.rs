@@ -66,12 +66,17 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = BioError::InvalidResidue { byte: b'!', position: 7 };
+        let e = BioError::InvalidResidue {
+            byte: b'!',
+            position: 7,
+        };
         let s = e.to_string();
         assert!(s.contains("0x21"));
         assert!(s.contains("position 7"));
 
-        assert!(BioError::MalformedFasta("x".into()).to_string().contains("FASTA"));
+        assert!(BioError::MalformedFasta("x".into())
+            .to_string()
+            .contains("FASTA"));
         assert!(BioError::UnsupportedSqbVersion(9).to_string().contains('9'));
         assert!(BioError::EmptySet.to_string().contains("empty"));
     }

@@ -67,7 +67,7 @@ impl FastaIndex {
             }
             let bytes = n as u64;
             let trimmed = line.trim_end();
-            if trimmed.starts_with('>') {
+            if let Some(header) = trimmed.strip_prefix('>') {
                 if let Some(c) = current.take() {
                     entries.push(FaiEntry {
                         id: c.id,
@@ -77,11 +77,7 @@ impl FastaIndex {
                         line_bytes: c.line_bytes,
                     });
                 }
-                let id = trimmed[1..]
-                    .split_whitespace()
-                    .next()
-                    .unwrap_or("")
-                    .to_string();
+                let id = header.split_whitespace().next().unwrap_or("").to_string();
                 if id.is_empty() {
                     return Err(BioError::MalformedFasta(
                         "record with empty identifier".into(),
@@ -222,18 +218,18 @@ impl FastaIndex {
         source.seek(SeekFrom::Start(entry.data_offset))?;
 
         // Bytes spanned by `length` residues in the indexed layout.
-        let text_bytes = if entry.line_bases == 0 {
-            0
-        } else {
-            let full_lines = entry.length / entry.line_bases;
-            let rem = entry.length % entry.line_bases;
-            let newline_overhead = entry.line_bytes - entry.line_bases;
-            full_lines * entry.line_bytes + if rem > 0 { rem + newline_overhead } else { 0 }
+        let text_bytes = match entry.length.checked_div(entry.line_bases) {
+            None => 0,
+            Some(full_lines) => {
+                let rem = entry.length % entry.line_bases;
+                let newline_overhead = entry.line_bytes - entry.line_bases;
+                full_lines * entry.line_bytes + if rem > 0 { rem + newline_overhead } else { 0 }
+            }
         };
         let mut buf = vec![0u8; text_bytes as usize];
-        source.read_exact(&mut buf).map_err(|_| {
-            BioError::MalformedFasta("indexed extent past end of file".into())
-        })?;
+        source
+            .read_exact(&mut buf)
+            .map_err(|_| BioError::MalformedFasta("indexed extent past end of file".into()))?;
         let residues: Vec<u8> = buf
             .into_iter()
             .filter(|b| !b.is_ascii_whitespace())
@@ -248,9 +244,11 @@ impl FastaIndex {
         }
         match policy {
             ResiduePolicy::Strict => Sequence::from_text(entry.id.clone(), alphabet, &residues),
-            ResiduePolicy::Lossy => {
-                Ok(Sequence::from_text_lossy(entry.id.clone(), alphabet, &residues))
-            }
+            ResiduePolicy::Lossy => Ok(Sequence::from_text_lossy(
+                entry.id.clone(),
+                alphabet,
+                &residues,
+            )),
         }
     }
 }
@@ -268,8 +266,10 @@ mod tests {
             let text: String = (0..*len)
                 .map(|k| "ARNDCQEGHILKMFPSTWYV".as_bytes()[(i + k) % 20] as char)
                 .collect();
-            set.push(Sequence::from_text(format!("s{i}"), Alphabet::Protein, text.as_bytes()).unwrap())
-                .unwrap();
+            set.push(
+                Sequence::from_text(format!("s{i}"), Alphabet::Protein, text.as_bytes()).unwrap(),
+            )
+            .unwrap();
         }
         fasta::to_string(&set)
     }

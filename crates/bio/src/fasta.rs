@@ -208,10 +208,7 @@ pub fn to_string(set: &SequenceSet) -> String {
 }
 
 /// Write a FASTA file to disk.
-pub fn write_file(
-    set: &SequenceSet,
-    path: impl AsRef<std::path::Path>,
-) -> Result<(), BioError> {
+pub fn write_file(set: &SequenceSet, path: impl AsRef<std::path::Path>) -> Result<(), BioError> {
     let file = std::fs::File::create(path)?;
     let mut writer = std::io::BufWriter::new(file);
     write(set, &mut writer)?;

@@ -44,10 +44,7 @@ impl KarlinParams {
 
     /// E-value of a raw score in a search space of `m·n` cells.
     pub fn evalue(&self, raw_score: i32, query_len: usize, db_residues: u64) -> f64 {
-        self.k
-            * query_len as f64
-            * db_residues as f64
-            * (-self.lambda * raw_score as f64).exp()
+        self.k * query_len as f64 * db_residues as f64 * (-self.lambda * raw_score as f64).exp()
     }
 
     /// The raw score needed to reach E-value `e` in a given search

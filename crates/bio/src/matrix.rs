@@ -89,8 +89,7 @@ impl Matrix {
     pub fn blosum62() -> &'static Matrix {
         static M: OnceLock<Matrix> = OnceLock::new();
         M.get_or_init(|| {
-            Matrix::parse_ncbi("BLOSUM62", BLOSUM62_TEXT)
-                .expect("embedded BLOSUM62 must parse")
+            Matrix::parse_ncbi("BLOSUM62", BLOSUM62_TEXT).expect("embedded BLOSUM62 must parse")
         })
     }
 
@@ -150,16 +149,16 @@ impl Matrix {
             .map(str::trim)
             .filter(|l| !l.is_empty() && !l.starts_with('#'));
 
-        let header = lines.next().ok_or_else(|| {
-            BioError::MalformedFasta("matrix text has no header line".into())
-        })?;
+        let header = lines
+            .next()
+            .ok_or_else(|| BioError::MalformedFasta("matrix text has no header line".into()))?;
         let columns: Vec<u8> = header
             .split_whitespace()
             .map(|tok| {
                 let byte = tok.as_bytes()[0];
-                alphabet.encode_byte(byte).ok_or({
-                    BioError::InvalidResidue { byte, position: 0 }
-                })
+                alphabet
+                    .encode_byte(byte)
+                    .ok_or(BioError::InvalidResidue { byte, position: 0 })
             })
             .collect::<Result<_, _>>()?;
 
@@ -168,21 +167,22 @@ impl Matrix {
         for line in lines {
             let mut toks = line.split_whitespace();
             let row_letter = toks.next().unwrap();
-            let row_code = alphabet
-                .encode_byte(row_letter.as_bytes()[0])
-                .ok_or(BioError::InvalidResidue {
-                    byte: row_letter.as_bytes()[0],
-                    position: 0,
-                })? as usize;
+            let row_code =
+                alphabet
+                    .encode_byte(row_letter.as_bytes()[0])
+                    .ok_or(BioError::InvalidResidue {
+                        byte: row_letter.as_bytes()[0],
+                        position: 0,
+                    })? as usize;
             for (col_idx, tok) in toks.enumerate() {
                 let col_code = *columns.get(col_idx).ok_or_else(|| {
                     BioError::MalformedFasta(format!(
                         "row {row_letter} has more scores than header columns"
                     ))
                 })? as usize;
-                let value: i32 = tok.parse().map_err(|_| {
-                    BioError::MalformedFasta(format!("bad score token {tok:?}"))
-                })?;
+                let value: i32 = tok
+                    .parse()
+                    .map_err(|_| BioError::MalformedFasta(format!("bad score token {tok:?}")))?;
                 scores[row_code * size + col_code] = value;
             }
         }

@@ -121,10 +121,7 @@ impl SequenceSet {
     }
 
     /// Create a set from sequences; all must share `alphabet`.
-    pub fn from_sequences(
-        alphabet: Alphabet,
-        sequences: Vec<Sequence>,
-    ) -> Result<Self, BioError> {
+    pub fn from_sequences(alphabet: Alphabet, sequences: Vec<Sequence>) -> Result<Self, BioError> {
         let mut set = SequenceSet::new(alphabet);
         for s in sequences {
             set.push(s)?;
@@ -272,7 +269,11 @@ mod tests {
     fn sort_by_length_desc_orders_members() {
         let mut set = SequenceSet::from_sequences(
             Alphabet::Protein,
-            vec![prot("short", b"MK"), prot("long", b"MKVLATGG"), prot("mid", b"MKVL")],
+            vec![
+                prot("short", b"MK"),
+                prot("long", b"MKVLATGG"),
+                prot("mid", b"MKVL"),
+            ],
         )
         .unwrap();
         set.sort_by_length_desc();

@@ -92,9 +92,7 @@ pub fn encode(set: &SequenceSet) -> Vec<u8> {
     }
 
     let index_offset = (HEADER_LEN + records.len()) as u64;
-    let mut out = Vec::with_capacity(
-        HEADER_LEN + records.len() + index.len() * INDEX_ENTRY_LEN,
-    );
+    let mut out = Vec::with_capacity(HEADER_LEN + records.len() + index.len() * INDEX_ENTRY_LEN);
     out.put_slice(MAGIC);
     out.put_u16_le(VERSION);
     out.put_u8(set.alphabet.tag());
@@ -127,9 +125,8 @@ fn parse_header(mut buf: &[u8]) -> Result<Header, BioError> {
     }
     let alphabet_tag = buf.get_u8();
     let _flags = buf.get_u8();
-    let alphabet = Alphabet::from_tag(alphabet_tag).ok_or_else(|| {
-        BioError::MalformedSqb(format!("unknown alphabet tag {alphabet_tag}"))
-    })?;
+    let alphabet = Alphabet::from_tag(alphabet_tag)
+        .ok_or_else(|| BioError::MalformedSqb(format!("unknown alphabet tag {alphabet_tag}")))?;
     Ok(Header {
         version,
         alphabet,
@@ -139,11 +136,7 @@ fn parse_header(mut buf: &[u8]) -> Result<Header, BioError> {
     })
 }
 
-fn parse_record(
-    bytes: &[u8],
-    entry: IndexEntry,
-    alphabet: Alphabet,
-) -> Result<Sequence, BioError> {
+fn parse_record(bytes: &[u8], entry: IndexEntry, alphabet: Alphabet) -> Result<Sequence, BioError> {
     let start = entry.offset as usize;
     let mut buf = bytes
         .get(start..)
@@ -225,7 +218,11 @@ impl<'a> SqbSlice<'a> {
     pub fn new(bytes: &'a [u8]) -> Result<Self, BioError> {
         let header = parse_header(bytes)?;
         let index = parse_index(bytes, &header)?;
-        Ok(SqbSlice { bytes, header, index })
+        Ok(SqbSlice {
+            bytes,
+            header,
+            index,
+        })
     }
 
     /// The parsed header.
@@ -299,9 +296,7 @@ impl<F: Read + Seek> SqbFile<F> {
         let index_len = usize::try_from(header.n_sequences)
             .ok()
             .and_then(|n| n.checked_mul(INDEX_ENTRY_LEN))
-            .ok_or_else(|| {
-                BioError::MalformedSqb("sequence count overflows index size".into())
-            })?;
+            .ok_or_else(|| BioError::MalformedSqb("sequence count overflows index size".into()))?;
         let mut index_bytes = vec![0u8; index_len];
         file.read_exact(&mut index_bytes)
             .map_err(|_| BioError::MalformedSqb("truncated index".into()))?;
@@ -313,7 +308,11 @@ impl<F: Read + Seek> SqbFile<F> {
                 residue_len: buf.get_u32_le(),
             });
         }
-        Ok(SqbFile { file, header, index })
+        Ok(SqbFile {
+            file,
+            header,
+            index,
+        })
     }
 
     /// The parsed header.
@@ -386,10 +385,7 @@ impl<F: Read + Seek> SqbFile<F> {
 }
 
 /// Write a sequence set to an SQB file on disk.
-pub fn write_file(
-    set: &SequenceSet,
-    path: impl AsRef<std::path::Path>,
-) -> Result<(), BioError> {
+pub fn write_file(set: &SequenceSet, path: impl AsRef<std::path::Path>) -> Result<(), BioError> {
     let bytes = encode(set);
     let mut file = std::fs::File::create(path)?;
     file.write_all(&bytes)?;
@@ -411,10 +407,7 @@ pub struct SqbWriter<W: Write + Seek> {
 
 impl SqbWriter<std::io::BufWriter<std::fs::File>> {
     /// Create a streaming writer at a filesystem path.
-    pub fn create(
-        path: impl AsRef<std::path::Path>,
-        alphabet: Alphabet,
-    ) -> Result<Self, BioError> {
+    pub fn create(path: impl AsRef<std::path::Path>, alphabet: Alphabet) -> Result<Self, BioError> {
         let file = std::io::BufWriter::new(std::fs::File::create(path)?);
         Self::new(file, alphabet)
     }
@@ -703,7 +696,10 @@ mod tests {
         // Streaming writer returns a clean error.
         let cursor = std::io::Cursor::new(Vec::new());
         let mut writer = SqbWriter::new(cursor, Alphabet::Protein).unwrap();
-        assert!(matches!(writer.append(&seq), Err(BioError::MalformedSqb(_))));
+        assert!(matches!(
+            writer.append(&seq),
+            Err(BioError::MalformedSqb(_))
+        ));
         // Batch encoder panics with a clear message rather than writing a
         // corrupt file.
         let set = SequenceSet::from_sequences(Alphabet::Protein, vec![seq]).unwrap();
@@ -714,9 +710,12 @@ mod tests {
     #[test]
     fn convert_fasta_to_sqb() {
         let fasta = b">a desc here\nMKVL\nAT\n>b\nGG\n";
-        let bytes =
-            convert_fasta(fasta, Alphabet::Protein, crate::fasta::ResiduePolicy::Strict)
-                .unwrap();
+        let bytes = convert_fasta(
+            fasta,
+            Alphabet::Protein,
+            crate::fasta::ResiduePolicy::Strict,
+        )
+        .unwrap();
         let set = decode(&bytes).unwrap();
         assert_eq!(set.len(), 2);
         assert_eq!(set.get(0).unwrap().text(), "MKVLAT");

@@ -164,8 +164,10 @@ mod tests {
     fn set_of(texts: &[&str]) -> SequenceSet {
         let mut set = SequenceSet::new(Alphabet::Protein);
         for (i, t) in texts.iter().enumerate() {
-            set.push(Sequence::from_text(format!("s{i}"), Alphabet::Protein, t.as_bytes()).unwrap())
-                .unwrap();
+            set.push(
+                Sequence::from_text(format!("s{i}"), Alphabet::Protein, t.as_bytes()).unwrap(),
+            )
+            .unwrap();
         }
         set
     }

@@ -26,8 +26,7 @@ fn protein_set(max_seqs: usize, max_len: usize) -> impl Strategy<Value = Sequenc
     .prop_map(|records| {
         let mut set = SequenceSet::new(Alphabet::Protein);
         for (i, (id, text)) in records.into_iter().enumerate() {
-            let seq =
-                Sequence::from_text(format!("{id}_{i}"), Alphabet::Protein, &text).unwrap();
+            let seq = Sequence::from_text(format!("{id}_{i}"), Alphabet::Protein, &text).unwrap();
             set.push(seq).unwrap();
         }
         set

@@ -6,6 +6,8 @@
 //! swdual search   --db DB.(fasta|sqb) --queries Q.fasta
 //!                 [--cpus N] [--gpus N] [--policy dual|dual-dp|self]
 //!                 [--top K] [--gap-open N] [--gap-extend N] [--evalues]
+//!                 [--trace-out TRACE.json] [--metrics-out METRICS.prom]
+//!                 [--journal-out EVENTS.jsonl]
 //! swdual convert  --input DB.fasta --output DB.sqb
 //! swdual generate --sequences N --mean-len L --output DB.fasta [--seed S]
 //! swdual info     --db DB.(fasta|sqb)
@@ -21,7 +23,6 @@ use swdual_datagen::{synthetic_database, LengthModel};
 use swdual_runtime::{AllocationPolicy, WorkerSpec};
 use swdual_sched::dual::KnapsackMethod;
 use swdual_sched::knapsack::DpConfig;
-
 
 /// Print to stdout, exiting quietly when the reader has gone away
 /// (`swdual info db | head` must not panic on the broken pipe).
@@ -41,6 +42,8 @@ USAGE:
   swdual search   --db FILE --queries FILE [--cpus N] [--gpus N]
                   [--policy dual|dual-dp|self] [--top K]
                   [--gap-open N] [--gap-extend N] [--evalues]
+                  [--trace-out TRACE.json] [--metrics-out METRICS.prom]
+                  [--journal-out EVENTS.jsonl]
   swdual convert  --input FILE.fasta --output FILE.sqb
   swdual generate --sequences N --mean-len L --output FILE [--seed S]
   swdual info     --db FILE
@@ -84,9 +87,15 @@ fn load_set(path: &str) -> Result<SequenceSet, String> {
 fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     let db_path = flags.get("db").ok_or("--db is required")?;
     let q_path = flags.get("queries").ok_or("--queries is required")?;
-    let cpus: usize = flags.get("cpus").map_or(Ok(1), |v| v.parse().map_err(|_| "--cpus"))?;
-    let gpus: usize = flags.get("gpus").map_or(Ok(1), |v| v.parse().map_err(|_| "--gpus"))?;
-    let top: usize = flags.get("top").map_or(Ok(10), |v| v.parse().map_err(|_| "--top"))?;
+    let cpus: usize = flags
+        .get("cpus")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| "--cpus"))?;
+    let gpus: usize = flags
+        .get("gpus")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| "--gpus"))?;
+    let top: usize = flags
+        .get("top")
+        .map_or(Ok(10), |v| v.parse().map_err(|_| "--top"))?;
     let gap_open: i32 = flags
         .get("gap-open")
         .map_or(Ok(10), |v| v.parse().map_err(|_| "--gap-open"))?;
@@ -122,14 +131,34 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     }
     let scheme = ScoringScheme::new(Matrix::blosum62().clone(), gap_open, gap_extend);
     let query_lens: Vec<usize> = queries.iter().map(|s| s.len()).collect();
-    let report = SearchBuilder::new()
+    let trace_out = flags.get("trace-out");
+    let metrics_out = flags.get("metrics-out");
+    let journal_out = flags.get("journal-out");
+    let observe = trace_out.is_some() || metrics_out.is_some() || journal_out.is_some();
+    let mut builder = SearchBuilder::new()
         .database(database)
         .queries(queries)
         .workers(workers)
         .scheme(scheme)
         .policy(policy)
-        .top_k(top)
-        .run();
+        .top_k(top);
+    if observe {
+        builder = builder.observe();
+    }
+    let report = builder.run();
+
+    if let Some(path) = trace_out {
+        std::fs::write(path, report.timeline()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace: wrote Chrome-trace JSON to {path}");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, report.metrics()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics: wrote Prometheus text to {path}");
+    }
+    if let Some(path) = journal_out {
+        std::fs::write(path, report.journal()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("journal: wrote JSON-lines events to {path}");
+    }
 
     let evalues = flags.contains_key("evalues");
     let stats = karlin::gapped_params(gap_open, gap_extend);
@@ -226,7 +255,11 @@ fn cmd_info(flags: HashMap<String, String>) -> Result<(), String> {
     if let Some(stats) = LengthStats::of_set(&set) {
         outln!(
             "lengths:   min {} / median {} / mean {:.1} / max {} (sd {:.1})",
-            stats.min, stats.median, stats.mean, stats.max, stats.std_dev
+            stats.min,
+            stats.median,
+            stats.mean,
+            stats.max,
+            stats.std_dev
         );
     }
     Ok(())

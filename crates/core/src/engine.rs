@@ -5,6 +5,7 @@ use swdual_bio::error::BioError;
 use swdual_bio::fasta::ResiduePolicy;
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::{Alphabet, ScoringScheme};
+use swdual_obs::Obs;
 use swdual_runtime::{run_search, AllocationPolicy, RuntimeConfig, WorkerSpec};
 use swdual_sched::dual::KnapsackMethod;
 
@@ -17,6 +18,7 @@ pub struct SearchBuilder {
     workers: Vec<WorkerSpec>,
     policy: AllocationPolicy,
     top_k: usize,
+    obs: Obs,
 }
 
 impl Default for SearchBuilder {
@@ -37,6 +39,7 @@ impl SearchBuilder {
             workers: vec![WorkerSpec::cpu_default(), WorkerSpec::gpu_default()],
             policy: AllocationPolicy::DualApprox(KnapsackMethod::Greedy),
             top_k: 10,
+            obs: Obs::disabled(),
         }
     }
 
@@ -126,6 +129,25 @@ impl SearchBuilder {
         self
     }
 
+    /// Enable structured tracing: master phases, scheduler decisions,
+    /// per-job worker spans and simulated-device activity are recorded
+    /// into the report, from which [`SearchReport::timeline`],
+    /// [`SearchReport::metrics`] and [`SearchReport::journal`] export.
+    /// Off by default; the disabled recorder costs one branch per
+    /// would-be event in the hot path.
+    pub fn observe(mut self) -> Self {
+        self.obs = Obs::enabled();
+        self
+    }
+
+    /// Use a caller-supplied recorder (e.g. one shared with other
+    /// subsystems). Pass [`Obs::enabled`] to record, [`Obs::disabled`]
+    /// to switch tracing back off.
+    pub fn observability(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Launch the search.
     ///
     /// # Panics
@@ -138,11 +160,12 @@ impl SearchBuilder {
             scheme: self.scheme,
             policy: self.policy,
             top_k: self.top_k,
+            obs: self.obs.clone(),
         };
         let db_meta: Vec<String> = database.iter().map(|s| s.id.clone()).collect();
         let query_meta: Vec<String> = queries.iter().map(|s| s.id.clone()).collect();
         let outcome = run_search(database, queries, &self.workers, config);
-        SearchReport::new(outcome, db_meta, query_meta)
+        SearchReport::new(outcome, db_meta, query_meta).with_obs(self.obs)
     }
 }
 

@@ -42,14 +42,16 @@
 pub mod engine;
 pub mod report;
 
-/// Re-export: sequence substrate.
-pub use swdual_bio as bio;
 /// Re-export: alignment kernels.
 pub use swdual_align as align;
+/// Re-export: sequence substrate.
+pub use swdual_bio as bio;
 /// Re-export: workload generators.
 pub use swdual_datagen as datagen;
 /// Re-export: GPU device simulator.
 pub use swdual_gpusim as gpusim;
+/// Re-export: structured event recording and exporters.
+pub use swdual_obs as obs;
 /// Re-export: virtual-time platform model.
 pub use swdual_platform as platform;
 /// Re-export: master-slave runtime.
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use crate::engine::SearchBuilder;
     pub use crate::report::SearchReport;
     pub use swdual_bio::{Alphabet, Matrix, ScoringScheme, Sequence, SequenceSet};
+    pub use swdual_obs::{Obs, Track};
     pub use swdual_runtime::{AllocationPolicy, RuntimeConfig, WorkerSpec};
     pub use swdual_sched::{PlatformSpec, TaskSet};
 }

@@ -1,6 +1,7 @@
 //! Search reports: results plus accounting, with human-readable
 //! rendering ("present them to the user", paper Figure 6).
 
+use swdual_obs::Obs;
 use swdual_runtime::{QueryHits, SearchOutcome, WorkerStats};
 use swdual_sched::schedule::Schedule;
 
@@ -10,6 +11,7 @@ pub struct SearchReport {
     outcome: SearchOutcome,
     database_ids: Vec<String>,
     query_ids: Vec<String>,
+    obs: Obs,
 }
 
 impl SearchReport {
@@ -23,7 +25,15 @@ impl SearchReport {
             outcome,
             database_ids,
             query_ids,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach the recorder the search ran with, so the exporters below
+    /// have events to draw from.
+    pub fn with_obs(mut self, obs: Obs) -> SearchReport {
+        self.obs = obs;
+        self
     }
 
     /// Ranked hits per query.
@@ -101,6 +111,31 @@ impl SearchReport {
             .collect()
     }
 
+    /// The event recorder the search ran with. Empty (disabled) unless
+    /// the search was built with `SearchBuilder::observe`.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Chrome-trace (Perfetto-loadable) JSON of the run: wall-clock
+    /// spans, modelled execution per worker and the planned schedule on
+    /// separate process tracks. Valid-but-empty when tracing was off.
+    pub fn timeline(&self) -> String {
+        swdual_obs::export::chrome_trace(&self.obs)
+    }
+
+    /// Prometheus-style text metrics aggregated from the recorded
+    /// events and counters.
+    pub fn metrics(&self) -> String {
+        swdual_obs::export::metrics_text(&self.obs)
+    }
+
+    /// JSON-lines journal: one event object per line, in recording
+    /// order.
+    pub fn journal(&self) -> String {
+        swdual_obs::export::journal_jsonl(&self.obs)
+    }
+
     /// Render the hit lists like a classic search tool report.
     pub fn render_hits(&self, per_query: usize) -> String {
         let mut out = String::new();
@@ -118,9 +153,8 @@ impl SearchReport {
 
     /// Render the per-worker summary table.
     pub fn render_workers(&self) -> String {
-        let mut out = String::from(
-            "worker  engine                     tasks  modelled-busy(s)  GCUPS\n",
-        );
+        let mut out =
+            String::from("worker  engine                     tasks  modelled-busy(s)  GCUPS\n");
         for s in &self.outcome.worker_stats {
             out.push_str(&format!(
                 "{:>6}  {:<25} {:>6}  {:>16.3}  {:>5.2}\n",
@@ -184,6 +218,46 @@ mod tests {
         }
         // The top hit is the (near-)identical source: tiny E-value.
         assert!(annotated[0].3 < 1e-6, "E = {}", annotated[0].3);
+    }
+
+    #[test]
+    fn observed_report_exports_nonempty_timeline_and_metrics() {
+        let db = synthetic_database("db", 12, LengthModel::Fixed(60), 5);
+        let q = queries_from_database(&db, 2, 1, usize::MAX, &MutationProfile::homolog(), 6);
+        let r = SearchBuilder::new().database(db).queries(q).observe().run();
+        assert!(r.obs().is_enabled());
+        assert!(r.obs().event_count() > 0);
+
+        let trace = r.timeline();
+        let parsed = serde_json::from_str::<serde_json::Value>(&trace).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+
+        let metrics = r.metrics();
+        assert!(metrics.contains("swdual_events_total"));
+        assert!(metrics.contains("swdual_track_busy_modelled_seconds"));
+
+        let journal = r.journal();
+        assert_eq!(journal.lines().count(), r.obs().event_count());
+    }
+
+    #[test]
+    fn unobserved_report_exports_are_valid_but_empty() {
+        let r = report();
+        assert!(!r.obs().is_enabled());
+        let parsed = serde_json::from_str::<serde_json::Value>(&r.timeline()).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap();
+        // Only the fixed process-name metadata records, no spans.
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")));
+        assert!(r.journal().is_empty());
     }
 
     #[test]

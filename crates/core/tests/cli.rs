@@ -24,7 +24,11 @@ fn full_cli_workflow() {
         .args(["--output", fasta.to_str().unwrap(), "--seed", "9"])
         .output()
         .expect("run swdual generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("generated 120 sequences"));
 
     // convert
@@ -46,7 +50,10 @@ fn full_cli_workflow() {
         .unwrap();
     let fa = String::from_utf8_lossy(&info_fasta.stdout).replace(fasta.to_str().unwrap(), "");
     let sq = String::from_utf8_lossy(&info_sqb.stdout).replace(sqb.to_str().unwrap(), "");
-    assert_eq!(fa.lines().skip(1).collect::<Vec<_>>(), sq.lines().skip(1).collect::<Vec<_>>());
+    assert_eq!(
+        fa.lines().skip(1).collect::<Vec<_>>(),
+        sq.lines().skip(1).collect::<Vec<_>>()
+    );
     assert!(fa.contains("sequences: 120"));
 
     // search the database against three of its own sequences
@@ -66,7 +73,11 @@ fn full_cli_workflow() {
         .args(["--cpus", "1", "--gpus", "1", "--top", "2", "--evalues"])
         .output()
         .expect("run swdual search");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // Each query is a database member: its top hit is itself.
     for qid in ["synth_0", "synth_1", "synth_2"] {
@@ -75,7 +86,10 @@ fn full_cli_workflow() {
             .find(|b| b.starts_with(&format!("{qid}:")))
             .unwrap_or_else(|| panic!("no block for {qid} in:\n{stdout}"));
         let first_hit = block.lines().nth(1).expect("at least one hit");
-        assert!(first_hit.contains(qid), "{qid} not its own top hit: {first_hit}");
+        assert!(
+            first_hit.contains(qid),
+            "{qid} not its own top hit: {first_hit}"
+        );
         assert!(first_hit.contains('E'), "E-value missing: {first_hit}");
     }
 

@@ -122,7 +122,12 @@ impl LengthModel {
     /// Draw one length.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         match *self {
-            LengthModel::Gamma { mean, shape, min, max } => {
+            LengthModel::Gamma {
+                mean,
+                shape,
+                min,
+                max,
+            } => {
                 let scale = mean / shape;
                 let gamma = Gamma::new(shape, scale).expect("valid gamma parameters");
                 let v = gamma.sample(rng).round() as i64;

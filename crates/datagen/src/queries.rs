@@ -15,12 +15,7 @@ use swdual_bio::Alphabet;
 
 /// Random queries with lengths uniform in `[min_len, max_len]` —
 /// matches the paper's "minimum size 100 and maximum size 5,000".
-pub fn random_queries(
-    count: usize,
-    min_len: usize,
-    max_len: usize,
-    seed: u64,
-) -> SequenceSet {
+pub fn random_queries(count: usize, min_len: usize, max_len: usize, seed: u64) -> SequenceSet {
     assert!(min_len >= 1 && min_len <= max_len);
     let mut rng = StdRng::seed_from_u64(seed);
     let sampler = ProteinSampler::new();
@@ -160,8 +155,7 @@ mod tests {
     #[test]
     fn homolog_query_ranks_its_source_first() {
         let db = synthetic_database("db", 30, LengthModel::Fixed(200), 11);
-        let queries =
-            queries_from_database(&db, 3, 1, usize::MAX, &MutationProfile::homolog(), 12);
+        let queries = queries_from_database(&db, 3, 1, usize::MAX, &MutationProfile::homolog(), 12);
         let scheme = ScoringScheme::protein_default();
         for q in &queries {
             let src_id = q.description.strip_prefix("derived from ").unwrap();
@@ -172,7 +166,11 @@ mod tests {
                     best = (s, d.id.clone());
                 }
             }
-            assert_eq!(&best.1, src_id, "query {} should rank its source first", q.id);
+            assert_eq!(
+                &best.1, src_id,
+                "query {} should rank its source first",
+                q.id
+            );
         }
     }
 

@@ -19,12 +19,44 @@
 
 use crate::memory::{Allocation, DeviceMemory, MemoryError};
 use crate::spec::DeviceSpec;
+use serde::{Deserialize, Serialize};
 use swdual_align::interseq;
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::ScoringScheme;
+use swdual_obs::{Obs, Track};
 
-/// Counters accumulated over the device's lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// One entry in the device's event log.
+///
+/// The log is the source of truth: [`GpuDevice::stats`] is a fold over
+/// these events rather than a separately maintained set of counters, so
+/// the aggregate view can never drift from the recorded history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceEvent {
+    /// A host→device transfer.
+    Transfer {
+        /// Bytes moved over PCIe.
+        bytes: u64,
+        /// Virtual-clock start time in seconds.
+        start: f64,
+        /// Modelled transfer duration in seconds.
+        seconds: f64,
+    },
+    /// One kernel launch.
+    Kernel {
+        /// Query × subject residues actually compared.
+        useful_cells: u64,
+        /// Cells charged including warp padding.
+        padded_cells: u64,
+        /// Virtual-clock start time in seconds.
+        start: f64,
+        /// Modelled kernel duration in seconds.
+        seconds: f64,
+    },
+}
+
+/// Counters accumulated over the device's lifetime, derived from the
+/// event log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct DeviceStats {
     /// Kernels launched.
     pub kernels: u64,
@@ -104,7 +136,9 @@ pub struct GpuDevice {
     spec: DeviceSpec,
     memory: DeviceMemory,
     clock: f64,
-    stats: DeviceStats,
+    log: Vec<DeviceEvent>,
+    obs: Obs,
+    obs_device_id: usize,
 }
 
 impl GpuDevice {
@@ -116,8 +150,17 @@ impl GpuDevice {
             spec,
             memory,
             clock: 0.0,
-            stats: DeviceStats::default(),
+            log: Vec::new(),
+            obs: Obs::disabled(),
+            obs_device_id: 0,
         }
+    }
+
+    /// Route this device's kernel/transfer events to `obs` as spans on
+    /// [`Track::Device`]`(device_id)`, in addition to the internal log.
+    pub fn attach_obs(&mut self, obs: Obs, device_id: usize) {
+        self.obs = obs;
+        self.obs_device_id = device_id;
     }
 
     /// The device specification.
@@ -130,9 +173,34 @@ impl GpuDevice {
         self.clock
     }
 
-    /// Lifetime counters.
-    pub fn stats(&self) -> &DeviceStats {
-        &self.stats
+    /// The full event history, in execution order.
+    pub fn events(&self) -> &[DeviceEvent] {
+        &self.log
+    }
+
+    /// Lifetime counters, folded from the event log.
+    pub fn stats(&self) -> DeviceStats {
+        let mut stats = DeviceStats::default();
+        for event in &self.log {
+            match *event {
+                DeviceEvent::Transfer { bytes, seconds, .. } => {
+                    stats.bytes_h2d += bytes;
+                    stats.busy_seconds += seconds;
+                }
+                DeviceEvent::Kernel {
+                    useful_cells,
+                    padded_cells,
+                    seconds,
+                    ..
+                } => {
+                    stats.kernels += 1;
+                    stats.useful_cells += useful_cells;
+                    stats.padded_cells += padded_cells;
+                    stats.busy_seconds += seconds;
+                }
+            }
+        }
+        stats
     }
 
     /// Device memory state.
@@ -148,6 +216,7 @@ impl GpuDevice {
         database: &SequenceSet,
         sort_by_length: bool,
     ) -> Result<ResidentDb, MemoryError> {
+        let wall_start = self.obs.now();
         let bytes: u64 = database.total_residues();
         let allocation = self.memory.alloc(bytes)?;
 
@@ -169,9 +238,22 @@ impl GpuDevice {
             .collect();
 
         let t = self.spec.transfer_time(bytes);
+        let start = self.clock;
         self.clock += t;
-        self.stats.bytes_h2d += bytes;
-        self.stats.busy_seconds += t;
+        self.log.push(DeviceEvent::Transfer {
+            bytes,
+            start,
+            seconds: t,
+        });
+        self.obs.span(
+            Track::Device(self.obs_device_id),
+            "h2d_transfer",
+            wall_start,
+            self.obs.now() - wall_start,
+            Some((start, t)),
+            &[("bytes", bytes as f64)],
+        );
+        self.obs.counter("gpu_bytes_h2d", bytes as f64);
         Ok(ResidentDb {
             allocation,
             subjects,
@@ -194,7 +276,11 @@ impl GpuDevice {
 
     /// Prediction from lengths only (used by the platform model before
     /// any device exists).
-    pub fn predict_from_lengths(spec: &DeviceSpec, query_len: usize, subject_lengths_sorted_desc: &[usize]) -> f64 {
+    pub fn predict_from_lengths(
+        spec: &DeviceSpec,
+        query_len: usize,
+        subject_lengths_sorted_desc: &[usize],
+    ) -> f64 {
         if query_len == 0 || subject_lengths_sorted_desc.is_empty() {
             return spec.kernel_launch_latency;
         }
@@ -232,6 +318,7 @@ impl GpuDevice {
         db: &ResidentDb,
         scheme: &ScoringScheme,
     ) -> KernelResult {
+        let wall_start = self.obs.now();
         // Exact scores via the inter-sequence kernel (device order).
         let refs: Vec<&[u8]> = db.subjects.iter().map(|s| s.as_slice()).collect();
         let device_scores = interseq::interseq_search(query, &refs, scheme);
@@ -255,11 +342,27 @@ impl GpuDevice {
             padded += max_len * warp.len() as u64 * query.len() as u64;
         }
 
+        let start = self.clock;
         self.clock += kernel_seconds;
-        self.stats.kernels += 1;
-        self.stats.useful_cells += useful;
-        self.stats.padded_cells += padded;
-        self.stats.busy_seconds += kernel_seconds;
+        self.log.push(DeviceEvent::Kernel {
+            useful_cells: useful,
+            padded_cells: padded,
+            start,
+            seconds: kernel_seconds,
+        });
+        self.obs.span(
+            Track::Device(self.obs_device_id),
+            "kernel",
+            wall_start,
+            self.obs.now() - wall_start,
+            Some((start, kernel_seconds)),
+            &[
+                ("useful_cells", useful as f64),
+                ("padded_cells", padded as f64),
+            ],
+        );
+        self.obs.counter("gpu_kernels", 1.0);
+        self.obs.counter("gpu_useful_cells", useful as f64);
 
         KernelResult {
             scores,

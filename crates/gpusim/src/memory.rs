@@ -29,7 +29,10 @@ impl std::fmt::Display for MemoryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemoryError::OutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested} B, free {free} B")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, free {free} B"
+                )
             }
             MemoryError::InvalidHandle => write!(f, "invalid device allocation handle"),
         }
@@ -101,14 +104,20 @@ impl DeviceMemory {
 
     /// Release an allocation.
     pub fn release(&mut self, handle: Allocation) -> Result<(), MemoryError> {
-        let bytes = self.live.remove(&handle.0).ok_or(MemoryError::InvalidHandle)?;
+        let bytes = self
+            .live
+            .remove(&handle.0)
+            .ok_or(MemoryError::InvalidHandle)?;
         self.used -= bytes;
         Ok(())
     }
 
     /// Size of a live allocation.
     pub fn size_of(&self, handle: Allocation) -> Result<u64, MemoryError> {
-        self.live.get(&handle.0).copied().ok_or(MemoryError::InvalidHandle)
+        self.live
+            .get(&handle.0)
+            .copied()
+            .ok_or(MemoryError::InvalidHandle)
     }
 }
 
@@ -135,7 +144,13 @@ mod tests {
         let mut mem = DeviceMemory::new(100);
         mem.alloc(80).unwrap();
         let err = mem.alloc(30).unwrap_err();
-        assert_eq!(err, MemoryError::OutOfMemory { requested: 30, free: 20 });
+        assert_eq!(
+            err,
+            MemoryError::OutOfMemory {
+                requested: 30,
+                free: 20
+            }
+        );
         assert!(err.to_string().contains("30"));
     }
 

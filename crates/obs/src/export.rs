@@ -1,0 +1,373 @@
+//! Exporters over a recorded event stream.
+//!
+//! Three formats:
+//!
+//! * [`journal_jsonl`] — one JSON object per line per event, in
+//!   recording order; the raw material for ad-hoc analysis.
+//! * [`metrics_text`] — Prometheus-style text exposition: aggregate
+//!   counters plus busy-time/event-count gauges derived per track.
+//! * [`chrome_trace`] — Chrome-trace (Perfetto / `chrome://tracing`)
+//!   JSON. Three synthetic processes separate the clocks: pid 1 holds
+//!   wall-clock spans, pid 2 holds modelled-clock *actual* execution,
+//!   pid 3 holds the *planned* schedule — so loading the file shows
+//!   plan vs reality side by side on the same modelled time axis.
+
+use crate::{Event, EventKind, Obs, Track};
+use serde::Value;
+
+/// Microseconds in the trace's time unit per second of ours.
+const TRACE_US: f64 = 1.0e6;
+
+fn args_value(event: &Event) -> Value {
+    Value::Object(
+        event
+            .args
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Float(*v)))
+            .collect(),
+    )
+}
+
+/// Render all events as JSON lines, one event per line.
+pub fn journal_jsonl(obs: &Obs) -> String {
+    let mut out = String::new();
+    for event in obs.events() {
+        let mut fields = vec![
+            ("track".to_string(), Value::Str(event.track.label())),
+            ("name".to_string(), Value::Str(event.name.clone())),
+            (
+                "kind".to_string(),
+                Value::Str(
+                    match event.kind {
+                        EventKind::Span => "span",
+                        EventKind::Instant => "instant",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("wall_start".to_string(), Value::Float(event.wall_start)),
+            ("wall_dur".to_string(), Value::Float(event.wall_dur)),
+        ];
+        if let (Some(vs), Some(vd)) = (event.virt_start, event.virt_dur) {
+            fields.push(("virt_start".to_string(), Value::Float(vs)));
+            fields.push(("virt_dur".to_string(), Value::Float(vd)));
+        }
+        if !event.args.is_empty() {
+            fields.push(("args".to_string(), args_value(&event)));
+        }
+        out.push_str(
+            &serde_json::to_string(&Value::Object(fields)).expect("journal event serialises"),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn sanitize_metric(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Render counters and per-track aggregates in Prometheus text format.
+pub fn metrics_text(obs: &Obs) -> String {
+    let mut out = String::new();
+
+    out.push_str("# TYPE swdual_events_total counter\n");
+    out.push_str(&format!("swdual_events_total {}\n", obs.event_count()));
+
+    let counters = obs.counters();
+    if !counters.is_empty() {
+        out.push_str("# TYPE swdual_counter counter\n");
+        for (name, value) in &counters {
+            out.push_str(&format!(
+                "swdual_counter{{name=\"{}\"}} {}\n",
+                sanitize_metric(name),
+                value
+            ));
+        }
+    }
+
+    // Busy seconds and span counts per track, on both clocks.
+    let mut tracks: Vec<(Track, f64, f64, u64)> = Vec::new();
+    for event in obs.events() {
+        if event.kind != EventKind::Span {
+            continue;
+        }
+        let entry = match tracks.iter_mut().find(|(t, ..)| *t == event.track) {
+            Some(entry) => entry,
+            None => {
+                tracks.push((event.track, 0.0, 0.0, 0));
+                tracks.last_mut().expect("just pushed")
+            }
+        };
+        entry.1 += event.wall_dur;
+        entry.2 += event.virt_dur.unwrap_or(0.0);
+        entry.3 += 1;
+    }
+    tracks.sort_by_key(|(t, ..)| *t);
+    if !tracks.is_empty() {
+        out.push_str("# TYPE swdual_track_busy_wall_seconds gauge\n");
+        for (track, wall, _, _) in &tracks {
+            out.push_str(&format!(
+                "swdual_track_busy_wall_seconds{{track=\"{}\"}} {}\n",
+                track.label(),
+                wall
+            ));
+        }
+        out.push_str("# TYPE swdual_track_busy_modelled_seconds gauge\n");
+        for (track, _, virt, _) in &tracks {
+            out.push_str(&format!(
+                "swdual_track_busy_modelled_seconds{{track=\"{}\"}} {}\n",
+                track.label(),
+                virt
+            ));
+        }
+        out.push_str("# TYPE swdual_track_spans_total counter\n");
+        for (track, _, _, spans) in &tracks {
+            out.push_str(&format!(
+                "swdual_track_spans_total{{track=\"{}\"}} {}\n",
+                track.label(),
+                spans
+            ));
+        }
+    }
+    out
+}
+
+/// Process ids separating the three timelines in the trace viewer.
+const PID_WALL: u64 = 1;
+const PID_MODELLED: u64 = 2;
+const PID_PLANNED: u64 = 3;
+
+/// Thread id inside a trace process for a track.
+fn trace_tid(track: Track) -> u64 {
+    match track {
+        Track::Master => 0,
+        Track::Scheduler => 1,
+        Track::Worker(id) | Track::Planned(id) => 10 + id as u64,
+        Track::Device(id) => 1000 + id as u64,
+    }
+}
+
+fn meta_event(pid: u64, tid: Option<u64>, which: &str, label: &str) -> Value {
+    let mut fields = vec![
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::UInt(pid)),
+        ("name".to_string(), Value::Str(which.to_string())),
+        (
+            "args".to_string(),
+            Value::Object(vec![("name".to_string(), Value::Str(label.to_string()))]),
+        ),
+    ];
+    if let Some(tid) = tid {
+        fields.insert(2, ("tid".to_string(), Value::UInt(tid)));
+    }
+    Value::Object(fields)
+}
+
+fn complete_event(pid: u64, tid: u64, event: &Event, start: f64, dur: f64) -> Value {
+    Value::Object(vec![
+        ("ph".to_string(), Value::Str("X".to_string())),
+        ("pid".to_string(), Value::UInt(pid)),
+        ("tid".to_string(), Value::UInt(tid)),
+        ("name".to_string(), Value::Str(event.name.clone())),
+        ("ts".to_string(), Value::Float(start * TRACE_US)),
+        ("dur".to_string(), Value::Float(dur * TRACE_US)),
+        ("args".to_string(), args_value(event)),
+    ])
+}
+
+fn instant_event(pid: u64, tid: u64, event: &Event) -> Value {
+    Value::Object(vec![
+        ("ph".to_string(), Value::Str("i".to_string())),
+        ("pid".to_string(), Value::UInt(pid)),
+        ("tid".to_string(), Value::UInt(tid)),
+        ("name".to_string(), Value::Str(event.name.clone())),
+        ("ts".to_string(), Value::Float(event.wall_start * TRACE_US)),
+        ("s".to_string(), Value::Str("t".to_string())),
+        ("args".to_string(), args_value(event)),
+    ])
+}
+
+/// Render the event stream as Chrome-trace JSON.
+///
+/// The returned document has a single `traceEvents` array. Load it in
+/// `chrome://tracing` or <https://ui.perfetto.dev>: the "planned
+/// schedule" process mirrors the "modelled execution" process row for
+/// row, so slippage between the scheduler's plan and what the workers
+/// actually did is visible at a glance.
+pub fn chrome_trace(obs: &Obs) -> String {
+    let events = obs.events();
+    let mut trace: Vec<Value> = Vec::new();
+
+    trace.push(meta_event(PID_WALL, None, "process_name", "wall clock"));
+    trace.push(meta_event(
+        PID_MODELLED,
+        None,
+        "process_name",
+        "modelled execution",
+    ));
+    trace.push(meta_event(
+        PID_PLANNED,
+        None,
+        "process_name",
+        "planned schedule",
+    ));
+
+    // Name each (pid, tid) row after its track.
+    let mut named: Vec<(u64, u64)> = Vec::new();
+    for event in &events {
+        let tid = trace_tid(event.track);
+        let pids: &[u64] = match event.track {
+            Track::Planned(_) => &[PID_PLANNED],
+            _ => &[PID_WALL, PID_MODELLED],
+        };
+        for &pid in pids {
+            if !named.contains(&(pid, tid)) {
+                named.push((pid, tid));
+                trace.push(meta_event(
+                    pid,
+                    Some(tid),
+                    "thread_name",
+                    &event.track.label(),
+                ));
+            }
+        }
+    }
+
+    for event in &events {
+        let tid = trace_tid(event.track);
+        match event.track {
+            Track::Planned(_) => {
+                // Planned placements live on the modelled clock only.
+                if let (Some(vs), Some(vd)) = (event.virt_start, event.virt_dur) {
+                    trace.push(complete_event(PID_PLANNED, tid, event, vs, vd));
+                }
+            }
+            _ => match event.kind {
+                EventKind::Span => {
+                    trace.push(complete_event(
+                        PID_WALL,
+                        tid,
+                        event,
+                        event.wall_start,
+                        event.wall_dur,
+                    ));
+                    if let (Some(vs), Some(vd)) = (event.virt_start, event.virt_dur) {
+                        trace.push(complete_event(PID_MODELLED, tid, event, vs, vd));
+                    }
+                }
+                EventKind::Instant => {
+                    trace.push(instant_event(PID_WALL, tid, event));
+                }
+            },
+        }
+    }
+
+    serde_json::to_string_pretty(&Value::Object(vec![(
+        "traceEvents".to_string(),
+        Value::Array(trace),
+    )]))
+    .expect("trace serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_obs() -> Obs {
+        let obs = Obs::enabled();
+        obs.span(Track::Master, "allocate", 0.0, 0.2, None, &[]);
+        obs.span(
+            Track::Worker(0),
+            "task-0",
+            0.2,
+            1.0,
+            Some((0.0, 1.1)),
+            &[("cells", 42.0)],
+        );
+        obs.virtual_span(Track::Planned(0), "task-0", 0.0, 1.0, &[]);
+        obs.instant(Track::Scheduler, "lambda", &[("value", 0.7)]);
+        obs.counter("cells", 42.0);
+        obs
+    }
+
+    #[test]
+    fn journal_emits_one_line_per_event() {
+        let journal = journal_jsonl(&sample_obs());
+        let lines: Vec<&str> = journal.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let value: Value = serde_json::from_str(line).expect("journal line parses");
+            assert!(value.get("track").is_some());
+            assert!(value.get("name").is_some());
+        }
+        assert!(lines[1].contains("\"virt_dur\""));
+        assert!(lines[3].contains("\"instant\""));
+    }
+
+    #[test]
+    fn metrics_include_counters_and_track_aggregates() {
+        let metrics = metrics_text(&sample_obs());
+        assert!(metrics.contains("swdual_events_total 4"));
+        assert!(metrics.contains("swdual_counter{name=\"cells\"} 42"));
+        assert!(metrics.contains("swdual_track_busy_wall_seconds{track=\"worker:0\"} 1"));
+        assert!(metrics.contains("swdual_track_busy_modelled_seconds{track=\"worker:0\"} 1.1"));
+        assert!(metrics.contains("swdual_track_spans_total{track=\"master\"} 1"));
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_separates_clocks() {
+        let trace = chrome_trace(&sample_obs());
+        let value: Value = serde_json::from_str(&trace).expect("trace parses");
+        let events = value
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+
+        let span_on = |pid: u64| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some("X")
+                        && e.get("pid").and_then(Value::as_u64) == Some(pid)
+                })
+                .count()
+        };
+        // Master + worker wall spans; worker modelled span; planned span.
+        assert_eq!(span_on(1), 2);
+        assert_eq!(span_on(2), 1);
+        assert_eq!(span_on(3), 1);
+
+        // Planned and actual worker rows share a tid for side-by-side
+        // comparison.
+        let tid_of = |pid: u64| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some("X")
+                        && e.get("pid").and_then(Value::as_u64) == Some(pid)
+                })
+                .and_then(|e| e.get("tid").and_then(Value::as_u64))
+                .expect("span has tid")
+        };
+        assert_eq!(tid_of(2), tid_of(3));
+    }
+
+    #[test]
+    fn disabled_obs_exports_are_empty_but_valid() {
+        let obs = Obs::disabled();
+        assert!(journal_jsonl(&obs).is_empty());
+        assert!(metrics_text(&obs).contains("swdual_events_total 0"));
+        let value: Value = serde_json::from_str(&chrome_trace(&obs)).expect("empty trace parses");
+        assert_eq!(
+            value
+                .get("traceEvents")
+                .and_then(Value::as_array)
+                .map(Vec::len),
+            Some(3)
+        );
+    }
+}

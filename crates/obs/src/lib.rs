@@ -1,0 +1,327 @@
+//! Structured observability for the SWDUAL runtime.
+//!
+//! The recorder captures *events* — spans and instants — on named
+//! tracks, each stamped on up to two clocks:
+//!
+//! * the **wall clock**: real elapsed seconds since the recorder was
+//!   created (`Instant`-based, monotonic);
+//! * the **modelled clock**: virtual seconds from the platform's rate
+//!   models, the clock the paper's makespan bounds are stated in.
+//!
+//! A disabled recorder ([`Obs::disabled`], also the `Default`) is a
+//! `None` behind a cheap `Clone`; every recording method returns before
+//! touching a lock or allocating, so instrumented hot paths (the
+//! per-job worker loop, scheduler inner loops) cost a branch when
+//! tracing is off. Enabled recorders share one `Arc`'d buffer and may
+//! be cloned freely across threads.
+//!
+//! Exports live in [`export`]: a JSON-lines journal, a
+//! Prometheus-style text snapshot, and a Chrome-trace (Perfetto) JSON
+//! timeline that overlays the planned schedule against actual
+//! per-worker execution.
+
+pub mod export;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which timeline an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Track {
+    /// Master orchestration phases (register/allocate/dispatch/merge).
+    Master,
+    /// Scheduler internals (binary-search iterations, knapsack picks).
+    Scheduler,
+    /// Actual execution on worker `id`.
+    Worker(usize),
+    /// Planned (scheduled) occupation of worker `id`.
+    Planned(usize),
+    /// Simulated device `id` kernel/transfer activity.
+    Device(usize),
+}
+
+impl Track {
+    /// Stable text label used by all exporters.
+    pub fn label(&self) -> String {
+        match self {
+            Track::Master => "master".to_string(),
+            Track::Scheduler => "scheduler".to_string(),
+            Track::Worker(id) => format!("worker:{id}"),
+            Track::Planned(id) => format!("planned:{id}"),
+            Track::Device(id) => format!("device:{id}"),
+        }
+    }
+}
+
+/// Span (has duration) or instant (point in time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An interval with a start and a duration.
+    Span,
+    /// A point event; durations are zero.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Timeline the event belongs to.
+    pub track: Track,
+    /// Event name (e.g. phase, task or kernel identifier).
+    pub name: String,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Wall-clock start, seconds since recorder creation.
+    pub wall_start: f64,
+    /// Wall-clock duration in seconds (zero for instants).
+    pub wall_dur: f64,
+    /// Modelled-clock start in seconds, when the event has one.
+    pub virt_start: Option<f64>,
+    /// Modelled-clock duration in seconds, when the event has one.
+    pub virt_dur: Option<f64>,
+    /// Free-form numeric annotations.
+    pub args: Vec<(String, f64)>,
+}
+
+struct Inner {
+    origin: Instant,
+    events: Mutex<Vec<Event>>,
+    counters: Mutex<BTreeMap<String, f64>>,
+}
+
+/// Handle to a recorder; cheap to clone and share across threads.
+///
+/// The default handle is disabled: recording methods are no-ops that
+/// take no locks and perform no allocations.
+#[derive(Clone, Default)]
+pub struct Obs(Option<Arc<Inner>>);
+
+impl Obs {
+    /// A recorder that drops everything (the default).
+    pub fn disabled() -> Obs {
+        Obs(None)
+    }
+
+    /// A live recorder; its wall clock starts now.
+    pub fn enabled() -> Obs {
+        Obs(Some(Arc::new(Inner {
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+        })))
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Wall-clock seconds since the recorder was created (0 when
+    /// disabled).
+    pub fn now(&self) -> f64 {
+        match &self.0 {
+            Some(inner) => inner.origin.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Record a span with explicit wall times and optional modelled
+    /// times. `virt` is `(start, duration)` on the modelled clock.
+    pub fn span(
+        &self,
+        track: Track,
+        name: &str,
+        wall_start: f64,
+        wall_dur: f64,
+        virt: Option<(f64, f64)>,
+        args: &[(&str, f64)],
+    ) {
+        let Some(inner) = &self.0 else { return };
+        let event = Event {
+            track,
+            name: name.to_string(),
+            kind: EventKind::Span,
+            wall_start,
+            wall_dur,
+            virt_start: virt.map(|(s, _)| s),
+            virt_dur: virt.map(|(_, d)| d),
+            args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        };
+        inner.events.lock().expect("obs events lock").push(event);
+    }
+
+    /// Record a span that exists only on the modelled clock (e.g. a
+    /// planned placement). It is pinned at wall time zero.
+    pub fn virtual_span(
+        &self,
+        track: Track,
+        name: &str,
+        virt_start: f64,
+        virt_dur: f64,
+        args: &[(&str, f64)],
+    ) {
+        if self.0.is_none() {
+            return;
+        }
+        self.span(track, name, 0.0, 0.0, Some((virt_start, virt_dur)), args);
+    }
+
+    /// Record a point event at the current wall time.
+    pub fn instant(&self, track: Track, name: &str, args: &[(&str, f64)]) {
+        let Some(inner) = &self.0 else { return };
+        let event = Event {
+            track,
+            name: name.to_string(),
+            kind: EventKind::Instant,
+            wall_start: inner.origin.elapsed().as_secs_f64(),
+            wall_dur: 0.0,
+            virt_start: None,
+            virt_dur: None,
+            args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        };
+        inner.events.lock().expect("obs events lock").push(event);
+    }
+
+    /// Add `delta` to the named aggregate counter.
+    pub fn counter(&self, name: &str, delta: f64) {
+        let Some(inner) = &self.0 else { return };
+        let mut counters = inner.counters.lock().expect("obs counters lock");
+        match counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Snapshot of all recorded events, in recording order.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.0 {
+            Some(inner) => inner.events.lock().expect("obs events lock").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, f64)> {
+        match &self.0 {
+            Some(inner) => inner
+                .counters
+                .lock()
+                .expect("obs counters lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        match &self.0 {
+            Some(inner) => inner.events.lock().expect("obs events lock").len(),
+            None => 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .field("events", &self.event_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let obs = Obs::disabled();
+        obs.span(Track::Master, "phase", 0.0, 1.0, None, &[]);
+        obs.instant(Track::Scheduler, "tick", &[("lambda", 0.5)]);
+        obs.counter("cells", 100.0);
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.event_count(), 0);
+        assert!(obs.events().is_empty());
+        assert!(obs.counters().is_empty());
+        assert_eq!(obs.now(), 0.0);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Obs::default().is_enabled());
+    }
+
+    #[test]
+    fn enabled_records_spans_and_counters() {
+        let obs = Obs::enabled();
+        obs.span(
+            Track::Worker(2),
+            "task-0",
+            0.5,
+            1.5,
+            Some((0.0, 2.0)),
+            &[("cells", 64.0)],
+        );
+        obs.virtual_span(Track::Planned(2), "task-0", 0.0, 2.0, &[]);
+        obs.counter("cells", 64.0);
+        obs.counter("cells", 36.0);
+
+        let events = obs.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].track, Track::Worker(2));
+        assert_eq!(events[0].name, "task-0");
+        assert_eq!(events[0].virt_dur, Some(2.0));
+        assert_eq!(events[0].args, vec![("cells".to_string(), 64.0)]);
+        assert_eq!(events[1].track, Track::Planned(2));
+        assert_eq!(obs.counters(), vec![("cells".to_string(), 100.0)]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let obs = Obs::enabled();
+        let other = obs.clone();
+        other.instant(Track::Master, "from-clone", &[]);
+        assert_eq!(obs.event_count(), 1);
+    }
+
+    #[test]
+    fn threads_can_record_concurrently() {
+        let obs = Obs::enabled();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let handle = obs.clone();
+                scope.spawn(move || {
+                    for j in 0..25 {
+                        handle.span(Track::Worker(w), &format!("job-{j}"), 0.0, 0.1, None, &[]);
+                        handle.counter("jobs", 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.event_count(), 100);
+        assert_eq!(obs.counters(), vec![("jobs".to_string(), 100.0)]);
+    }
+
+    #[test]
+    fn track_labels_are_stable() {
+        assert_eq!(Track::Master.label(), "master");
+        assert_eq!(Track::Scheduler.label(), "scheduler");
+        assert_eq!(Track::Worker(3).label(), "worker:3");
+        assert_eq!(Track::Planned(3).label(), "planned:3");
+        assert_eq!(Track::Device(0).label(), "device:0");
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let obs = Obs::enabled();
+        let a = obs.now();
+        let b = obs.now();
+        assert!(b >= a);
+    }
+}

@@ -227,7 +227,10 @@ mod tests {
         let cpu = EngineModel::swipe();
         let gpu_drop = gpu.rate_gcups(100) / gpu.rate_gcups(5000);
         let cpu_drop = cpu.rate_gcups(100) / cpu.rate_gcups(5000);
-        assert!(gpu_drop < 0.35, "GPU keeps {gpu_drop} of its rate at len 100");
+        assert!(
+            gpu_drop < 0.35,
+            "GPU keeps {gpu_drop} of its rate at len 100"
+        );
         assert!(cpu_drop > 0.75, "CPU keeps only {cpu_drop} at len 100");
     }
 
@@ -238,9 +241,7 @@ mod tests {
         let gpu = EngineModel::swdual_gpu_worker();
         let cpu = EngineModel::swdual_cpu_worker();
         let db = UNIPROT_RESIDUES;
-        let accel = |len: usize| {
-            cpu.task_seconds(len, db) / gpu.task_seconds(len, db)
-        };
+        let accel = |len: usize| cpu.task_seconds(len, db) / gpu.task_seconds(len, db);
         assert!(accel(5000) > accel(100) * 1.5);
     }
 
@@ -252,7 +253,12 @@ mod tests {
         let dog_residues = 14_800_000u64;
         let t = gpu.task_seconds(2500, dog_residues);
         let compute = t - gpu.per_task_overhead;
-        assert!(gpu.per_task_overhead > compute * 0.5, "overhead {} compute {}", gpu.per_task_overhead, compute);
+        assert!(
+            gpu.per_task_overhead > compute * 0.5,
+            "overhead {} compute {}",
+            gpu.per_task_overhead,
+            compute
+        );
     }
 
     #[test]

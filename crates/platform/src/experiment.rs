@@ -59,15 +59,17 @@ impl HybridPolicy {
             HybridPolicy::DualGreedy => {
                 dual_approx_schedule(tasks, platform, BinarySearchConfig::default()).schedule
             }
-            HybridPolicy::DualDp => dual_approx_schedule(
-                tasks,
-                platform,
-                BinarySearchConfig {
-                    method: KnapsackMethod::Dp(DpConfig::default()),
-                    ..BinarySearchConfig::default()
-                },
-            )
-            .schedule,
+            HybridPolicy::DualDp => {
+                dual_approx_schedule(
+                    tasks,
+                    platform,
+                    BinarySearchConfig {
+                        method: KnapsackMethod::Dp(DpConfig::default()),
+                        ..BinarySearchConfig::default()
+                    },
+                )
+                .schedule
+            }
             HybridPolicy::SelfScheduling => policies::self_scheduling(tasks, platform),
             HybridPolicy::Proportional => policies::proportional_split(tasks, platform),
             HybridPolicy::EqualPower => policies::equal_power_split(tasks, platform),

@@ -28,32 +28,52 @@ impl DatabaseSpec {
     /// Ensembl Dog Proteins: 25 160 sequences, ≈ 1.48e7 residues
     /// (Table IV: 78.36 s × 18.91 GCUPS at 2 workers ⇒ 1.482e12 cells).
     pub fn ensembl_dog() -> DatabaseSpec {
-        DatabaseSpec { name: "Ensembl Dog".into(), sequences: 25_160, residues: 14_820_000 }
+        DatabaseSpec {
+            name: "Ensembl Dog".into(),
+            sequences: 25_160,
+            residues: 14_820_000,
+        }
     }
 
     /// Ensembl Rat Proteins: 32 971 sequences, ≈ 1.74e7 residues
     /// (75.85 s × 22.97 GCUPS ⇒ 1.742e12 cells).
     pub fn ensembl_rat() -> DatabaseSpec {
-        DatabaseSpec { name: "Ensembl Rat".into(), sequences: 32_971, residues: 17_420_000 }
+        DatabaseSpec {
+            name: "Ensembl Rat".into(),
+            sequences: 32_971,
+            residues: 17_420_000,
+        }
     }
 
     /// RefSeq Mouse Proteins: 29 437 sequences, ≈ 1.60e7 residues
     /// (84.40 s × 18.99 GCUPS ⇒ 1.603e12 cells).
     pub fn refseq_mouse() -> DatabaseSpec {
-        DatabaseSpec { name: "RefSeq Mouse".into(), sequences: 29_437, residues: 16_030_000 }
+        DatabaseSpec {
+            name: "RefSeq Mouse".into(),
+            sequences: 29_437,
+            residues: 16_030_000,
+        }
     }
 
     /// RefSeq Human Proteins: 34 705 sequences, ≈ 1.97e7 residues
     /// (95.09 s × 20.70 GCUPS ⇒ 1.968e12 cells).
     pub fn refseq_human() -> DatabaseSpec {
-        DatabaseSpec { name: "RefSeq Human".into(), sequences: 34_705, residues: 19_680_000 }
+        DatabaseSpec {
+            name: "RefSeq Human".into(),
+            sequences: 34_705,
+            residues: 19_680_000,
+        }
     }
 
     /// UniProt: 537 505 sequences, ≈ 1.9455e8 residues (Table IV:
     /// 543.28 s × 35.81 GCUPS ⇒ 1.9455e13 cells over 1e5 query
     /// residues).
     pub fn uniprot() -> DatabaseSpec {
-        DatabaseSpec { name: "UniProt".into(), sequences: 537_505, residues: UNIPROT_RESIDUES }
+        DatabaseSpec {
+            name: "UniProt".into(),
+            sequences: 537_505,
+            residues: UNIPROT_RESIDUES,
+        }
     }
 
     /// The five databases of Table III, in the paper's order.
@@ -76,8 +96,7 @@ impl DatabaseSpec {
 /// Deterministic uniform sampler (splitmix-style) so workloads are
 /// reproducible without threading a RNG through every call site.
 fn det_uniform(seed: u64, i: u64, lo: usize, hi: usize) -> usize {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -115,13 +134,18 @@ impl Workload {
         let total: usize = lengths.iter().sum();
         let target = 100_000usize;
         for l in &mut lengths {
-            *l = ((*l as f64) * target as f64 / total as f64).round().max(100.0) as usize;
+            *l = ((*l as f64) * target as f64 / total as f64)
+                .round()
+                .max(100.0) as usize;
         }
         // Final exact correction on the largest entry.
         let diff = target as i64 - lengths.iter().sum::<usize>() as i64;
         let imax = (0..lengths.len()).max_by_key(|&i| lengths[i]).unwrap();
         lengths[imax] = (lengths[imax] as i64 + diff).max(100) as usize;
-        Workload { query_lengths: lengths, database }
+        Workload {
+            query_lengths: lengths,
+            database,
+        }
     }
 
     /// §V-C homogeneous set: 40 sequences of 4500–5000 aa.
@@ -129,7 +153,10 @@ impl Workload {
         let lengths = (0..40)
             .map(|i| det_uniform(0x5EED_4500, i, 4500, 5000))
             .collect();
-        Workload { query_lengths: lengths, database }
+        Workload {
+            query_lengths: lengths,
+            database,
+        }
     }
 
     /// §V-C heterogeneous set: 40 sequences of 4–35 213 aa (the
@@ -138,7 +165,10 @@ impl Workload {
         let lengths = (0..40)
             .map(|i| det_uniform(0x5EED_3521, i, 4, 35_213))
             .collect();
-        Workload { query_lengths: lengths, database }
+        Workload {
+            query_lengths: lengths,
+            database,
+        }
     }
 
     /// Total DP cells of this workload.
@@ -192,11 +222,7 @@ mod tests {
     fn database_mean_lengths_are_plausible_proteins() {
         for db in DatabaseSpec::all_paper_databases() {
             let mean = db.mean_length();
-            assert!(
-                (300.0..700.0).contains(&mean),
-                "{}: mean {mean}",
-                db.name
-            );
+            assert!((300.0..700.0).contains(&mean), "{}: mean {mean}", db.name);
         }
     }
 

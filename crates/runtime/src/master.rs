@@ -8,7 +8,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::ScoringScheme;
-use swdual_sched::binsearch::{dual_approx_schedule, BinarySearchConfig};
+use swdual_obs::{Obs, Track};
+use swdual_sched::binsearch::{dual_approx_schedule_observed, BinarySearchConfig};
 use swdual_sched::dual::KnapsackMethod;
 use swdual_sched::schedule::{PeKind, Schedule};
 use swdual_sched::{PlatformSpec, Task, TaskSet};
@@ -41,6 +42,11 @@ pub struct RuntimeConfig {
     pub policy: AllocationPolicy,
     /// Hits kept per query.
     pub top_k: usize,
+    /// Event recorder. Disabled by default: tracing then costs one
+    /// branch per would-be event and nothing else. Pass a clone of an
+    /// enabled [`Obs`] to capture master phases, scheduler decisions,
+    /// per-job worker spans and device activity.
+    pub obs: Obs,
 }
 
 impl Default for RuntimeConfig {
@@ -49,6 +55,7 @@ impl Default for RuntimeConfig {
             scheme: ScoringScheme::protein_default(),
             policy: AllocationPolicy::DualApprox(KnapsackMethod::Greedy),
             top_k: 10,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -91,6 +98,15 @@ impl SearchOutcome {
     }
 }
 
+/// Penalty factor applied to the present species' time to stand in for
+/// an absent species. Large enough that the knapsack never prefers the
+/// absent side, small enough that sums over any realistic task count
+/// stay finite — unlike the previous `f64::MAX / 4.0` sentinel, whose
+/// area sums overflowed to infinity and poisoned the scheduler's
+/// lower-bound and ratio-to-lower-bound diagnostics on single-species
+/// platforms.
+const ABSENT_SPECIES_PENALTY: f64 = 1.0e6;
+
 /// Build the scheduler instance from the rate models the workers
 /// declared at registration.
 fn build_tasks(
@@ -104,14 +120,16 @@ fn build_tasks(
             .iter()
             .enumerate()
             .map(|(id, q)| {
-                // With a species absent, give it a prohibitive (but
-                // finite) time so the scheduler never selects it.
-                let p_cpu = cpu_model
-                    .map(|m| m.task_seconds(q.len(), db_residues))
-                    .unwrap_or(f64::MAX / 4.0);
-                let p_gpu = gpu_model
-                    .map(|m| m.task_seconds(q.len(), db_residues))
-                    .unwrap_or(f64::MAX / 4.0);
+                let cpu = cpu_model.map(|m| m.task_seconds(q.len(), db_residues));
+                let gpu = gpu_model.map(|m| m.task_seconds(q.len(), db_residues));
+                // With a species absent, derive a prohibitive but
+                // finite time from the species that is present.
+                let (p_cpu, p_gpu) = match (cpu, gpu) {
+                    (Some(c), Some(g)) => (c, g),
+                    (Some(c), None) => (c, c * ABSENT_SPECIES_PENALTY),
+                    (None, Some(g)) => (g * ABSENT_SPECIES_PENALTY, g),
+                    (None, None) => unreachable!("at least one worker species registers"),
+                };
                 Task::new(id, p_cpu, p_gpu)
             })
             .collect(),
@@ -134,10 +152,7 @@ pub fn run_search(
     let database = Arc::new(database);
     let queries = Arc::new(queries);
     let db_residues = database.total_residues();
-    let total_cells: u64 = queries
-        .iter()
-        .map(|q| q.len() as u64 * db_residues)
-        .sum();
+    let total_cells: u64 = queries.iter().map(|q| q.len() as u64 * db_residues).sum();
 
     // Identify species.
     let cpu_worker_ids: Vec<usize> = workers
@@ -162,11 +177,13 @@ pub fn run_search(
     let (shared_tx, shared_rx) = channel::unbounded::<Job>();
     let mut private_tx: Vec<Option<channel::Sender<Job>>> = Vec::with_capacity(workers.len());
 
+    let obs = config.obs.clone();
     let start = Instant::now();
     let mut results: Vec<JobResult> = Vec::with_capacity(n_tasks);
     let mut schedule: Option<Schedule> = None;
 
     std::thread::scope(|scope| {
+        let t_register = obs.now();
         for (worker_id, spec) in workers.iter().enumerate() {
             let job_rx = if shared_queue {
                 private_tx.push(None);
@@ -181,6 +198,7 @@ pub fn run_search(
                 database: Arc::clone(&database),
                 queries: Arc::clone(&queries),
                 scheme: config.scheme.clone(),
+                obs: obs.clone(),
             };
             let spec = spec.clone();
             let result_tx = result_tx.clone();
@@ -198,63 +216,83 @@ pub fn run_search(
             reg_rx.iter().take(workers.len()).collect();
         registrations.sort_by_key(|r| r.worker_id);
         assert_eq!(registrations.len(), workers.len(), "every worker registers");
+        obs.span(
+            Track::Master,
+            "register",
+            t_register,
+            obs.now() - t_register,
+            None,
+            &[("workers", workers.len() as f64)],
+        );
 
         // Phase 3 — allocate from the *declared* rate models.
-        let cpu_model = registrations.iter().find(|r| !r.is_gpu).map(|r| r.rate_model);
-        let gpu_model = registrations.iter().find(|r| r.is_gpu).map(|r| r.rate_model);
+        let t_allocate = obs.now();
+        let cpu_model = registrations
+            .iter()
+            .find(|r| !r.is_gpu)
+            .map(|r| r.rate_model);
+        let gpu_model = registrations
+            .iter()
+            .find(|r| r.is_gpu)
+            .map(|r| r.rate_model);
         let tasks = build_tasks(&queries, db_residues, cpu_model, gpu_model);
-        match config.policy {
-            AllocationPolicy::DualApprox(method) => {
-                let outcome = dual_approx_schedule(
+        let planned: Option<Schedule> = match config.policy {
+            AllocationPolicy::DualApprox(method) => Some(
+                dual_approx_schedule_observed(
                     &tasks,
                     &platform,
                     BinarySearchConfig {
                         method,
                         ..BinarySearchConfig::default()
                     },
-                );
-                // Map PE -> worker id and order each worker's tasks by
-                // planned start time.
-                let mut jobs: Vec<Vec<(f64, Job)>> = vec![Vec::new(); workers.len()];
-                for p in &outcome.schedule.placements {
-                    let worker_id = match p.pe.kind {
-                        PeKind::Cpu => cpu_worker_ids[p.pe.index],
-                        PeKind::Gpu => gpu_worker_ids[p.pe.index],
-                    };
-                    jobs[worker_id].push((
-                        p.start,
-                        Job {
-                            task_id: p.task,
-                            query_index: p.task,
-                        },
-                    ));
-                }
-                for (worker_id, mut list) in jobs.into_iter().enumerate() {
-                    list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                    let tx = private_tx[worker_id].as_ref().expect("private queue");
-                    for (_, job) in list {
-                        tx.send(job).expect("queue open");
-                    }
-                }
-                schedule = Some(outcome.schedule);
-            }
-            AllocationPolicy::SelfScheduling => {
-                for task_id in 0..n_tasks {
-                    shared_tx
-                        .send(Job {
-                            task_id,
-                            query_index: task_id,
-                        })
-                        .expect("queue open");
-                }
-            }
+                    &obs,
+                )
+                .schedule,
+            ),
+            AllocationPolicy::SelfScheduling => None,
             AllocationPolicy::MultiRound { rounds } => {
-                let s = swdual_sched::multiround::multi_round_schedule(
+                Some(swdual_sched::multiround::multi_round_schedule(
                     &tasks,
                     &platform,
                     rounds,
                     BinarySearchConfig::default(),
-                );
+                ))
+            }
+        };
+        obs.span(
+            Track::Master,
+            "allocate",
+            t_allocate,
+            obs.now() - t_allocate,
+            None,
+            &[("tasks", n_tasks as f64)],
+        );
+
+        // The planned schedule goes on its own modelled-clock tracks so
+        // exports can overlay plan against actual execution.
+        if obs.is_enabled() {
+            if let Some(s) = &planned {
+                for p in &s.placements {
+                    let worker_id = match p.pe.kind {
+                        PeKind::Cpu => cpu_worker_ids[p.pe.index],
+                        PeKind::Gpu => gpu_worker_ids[p.pe.index],
+                    };
+                    obs.virtual_span(
+                        Track::Planned(worker_id),
+                        &format!("task-{}", p.task),
+                        p.start,
+                        p.end - p.start,
+                        &[("task", p.task as f64)],
+                    );
+                }
+            }
+        }
+
+        // Phase 4 — dispatch: private per-worker queues ordered by
+        // planned start, or the shared self-scheduling queue.
+        let t_dispatch = obs.now();
+        match &planned {
+            Some(s) => {
                 let mut jobs: Vec<Vec<(f64, Job)>> = vec![Vec::new(); workers.len()];
                 for p in &s.placements {
                     let worker_id = match p.pe.kind {
@@ -276,17 +314,44 @@ pub fn run_search(
                         tx.send(job).expect("queue open");
                     }
                 }
-                schedule = Some(s);
+            }
+            None => {
+                for task_id in 0..n_tasks {
+                    shared_tx
+                        .send(Job {
+                            task_id,
+                            query_index: task_id,
+                        })
+                        .expect("queue open");
+                }
             }
         }
+        schedule = planned;
         // Close all job queues: one-round dispatch is complete.
         private_tx.clear();
         drop(shared_tx);
+        obs.span(
+            Track::Master,
+            "dispatch",
+            t_dispatch,
+            obs.now() - t_dispatch,
+            None,
+            &[("tasks", n_tasks as f64)],
+        );
 
-        // Phase 4 — merge results as they stream in.
+        // Phase 5 — merge results as they stream in.
+        let t_merge = obs.now();
         for r in result_rx.iter() {
             results.push(r);
         }
+        obs.span(
+            Track::Master,
+            "merge",
+            t_merge,
+            obs.now() - t_merge,
+            None,
+            &[("results", results.len() as f64)],
+        );
     });
     let wall_seconds = start.elapsed().as_secs_f64();
     assert_eq!(results.len(), n_tasks, "every task must report a result");
@@ -314,10 +379,7 @@ pub fn run_search(
         s.cells += r.cells;
     }
     let hits: Vec<QueryHits> = hits.into_iter().map(|h| h.expect("all merged")).collect();
-    let modelled_makespan = stats
-        .iter()
-        .map(|s| s.busy_modelled)
-        .fold(0.0, f64::max);
+    let modelled_makespan = stats.iter().map(|s| s.busy_modelled).fold(0.0, f64::max);
 
     SearchOutcome {
         hits,
@@ -385,12 +447,7 @@ mod tests {
             WorkerSpec::cpu_default(),
             WorkerSpec::gpu_default(),
         ];
-        let outcome = run_search(
-            database,
-            queries,
-            &workers,
-            RuntimeConfig::default(),
-        );
+        let outcome = run_search(database, queries, &workers, RuntimeConfig::default());
         assert_eq!(outcome.hits.len(), 4);
         // Each query is an exact copy of a database entry: its top hit
         // must be that entry.
@@ -529,6 +586,116 @@ mod tests {
         let database = db(2, 10);
         let queries = queries_from(&database, &[0]);
         let _ = run_search(database, queries, &[], RuntimeConfig::default());
+    }
+
+    #[test]
+    fn single_species_task_times_stay_finite() {
+        // Regression: the old absent-species sentinel (`f64::MAX / 4.0`)
+        // made area sums overflow to infinity on single-species
+        // platforms, poisoning the scheduler's lower bound. The penalty
+        // must be prohibitive yet keep every derived quantity finite.
+        let database = db(10, 60);
+        let queries = queries_from(&database, &[0, 3, 6, 9]);
+        let db_residues = database.total_residues();
+        for (cpu, gpu) in [
+            (Some(crate::estimator::WorkerRateModel::cpu_swipe()), None),
+            (None, Some(crate::estimator::WorkerRateModel::gpu_tesla())),
+        ] {
+            let tasks = build_tasks(&queries, db_residues, cpu, gpu);
+            let mut area = 0.0;
+            for t in tasks.iter() {
+                assert!(t.p_cpu.is_finite() && t.p_cpu > 0.0);
+                assert!(t.p_gpu.is_finite() && t.p_gpu > 0.0);
+                area += t.p_cpu + t.p_gpu;
+            }
+            assert!(area.is_finite(), "area sum must not overflow");
+            // The absent side is prohibitive, not just slightly worse.
+            let t0 = tasks.iter().next().unwrap();
+            let ratio = (t0.p_cpu / t0.p_gpu).max(t0.p_gpu / t0.p_cpu);
+            assert!(ratio >= 1.0e5, "penalty too mild: ratio {ratio}");
+            // And the scheduler's diagnostics stay usable.
+            let platform = PlatformSpec::new(1, 1);
+            let outcome = dual_approx_schedule_observed(
+                &tasks,
+                &platform,
+                BinarySearchConfig::default(),
+                &Obs::disabled(),
+            );
+            assert!(outcome.lower_bound.is_finite());
+            assert!(outcome.upper_bound.is_finite());
+            assert!(outcome.schedule.makespan().is_finite());
+        }
+    }
+
+    #[test]
+    fn enabled_obs_captures_phases_planned_and_actual_spans() {
+        let database = db(16, 80);
+        let queries = queries_from(&database, &[1, 5, 9, 13]);
+        let workers = vec![WorkerSpec::cpu_default(), WorkerSpec::gpu_default()];
+        let obs = Obs::enabled();
+        let outcome = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                obs: obs.clone(),
+                ..RuntimeConfig::default()
+            },
+        );
+        let events = obs.events();
+        // Every master phase appears exactly once.
+        for phase in ["register", "allocate", "dispatch", "merge"] {
+            let n = events
+                .iter()
+                .filter(|e| e.track == Track::Master && e.name == phase)
+                .count();
+            assert_eq!(n, 1, "phase {phase}");
+        }
+        // Every dispatched task has an actual span on some worker track
+        // and a planned span on the matching planned track.
+        for task in 0..4usize {
+            let name = format!("task-{task}");
+            let actual: Vec<usize> = events
+                .iter()
+                .filter_map(|e| match e.track {
+                    Track::Worker(w) if e.name == name => Some(w),
+                    _ => None,
+                })
+                .collect();
+            let planned: Vec<usize> = events
+                .iter()
+                .filter_map(|e| match e.track {
+                    Track::Planned(w) if e.name == name => Some(w),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(actual.len(), 1, "task {task} executed once");
+            assert_eq!(planned.len(), 1, "task {task} planned once");
+            assert_eq!(actual, planned, "task {task} ran where it was planned");
+        }
+        // Scheduler events made it onto the scheduler track.
+        assert!(events.iter().any(|e| e.track == Track::Scheduler));
+        // Obs-derived per-worker modelled busy totals agree with the
+        // hand-accumulated WorkerStats.
+        for stats in &outcome.worker_stats {
+            let from_events: f64 = events
+                .iter()
+                .filter(|e| e.track == Track::Worker(stats.worker_id))
+                .filter_map(|e| e.virt_dur)
+                .sum();
+            assert!(
+                (from_events - stats.busy_modelled).abs() <= 1e-9 * stats.busy_modelled.max(1.0),
+                "worker {}: events {} vs stats {}",
+                stats.worker_id,
+                from_events,
+                stats.busy_modelled
+            );
+            let spans = events
+                .iter()
+                .filter(|e| e.track == Track::Worker(stats.worker_id))
+                .count();
+            assert_eq!(spans, stats.tasks, "worker {} span count", stats.worker_id);
+        }
     }
 
     #[test]

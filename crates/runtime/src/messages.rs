@@ -1,7 +1,9 @@
 //! Message types of the master-slave protocol (paper Figure 6).
 
+use serde::{Deserialize, Serialize};
+
 /// One hit in a query's result list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Hit {
     /// Index of the database sequence.
     pub db_index: usize,
@@ -10,7 +12,7 @@ pub struct Hit {
 }
 
 /// Ranked hits of one query against the database.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryHits {
     /// Index of the query in the query set.
     pub query_index: usize,
@@ -63,7 +65,7 @@ pub struct JobResult {
 }
 
 /// Per-worker accounting the master reports at the end of a search.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkerStats {
     /// Worker id (registration order).
     pub worker_id: usize,
@@ -113,9 +115,27 @@ mod tests {
         assert_eq!(h.query_index, 7);
         assert_eq!(h.hits.len(), 3);
         // Ties (9 at indices 1 and 3) break by db index.
-        assert_eq!(h.hits[0], Hit { db_index: 1, score: 9 });
-        assert_eq!(h.hits[1], Hit { db_index: 3, score: 9 });
-        assert_eq!(h.hits[2], Hit { db_index: 0, score: 5 });
+        assert_eq!(
+            h.hits[0],
+            Hit {
+                db_index: 1,
+                score: 9
+            }
+        );
+        assert_eq!(
+            h.hits[1],
+            Hit {
+                db_index: 3,
+                score: 9
+            }
+        );
+        assert_eq!(
+            h.hits[2],
+            Hit {
+                db_index: 0,
+                score: 5
+            }
+        );
     }
 
     #[test]
@@ -123,6 +143,38 @@ mod tests {
         let h = top_k_hits(0, &[1, 2], 10);
         assert_eq!(h.hits.len(), 2);
         assert_eq!(h.hits[0].score, 2);
+    }
+
+    #[test]
+    fn stats_and_hits_roundtrip_through_json() {
+        let stats = WorkerStats {
+            worker_id: 2,
+            description: "GPU(Tesla C2050)".into(),
+            tasks: 7,
+            busy_wall: 0.25,
+            busy_modelled: 1.5,
+            cells: 123_456,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: WorkerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+
+        let hits = QueryHits {
+            query_index: 4,
+            hits: vec![
+                Hit {
+                    db_index: 9,
+                    score: 42,
+                },
+                Hit {
+                    db_index: 1,
+                    score: 7,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&hits).unwrap();
+        let back: QueryHits = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hits);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use swdual_align::engine::EngineKind;
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::ScoringScheme;
 use swdual_gpusim::{DeviceSpec, GpuDevice};
+use swdual_obs::{Obs, Track};
 
 /// Worker species and its engine configuration.
 #[derive(Debug, Clone)]
@@ -79,6 +80,41 @@ pub struct WorkerContext {
     pub queries: Arc<SequenceSet>,
     /// Scoring parameters.
     pub scheme: ScoringScheme,
+    /// Event recorder; disabled by default. When disabled, the per-job
+    /// hot path below records nothing, takes no locks and allocates
+    /// nothing for tracing.
+    pub obs: Obs,
+}
+
+/// Record one finished job as a dual-clock span on the worker's track.
+///
+/// `virt_start` is the worker's cumulative modelled busy time before
+/// this job — the modelled clock all planned placements are stated in.
+#[allow(clippy::too_many_arguments)]
+fn record_job_span(
+    obs: &Obs,
+    worker_id: usize,
+    task_id: usize,
+    wall_start: f64,
+    wall_dur: f64,
+    virt_start: f64,
+    modelled: f64,
+    cells: u64,
+) {
+    // Guarded so the disabled path never reaches the format! below.
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.span(
+        Track::Worker(worker_id),
+        &format!("task-{task_id}"),
+        wall_start,
+        wall_dur,
+        Some((virt_start, modelled)),
+        &[("task", task_id as f64), ("cells", cells as f64)],
+    );
+    obs.counter("jobs_completed", 1.0);
+    obs.counter("cells_computed", cells as f64);
 }
 
 /// Run a worker loop until the job channel closes, registering with the
@@ -119,16 +155,29 @@ pub fn worker_loop(
             let engine = engine.build();
             let db_refs: Vec<&[u8]> = ctx.database.iter().map(|s| s.codes()).collect();
             let model = WorkerRateModel::cpu_swipe();
+            let mut virt_clock = 0.0;
             for job in jobs.iter() {
                 let query = ctx
                     .queries
                     .get(job.query_index)
                     .expect("query index in range");
+                let wall_start = ctx.obs.now();
                 let start = Instant::now();
                 let scores = engine.score_many(query.codes(), &db_refs, &ctx.scheme);
                 let wall = start.elapsed().as_secs_f64();
                 let cells = query.len() as u64 * ctx.database.total_residues();
                 let modelled = model.task_seconds(query.len(), ctx.database.total_residues());
+                record_job_span(
+                    &ctx.obs,
+                    ctx.worker_id,
+                    job.task_id,
+                    wall_start,
+                    wall,
+                    virt_clock,
+                    modelled,
+                    cells,
+                );
+                virt_clock += modelled;
                 let send = results.send(JobResult {
                     task_id: job.task_id,
                     worker_id: ctx.worker_id,
@@ -144,6 +193,8 @@ pub fn worker_loop(
         }
         WorkerSpec::Gpu { device } => {
             let mut device = GpuDevice::new(device);
+            device.attach_obs(ctx.obs.clone(), ctx.worker_id);
+            let mut virt_clock = 0.0;
             // Databases that fit stay resident across tasks (the
             // CUDASW++ pattern); oversized ones fall back to the
             // chunked streaming path per kernel. The fallback re-streams
@@ -157,6 +208,7 @@ pub fn worker_loop(
                     .queries
                     .get(job.query_index)
                     .expect("query index in range");
+                let wall_start = ctx.obs.now();
                 let start = Instant::now();
                 let (scores, modelled) = match &resident {
                     Some(db) => {
@@ -177,6 +229,17 @@ pub fn worker_loop(
                 };
                 let wall = start.elapsed().as_secs_f64();
                 let cells = query.len() as u64 * ctx.database.total_residues();
+                record_job_span(
+                    &ctx.obs,
+                    ctx.worker_id,
+                    job.task_id,
+                    wall_start,
+                    wall,
+                    virt_clock,
+                    modelled,
+                    cells,
+                );
+                virt_clock += modelled;
                 let send = results.send(JobResult {
                     task_id: job.task_id,
                     worker_id: ctx.worker_id,
@@ -203,9 +266,14 @@ mod tests {
 
     fn tiny_db() -> SequenceSet {
         let mut set = SequenceSet::new(Alphabet::Protein);
-        for (i, t) in ["MKVLATGGAR", "GGARMKVLAT", "WWWWWWW", "MKV"].iter().enumerate() {
-            set.push(Sequence::from_text(format!("d{i}"), Alphabet::Protein, t.as_bytes()).unwrap())
-                .unwrap();
+        for (i, t) in ["MKVLATGGAR", "GGARMKVLAT", "WWWWWWW", "MKV"]
+            .iter()
+            .enumerate()
+        {
+            set.push(
+                Sequence::from_text(format!("d{i}"), Alphabet::Protein, t.as_bytes()).unwrap(),
+            )
+            .unwrap();
         }
         set
     }
@@ -213,8 +281,10 @@ mod tests {
     fn tiny_queries() -> SequenceSet {
         let mut set = SequenceSet::new(Alphabet::Protein);
         for (i, t) in ["MKVLAT", "WWWW"].iter().enumerate() {
-            set.push(Sequence::from_text(format!("q{i}"), Alphabet::Protein, t.as_bytes()).unwrap())
-                .unwrap();
+            set.push(
+                Sequence::from_text(format!("q{i}"), Alphabet::Protein, t.as_bytes()).unwrap(),
+            )
+            .unwrap();
         }
         set
     }
@@ -227,9 +297,20 @@ mod tests {
             database: Arc::new(tiny_db()),
             queries: Arc::new(tiny_queries()),
             scheme: ScoringScheme::protein_default(),
+            obs: Obs::disabled(),
         };
-        job_tx.send(Job { task_id: 0, query_index: 0 }).unwrap();
-        job_tx.send(Job { task_id: 1, query_index: 1 }).unwrap();
+        job_tx
+            .send(Job {
+                task_id: 0,
+                query_index: 0,
+            })
+            .unwrap();
+        job_tx
+            .send(Job {
+                task_id: 1,
+                query_index: 1,
+            })
+            .unwrap();
         drop(job_tx);
         worker_loop(spec, ctx, job_rx, res_tx);
         res_rx.iter().collect()

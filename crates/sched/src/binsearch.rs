@@ -7,10 +7,11 @@
 //! `log((B_max − B_min)/precision)`; with the 2-dual step the final
 //! schedule's makespan is at most `2·(OPT + precision)`.
 
-use crate::dual::{dual_step, DualStepResult, KnapsackMethod};
+use crate::dual::{dual_step_observed, DualStepResult, KnapsackMethod};
 use crate::platform::PlatformSpec;
 use crate::schedule::Schedule;
 use crate::task::TaskSet;
+use swdual_obs::{Obs, Track};
 
 /// Binary-search tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,6 +128,19 @@ pub fn dual_approx_schedule(
     platform: &PlatformSpec,
     config: BinarySearchConfig,
 ) -> BinarySearchOutcome {
+    dual_approx_schedule_observed(tasks, platform, config, &Obs::disabled())
+}
+
+/// [`dual_approx_schedule`] with every binary-search iteration recorded
+/// on the scheduler track of `obs`: one wall-clock span per dual step
+/// annotated with the probed λ, the bracketing interval and the
+/// feasibility answer, plus a closing instant with the final bounds.
+pub fn dual_approx_schedule_observed(
+    tasks: &TaskSet,
+    platform: &PlatformSpec,
+    config: BinarySearchConfig,
+    obs: &Obs,
+) -> BinarySearchOutcome {
     if tasks.is_empty() {
         return BinarySearchOutcome {
             schedule: Schedule::default(),
@@ -140,17 +154,43 @@ pub fn dual_approx_schedule(
     debug_assert!(hi >= lo * 0.999_999);
 
     // The upper bound must produce a schedule; keep it as the fallback.
-    let mut best = dual_step(tasks, platform, hi, config.method)
+    let start = obs.now();
+    let mut best = dual_step_observed(tasks, platform, hi, config.method, obs)
         .schedule()
         .expect("dual step must succeed at the trivial upper bound");
+    obs.span(
+        Track::Scheduler,
+        "dual_step",
+        start,
+        obs.now() - start,
+        None,
+        &[("iteration", 0.0), ("lambda", hi), ("feasible", 1.0)],
+    );
     let mut iterations = 1;
 
     while iterations < config.max_iterations
         && (hi - lo) > config.relative_precision * hi.max(f64::MIN_POSITIVE)
     {
         let mid = 0.5 * (lo + hi);
+        let start = obs.now();
+        let result = dual_step_observed(tasks, platform, mid, config.method, obs);
+        let feasible = !result.is_no();
+        obs.span(
+            Track::Scheduler,
+            "dual_step",
+            start,
+            obs.now() - start,
+            None,
+            &[
+                ("iteration", iterations as f64),
+                ("lambda", mid),
+                ("lo", lo),
+                ("hi", hi),
+                ("feasible", if feasible { 1.0 } else { 0.0 }),
+            ],
+        );
         iterations += 1;
-        match dual_step(tasks, platform, mid, config.method) {
+        match result {
             DualStepResult::Schedule(s) => {
                 if s.makespan() < best.makespan() {
                     best = s;
@@ -162,6 +202,18 @@ pub fn dual_approx_schedule(
             }
         }
     }
+
+    obs.instant(
+        Track::Scheduler,
+        "binsearch_done",
+        &[
+            ("iterations", iterations as f64),
+            ("lower_bound", lo),
+            ("upper_bound", hi),
+            ("makespan", best.makespan()),
+        ],
+    );
+    obs.counter("sched_binsearch_iterations", iterations as f64);
 
     BinarySearchOutcome {
         schedule: best,
@@ -222,8 +274,7 @@ mod tests {
         let platform = PlatformSpec::new(4, 2);
         for seed in 1..20u64 {
             let tasks = random_instance(30, seed);
-            let out =
-                dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
+            let out = dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
             out.schedule.validate(&tasks, &platform).unwrap();
             // Makespan within 2x the proven lower bound (the theoretical
             // guarantee is 2·OPT >= 2·lower_bound... here we check the
@@ -247,8 +298,7 @@ mod tests {
         let mut worst: f64 = 0.0;
         for seed in 1..15u64 {
             let tasks = random_instance(40, seed);
-            let out =
-                dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
+            let out = dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
             worst = worst.max(out.approximation_ratio());
         }
         assert!(worst <= 2.0 + 1e-9, "worst ratio {worst}");

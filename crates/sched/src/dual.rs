@@ -26,10 +26,10 @@ use crate::knapsack::{dp_knapsack, greedy_knapsack, DpConfig};
 use crate::platform::PlatformSpec;
 use crate::schedule::{list_schedule, PeKind, Schedule};
 use crate::task::TaskSet;
+use swdual_obs::{Obs, Track};
 
 /// Which knapsack the dual step uses.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum KnapsackMethod {
     /// The paper's greedy (2-approximation).
     #[default]
@@ -38,7 +38,6 @@ pub enum KnapsackMethod {
     /// to the grid relaxation).
     Dp(DpConfig),
 }
-
 
 /// Why a step answered NO.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +92,18 @@ fn lpt_order(ids: &mut [usize], tasks: &TaskSet, kind: PeKind) {
     });
 }
 
+impl NoReason {
+    /// Small stable code for metrics/trace annotations.
+    fn code(&self) -> f64 {
+        match self {
+            NoReason::TaskTooLong { .. } => 1.0,
+            NoReason::ForcedGpuOverflow => 2.0,
+            NoReason::CpuAreaOverflow => 3.0,
+            NoReason::DpInfeasible => 4.0,
+        }
+    }
+}
+
 /// Run one dual-approximation step with guess `lambda`.
 pub fn dual_step(
     tasks: &TaskSet,
@@ -100,7 +111,42 @@ pub fn dual_step(
     lambda: f64,
     method: KnapsackMethod,
 ) -> DualStepResult {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "λ must be finite and >= 0");
+    dual_step_observed(tasks, platform, lambda, method, &Obs::disabled())
+}
+
+/// [`dual_step`] with its decisions recorded: the knapsack split of
+/// free tasks and the reason for any NO certificate land on the
+/// scheduler track of `obs`.
+pub fn dual_step_observed(
+    tasks: &TaskSet,
+    platform: &PlatformSpec,
+    lambda: f64,
+    method: KnapsackMethod,
+    obs: &Obs,
+) -> DualStepResult {
+    let result = dual_step_inner(tasks, platform, lambda, method, obs);
+    if let DualStepResult::No(reason) = &result {
+        obs.instant(
+            Track::Scheduler,
+            "dual_step_no",
+            &[("lambda", lambda), ("reason", reason.code())],
+        );
+        obs.counter("sched_no_certificates", 1.0);
+    }
+    result
+}
+
+fn dual_step_inner(
+    tasks: &TaskSet,
+    platform: &PlatformSpec,
+    lambda: f64,
+    method: KnapsackMethod,
+    obs: &Obs,
+) -> DualStepResult {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "λ must be finite and >= 0"
+    );
     if tasks.is_empty() {
         return DualStepResult::Schedule(Schedule::default());
     }
@@ -170,6 +216,25 @@ pub fn dual_step(
             }
         }
     };
+
+    obs.instant(
+        Track::Scheduler,
+        "knapsack",
+        &[
+            ("lambda", lambda),
+            ("budget", budget),
+            ("free", free.len() as f64),
+            ("forced_gpu", forced_gpu.len() as f64),
+            ("forced_cpu", forced_cpu.len() as f64),
+            ("picked_gpu", gpu_ids.len() as f64),
+            ("cpu_free_area", cpu_free_area),
+            (
+                "has_overflow_task",
+                if j_last.is_some() { 1.0 } else { 0.0 },
+            ),
+        ],
+    );
+    obs.counter("sched_knapsack_runs", 1.0);
 
     // Step 3: CPU area check (constraint C1).
     let w_c = forced_cpu_area + cpu_free_area;
@@ -353,12 +418,7 @@ mod tests {
     fn greedy_knapsack_prefers_accelerated_tasks_on_gpu() {
         // The strongly-accelerated tasks (ratio 10) must land on GPUs
         // before the weakly-accelerated ones (ratio 1.1).
-        let tasks = TaskSet::from_times(&[
-            (10.0, 1.0),
-            (10.0, 1.0),
-            (1.1, 1.0),
-            (1.1, 1.0),
-        ]);
+        let tasks = TaskSet::from_times(&[(10.0, 1.0), (10.0, 1.0), (1.1, 1.0), (1.1, 1.0)]);
         let platform = PlatformSpec::new(2, 1);
         let s = dual_step(&tasks, &platform, 2.0, KnapsackMethod::Greedy)
             .schedule()

@@ -36,7 +36,9 @@ const PALETTE: [&str; 10] = [
 ];
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render `schedule` as a complete SVG document.
@@ -152,12 +154,18 @@ mod tests {
         let narrow = render_svg(
             &schedule,
             &platform,
-            SvgOptions { width: 400.0, ..SvgOptions::default() },
+            SvgOptions {
+                width: 400.0,
+                ..SvgOptions::default()
+            },
         );
         let wide = render_svg(
             &schedule,
             &platform,
-            SvgOptions { width: 1600.0, ..SvgOptions::default() },
+            SvgOptions {
+                width: 1600.0,
+                ..SvgOptions::default()
+            },
         );
         assert!(narrow.len() <= wide.len() + 64);
         assert!(narrow.contains(r##"width="400""##));
@@ -170,7 +178,11 @@ mod tests {
         let svg = render_svg(
             &schedule,
             &platform,
-            SvgOptions { width: 10.0, label_width: 64.0, row_height: 20.0 },
+            SvgOptions {
+                width: 10.0,
+                label_width: 64.0,
+                row_height: 20.0,
+            },
         );
         // No rect may start left of the label gutter.
         for cap in svg.split("<rect x=\"").skip(1) {

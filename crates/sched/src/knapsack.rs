@@ -297,8 +297,8 @@ mod tests {
         let tasks = TaskSet::from_times(&[(10.0, 4.0), (9.0, 4.0), (8.0, 4.0)]);
         let ids: Vec<usize> = (0..3).collect();
         // Budget 8: at most two of the 4.0-area tasks fit.
-        let sol = dp_knapsack(&tasks, &ids, 8.0, 10.0, 3, 3, DpConfig::default())
-            .expect("feasible");
+        let sol =
+            dp_knapsack(&tasks, &ids, 8.0, 10.0, 3, 3, DpConfig::default()).expect("feasible");
         assert!(sol.gpu_area <= 8.0 + 1e-9);
         assert_eq!(sol.gpu_ids.len(), 2);
         // DP keeps the highest-CPU-cost tasks off the CPUs: CPU gets the
@@ -312,8 +312,8 @@ mod tests {
         // max_big_gpu = 1: only one may go to the GPUs.
         let tasks = TaskSet::from_times(&[(20.0, 6.0), (20.0, 6.0), (20.0, 6.0)]);
         let ids: Vec<usize> = (0..3).collect();
-        let sol = dp_knapsack(&tasks, &ids, 100.0, 10.0, 1, 3, DpConfig::default())
-            .expect("feasible");
+        let sol =
+            dp_knapsack(&tasks, &ids, 100.0, 10.0, 1, 3, DpConfig::default()).expect("feasible");
         assert_eq!(sol.gpu_ids.len(), 1);
         assert_eq!(sol.cpu_ids.len(), 2);
     }
@@ -332,12 +332,11 @@ mod tests {
     fn dp_matches_greedy_on_easy_instance() {
         // Clear-cut instance: both should put the highly-accelerated
         // tasks on GPUs.
-        let tasks =
-            TaskSet::from_times(&[(100.0, 1.0), (90.0, 1.0), (1.0, 0.9), (1.0, 0.95)]);
+        let tasks = TaskSet::from_times(&[(100.0, 1.0), (90.0, 1.0), (1.0, 0.9), (1.0, 0.95)]);
         let ids: Vec<usize> = (0..4).collect();
         let greedy = greedy_knapsack(&tasks, &ids, 2.5);
-        let dp = dp_knapsack(&tasks, &ids, 2.5, 200.0, 4, 4, DpConfig::default())
-            .expect("feasible");
+        let dp =
+            dp_knapsack(&tasks, &ids, 2.5, 200.0, 4, 4, DpConfig::default()).expect("feasible");
         let mut g = greedy.gpu_ids.clone();
         g.sort_unstable();
         let mut d = dp.gpu_ids.clone();

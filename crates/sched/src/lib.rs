@@ -39,8 +39,10 @@ pub mod robustness;
 pub mod schedule;
 pub mod task;
 
-pub use binsearch::{dual_approx_schedule, BinarySearchConfig, BinarySearchOutcome};
-pub use dual::{dual_step, DualStepResult, KnapsackMethod};
+pub use binsearch::{
+    dual_approx_schedule, dual_approx_schedule_observed, BinarySearchConfig, BinarySearchOutcome,
+};
+pub use dual::{dual_step, dual_step_observed, DualStepResult, KnapsackMethod};
 pub use platform::PlatformSpec;
 pub use schedule::{Assignment, PeId, PeKind, Schedule};
 pub use task::{Task, TaskSet};

@@ -69,11 +69,7 @@ pub fn multi_round_schedule(
 
 /// Convenience: compare one-round vs `rounds`-round makespans on the
 /// same instance. Returns `(one_round, multi_round)`.
-pub fn one_vs_multi(
-    tasks: &TaskSet,
-    platform: &PlatformSpec,
-    rounds: usize,
-) -> (f64, f64) {
+pub fn one_vs_multi(tasks: &TaskSet, platform: &PlatformSpec, rounds: usize) -> (f64, f64) {
     let one = dual_approx_schedule(tasks, platform, BinarySearchConfig::default())
         .schedule
         .makespan();
@@ -150,7 +146,12 @@ mod tests {
     #[test]
     fn empty_and_single_task() {
         let platform = PlatformSpec::new(1, 1);
-        let s = multi_round_schedule(&TaskSet::default(), &platform, 3, BinarySearchConfig::default());
+        let s = multi_round_schedule(
+            &TaskSet::default(),
+            &platform,
+            3,
+            BinarySearchConfig::default(),
+        );
         assert!(s.placements.is_empty());
         let tasks = TaskSet::from_times(&[(4.0, 1.0)]);
         let s = multi_round_schedule(&tasks, &platform, 3, BinarySearchConfig::default());

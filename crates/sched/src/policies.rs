@@ -133,8 +133,7 @@ pub fn proportional_split(tasks: &TaskSet, platform: &PlatformSpec) -> Schedule 
 
     let (mut placements, _) =
         crate::schedule::list_schedule(&gpu_ids, tasks, PeKind::Gpu, platform.gpus);
-    let (cpu_pl, _) =
-        crate::schedule::list_schedule(&cpu_ids, tasks, PeKind::Cpu, platform.cpus);
+    let (cpu_pl, _) = crate::schedule::list_schedule(&cpu_ids, tasks, PeKind::Cpu, platform.cpus);
     placements.extend(cpu_pl);
     Schedule { placements }
 }
@@ -291,12 +290,7 @@ mod tests {
     fn heft_beats_self_scheduling_on_skewed_instances() {
         // One task is terrible on CPU; self-scheduling will eventually
         // stick some big task on a CPU, HEFT won't.
-        let tasks = TaskSet::from_times(&[
-            (100.0, 2.0),
-            (100.0, 2.0),
-            (100.0, 2.0),
-            (1.0, 1.0),
-        ]);
+        let tasks = TaskSet::from_times(&[(100.0, 2.0), (100.0, 2.0), (100.0, 2.0), (1.0, 1.0)]);
         let platform = PlatformSpec::new(2, 1);
         let heft = heft_lite(&tasks, &platform);
         let selfs = self_scheduling(&tasks, &platform);

@@ -35,11 +35,17 @@ pub struct PeId {
 impl PeId {
     /// CPU PE by index.
     pub fn cpu(index: usize) -> PeId {
-        PeId { kind: PeKind::Cpu, index }
+        PeId {
+            kind: PeKind::Cpu,
+            index,
+        }
     }
     /// GPU PE by index.
     pub fn gpu(index: usize) -> PeId {
-        PeId { kind: PeKind::Gpu, index }
+        PeId {
+            kind: PeKind::Gpu,
+            index,
+        }
     }
 }
 
@@ -232,16 +238,16 @@ impl Schedule {
         let mut by_pe: std::collections::HashMap<PeId, Vec<(f64, f64, usize)>> =
             std::collections::HashMap::new();
         for p in &self.placements {
-            by_pe.entry(p.pe).or_default().push((p.start, p.end, p.task));
+            by_pe
+                .entry(p.pe)
+                .or_default()
+                .push((p.start, p.end, p.task));
         }
         for (pe, mut intervals) in by_pe {
             intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             for w in intervals.windows(2) {
                 if w[0].1 > w[1].0 + 1e-9 {
-                    return Err(format!(
-                        "tasks {} and {} overlap on {}",
-                        w[0].2, w[1].2, pe
-                    ));
+                    return Err(format!("tasks {} and {} overlap on {}", w[0].2, w[1].2, pe));
                 }
             }
         }
@@ -266,13 +272,16 @@ impl Schedule {
             for p in self.placements.iter().filter(|p| p.pe == pe) {
                 let a = (p.start * scale).floor() as usize;
                 let b = ((p.end * scale).ceil() as usize).min(width);
-                let label = b"0123456789abcdefghijklmnopqrstuvwxyz"
-                    [p.task % 36];
+                let label = b"0123456789abcdefghijklmnopqrstuvwxyz"[p.task % 36];
                 for slot in row.iter_mut().take(b).skip(a) {
                     *slot = label;
                 }
             }
-            out.push_str(&format!("{:>5} |{}|\n", pe.to_string(), String::from_utf8(row).unwrap()));
+            out.push_str(&format!(
+                "{:>5} |{}|\n",
+                pe.to_string(),
+                String::from_utf8(row).unwrap()
+            ));
         }
         out.push_str(&format!("C_max = {cmax:.3}\n"));
         out
@@ -290,7 +299,10 @@ pub fn list_schedule(
     kind: PeKind,
     count: usize,
 ) -> (Vec<Placement>, Vec<f64>) {
-    assert!(count > 0 || task_ids.is_empty(), "no PEs for nonempty task list");
+    assert!(
+        count > 0 || task_ids.is_empty(),
+        "no PEs for nonempty task list"
+    );
     let mut loads = vec![0.0f64; count];
     let mut placements = Vec::with_capacity(task_ids.len());
     for &id in task_ids {
@@ -309,7 +321,10 @@ pub fn list_schedule(
         loads[pe_idx] += dur;
         placements.push(Placement {
             task: id,
-            pe: PeId { kind, index: pe_idx },
+            pe: PeId {
+                kind,
+                index: pe_idx,
+            },
             start,
             end: start + dur,
         });
@@ -379,10 +394,30 @@ mod tests {
         let platform = PlatformSpec::new(1, 0);
         let sched = Schedule {
             placements: vec![
-                Placement { task: 0, pe: PeId::cpu(0), start: 0.0, end: 4.0 },
-                Placement { task: 1, pe: PeId::cpu(0), start: 3.0, end: 5.0 },
-                Placement { task: 2, pe: PeId::cpu(0), start: 5.0, end: 11.0 },
-                Placement { task: 3, pe: PeId::cpu(0), start: 11.0, end: 13.0 },
+                Placement {
+                    task: 0,
+                    pe: PeId::cpu(0),
+                    start: 0.0,
+                    end: 4.0,
+                },
+                Placement {
+                    task: 1,
+                    pe: PeId::cpu(0),
+                    start: 3.0,
+                    end: 5.0,
+                },
+                Placement {
+                    task: 2,
+                    pe: PeId::cpu(0),
+                    start: 5.0,
+                    end: 11.0,
+                },
+                Placement {
+                    task: 3,
+                    pe: PeId::cpu(0),
+                    start: 11.0,
+                    end: 13.0,
+                },
             ],
         };
         let err = sched.validate(&tasks, &platform).unwrap_err();
@@ -395,10 +430,30 @@ mod tests {
         let platform = PlatformSpec::new(1, 0);
         let sched = Schedule {
             placements: vec![
-                Placement { task: 0, pe: PeId::cpu(0), start: 0.0, end: 1.0 },
-                Placement { task: 1, pe: PeId::cpu(0), start: 1.0, end: 3.0 },
-                Placement { task: 2, pe: PeId::cpu(0), start: 3.0, end: 9.0 },
-                Placement { task: 3, pe: PeId::cpu(0), start: 9.0, end: 11.0 },
+                Placement {
+                    task: 0,
+                    pe: PeId::cpu(0),
+                    start: 0.0,
+                    end: 1.0,
+                },
+                Placement {
+                    task: 1,
+                    pe: PeId::cpu(0),
+                    start: 1.0,
+                    end: 3.0,
+                },
+                Placement {
+                    task: 2,
+                    pe: PeId::cpu(0),
+                    start: 3.0,
+                    end: 9.0,
+                },
+                Placement {
+                    task: 3,
+                    pe: PeId::cpu(0),
+                    start: 9.0,
+                    end: 11.0,
+                },
             ],
         };
         let err = sched.validate(&tasks, &platform).unwrap_err();
@@ -440,6 +495,9 @@ mod tests {
         let sched = Schedule::default();
         assert_eq!(sched.makespan(), 0.0);
         assert_eq!(sched.utilisation(&PlatformSpec::new(2, 2)), 0.0);
-        assert_eq!(sched.gantt(&PlatformSpec::new(1, 1), 10), "(empty schedule)");
+        assert_eq!(
+            sched.gantt(&PlatformSpec::new(1, 1), 10),
+            "(empty schedule)"
+        );
     }
 }

@@ -115,10 +115,7 @@ impl TaskSet {
 
     /// Largest `min_time` over tasks: no schedule can beat it.
     pub fn max_min_time(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(Task::min_time)
-            .fold(0.0, f64::max)
+        self.tasks.iter().map(Task::min_time).fold(0.0, f64::max)
     }
 
     /// True when every task is accelerated by the GPU (`p̄ⱼ ≤ pⱼ`) —

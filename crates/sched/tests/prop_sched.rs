@@ -13,12 +13,10 @@ use swdual_sched::{PlatformSpec, TaskSet};
 /// Random task set: GPU time in (0.1, 5.0), acceleration in (0.2, 12) —
 /// includes GPU-averse tasks (acceleration < 1).
 fn task_set(max_n: usize) -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec((0.1f64..5.0, 0.2f64..12.0), 1..max_n)
-        .prop_map(|v| {
-            let times: Vec<(f64, f64)> =
-                v.into_iter().map(|(gpu, acc)| (gpu * acc, gpu)).collect();
-            TaskSet::from_times(&times)
-        })
+    prop::collection::vec((0.1f64..5.0, 0.2f64..12.0), 1..max_n).prop_map(|v| {
+        let times: Vec<(f64, f64)> = v.into_iter().map(|(gpu, acc)| (gpu * acc, gpu)).collect();
+        TaskSet::from_times(&times)
+    })
 }
 
 fn platform() -> impl Strategy<Value = PlatformSpec> {

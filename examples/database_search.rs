@@ -16,14 +16,7 @@ use swdual_repro::sched::PlatformSpec as Spec;
 fn main() {
     // A 0.2% slice of the synthetic UniProt: ~1075 sequences.
     let database = scaled_database("uniprot", 537_505, 362.0, 0.002, 2014);
-    let queries = queries_from_database(
-        &database,
-        4,
-        100,
-        5000,
-        &MutationProfile::homolog(),
-        2015,
-    );
+    let queries = queries_from_database(&database, 4, 100, 5000, &MutationProfile::homolog(), 2015);
     println!(
         "database: {} sequences, {} residues; {} queries",
         database.len(),

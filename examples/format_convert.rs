@@ -18,12 +18,7 @@ fn main() {
     let sqb_path = dir.join("db.sqb");
 
     // Generate and write as FASTA.
-    let database = synthetic_database(
-        "demo",
-        1000,
-        LengthModel::protein_database(360.0),
-        42,
-    );
+    let database = synthetic_database("demo", 1000, LengthModel::protein_database(360.0), 42);
     fasta::write_file(&database, &fasta_path).expect("write FASTA");
     let fasta_bytes = std::fs::metadata(&fasta_path).unwrap().len();
 

@@ -20,11 +20,26 @@ use swdual_repro::datagen::{synthetic_database, LengthModel};
 /// picking a canonical codon per amino acid).
 fn codon_for(aa: u8) -> &'static [u8; 3] {
     match aa {
-        b'A' => b"GCT", b'R' => b"CGT", b'N' => b"AAT", b'D' => b"GAT",
-        b'C' => b"TGT", b'Q' => b"CAA", b'E' => b"GAA", b'G' => b"GGT",
-        b'H' => b"CAT", b'I' => b"ATT", b'L' => b"CTT", b'K' => b"AAA",
-        b'M' => b"ATG", b'F' => b"TTT", b'P' => b"CCT", b'S' => b"TCT",
-        b'T' => b"ACT", b'W' => b"TGG", b'Y' => b"TAT", b'V' => b"GTT",
+        b'A' => b"GCT",
+        b'R' => b"CGT",
+        b'N' => b"AAT",
+        b'D' => b"GAT",
+        b'C' => b"TGT",
+        b'Q' => b"CAA",
+        b'E' => b"GAA",
+        b'G' => b"GGT",
+        b'H' => b"CAT",
+        b'I' => b"ATT",
+        b'L' => b"CTT",
+        b'K' => b"AAA",
+        b'M' => b"ATG",
+        b'F' => b"TTT",
+        b'P' => b"CCT",
+        b'S' => b"TCT",
+        b'T' => b"ACT",
+        b'W' => b"TGG",
+        b'Y' => b"TAT",
+        b'V' => b"GTT",
         other => panic!("no codon for {:?}", other as char),
     }
 }
@@ -62,11 +77,7 @@ fn main() {
     let mut best: (i32, String, usize) = (i32::MIN, String::new(), 0);
     for frame in &frames {
         let scores = par_score_many(frame.codes(), &refs, &scheme, EngineKind::Striped);
-        let (arg, &max) = scores
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, s)| *s)
-            .unwrap();
+        let (arg, &max) = scores.iter().enumerate().max_by_key(|&(_, s)| *s).unwrap();
         println!(
             "{:<16} best hit {} score {}",
             frame.id,

@@ -1,0 +1,257 @@
+//! Minimal offline replacement for `criterion`.
+//!
+//! Mirrors the subset of the API the workspace's benches use:
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::from_parameter`, `Bencher::iter`
+//! and the `criterion_group!`/`criterion_main!` macros. Measurement is
+//! simple wall-clock timing (median of the sampled runs) with no
+//! statistical analysis or plotting.
+//!
+//! CI runs benches as `cargo bench -- --test`; in that mode each
+//! benchmark body executes exactly once, as a smoke test.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Unit used when reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Id with a function-name prefix.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Median per-iteration nanoseconds from the last `iter` call.
+    last_nanos: f64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its median duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.last_nanos = 0.0;
+            return;
+        }
+        // One warm-up, then timed samples.
+        black_box(routine());
+        let mut nanos: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            nanos.push(start.elapsed().as_nanos() as f64);
+        }
+        nanos.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.last_nanos = nanos[nanos.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report per-iteration throughput alongside the timing.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<I: Display, F>(&mut self, id: I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: self.sample_size,
+            last_nanos: 0.0,
+        };
+        body(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I: Display, P, F>(&mut self, id: I, input: &P, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: self.sample_size,
+            last_nanos: 0.0,
+        };
+        body(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if self.criterion.test_mode {
+            println!("test {}/{} ... ok", self.name, id);
+            return;
+        }
+        let nanos = bencher.last_nanos;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if nanos > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / nanos * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if nanos > 0.0 => {
+                format!("  {:.3} MiB/s", n as f64 / nanos * 1e9 / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}  median {:.1} ns{}", self.name, id, nanos, rate);
+    }
+
+    /// End the group (kept for API parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- --test` runs each bench once as a smoke test.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Builder hook (accepted and ignored for API parity).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, body: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.to_string())
+            .bench_function("base", body);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion { test_mode: false };
+        demo_bench(&mut c);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0;
+        c.benchmark_group("once").bench_function("body", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal offline replacement for `rand_distr`: the `Distribution`
+//! trait and a `Gamma` sampler (Marsaglia-Tsang squeeze method), which
+//! is all `swdual-datagen`'s length models require.
+
+use rand::Rng;
+
+/// Types that can be sampled given a source of randomness.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Gamma distribution with shape `k` and scale `θ` (mean `kθ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Build a Gamma distribution; both parameters must be positive
+    /// and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Gamma, Error> {
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(Error("gamma shape must be positive and finite"));
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(Error("gamma scale must be positive and finite"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+/// One standard normal draw (Box-Muller; uses two uniforms per call,
+/// simple and branch-free enough for a shim).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = next_unit(rng);
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = next_unit(rng);
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+fn next_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia & Tsang (2000). For shape < 1, boost to shape + 1
+        // and scale by U^(1/shape).
+        let (shape, boost) = if self.shape < 1.0 {
+            let u = next_unit(rng).max(f64::MIN_POSITIVE);
+            (self.shape + 1.0, u.powf(1.0 / self.shape))
+        } else {
+            (self.shape, 1.0)
+        };
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u = next_unit(rng).max(f64::MIN_POSITIVE);
+            let x2 = x * x;
+            if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+                return d * v * boost * self.scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(Gamma::new(2.0, 3.0).is_ok());
+    }
+
+    #[test]
+    fn gamma_mean_and_variance_match_theory() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for (shape, scale) in [(0.5, 2.0), (2.0, 180.0), (9.0, 0.5)] {
+            let g = Gamma::new(shape, scale).unwrap();
+            let n = 200_000;
+            let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+            assert!(samples.iter().all(|&s| s >= 0.0));
+            let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+            let var: f64 = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+            let (m_th, v_th) = (shape * scale, shape * scale * scale);
+            assert!(
+                (mean - m_th).abs() < 0.05 * m_th,
+                "shape {shape}: mean {mean} vs {m_th}"
+            );
+            assert!(
+                (var - v_th).abs() < 0.12 * v_th,
+                "shape {shape}: var {var} vs {v_th}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_is_right_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gamma::new(2.0, 100.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let above = samples.iter().filter(|&&s| s > mean).count();
+        // Right-skew: fewer than half of the draws sit above the mean.
+        assert!(
+            above * 2 < n,
+            "above-mean fraction {}",
+            above as f64 / n as f64
+        );
+    }
+}

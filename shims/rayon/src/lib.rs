@@ -1,0 +1,219 @@
+//! Minimal offline replacement for `rayon`.
+//!
+//! Implements the slice-parallel subset the alignment crates use —
+//! `par_iter().map(..).collect()` and
+//! `par_chunks(n).flat_map_iter(..).collect()` — with *real*
+//! parallelism: items are claimed from an atomic counter by scoped
+//! threads (dynamic load balancing, like rayon's work stealing), and
+//! results are reassembled in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::ParallelSlice;
+}
+
+/// Run `f(0..n)` across scoped threads, preserving index order in the
+/// returned vector. Threads claim indices dynamically so uneven items
+/// (e.g. wavefront blocks of different sizes) balance automatically.
+fn run_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut pairs: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Entry points for parallel iteration over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel counterpart of `iter()`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+    /// Parallel counterpart of `chunks(size)`.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunks { items: self, size }
+    }
+}
+
+/// Parallel iterator over `&T` items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Execute in parallel and collect results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let items = self.items;
+        let f = self.f;
+        run_indexed(items.len(), |i| f(&items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Parallel iterator over fixed-size chunks of a slice.
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Map each chunk to a serial iterator and flatten, preserving
+    /// chunk order.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParFlatMap<'a, T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a [T]) -> I + Sync,
+    {
+        ParFlatMap {
+            items: self.items,
+            size: self.size,
+            f,
+        }
+    }
+}
+
+/// A flat-mapped chunk iterator, ready to collect.
+pub struct ParFlatMap<'a, T, F> {
+    items: &'a [T],
+    size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParFlatMap<'a, T, F> {
+    /// Execute in parallel and collect the flattened results in order.
+    pub fn collect<C, I>(self) -> C
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a [T]) -> I + Sync,
+        C: FromIterator<I::Item>,
+    {
+        let items = self.items;
+        let f = self.f;
+        let n_chunks = items.len().div_ceil(self.size);
+        let size = self.size;
+        run_indexed(n_chunks, |c| {
+            let lo = c * size;
+            let hi = (lo + size).min(items.len());
+            f(&items[lo..hi]).into_iter().collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_flat_map_preserves_order() {
+        let input: Vec<u32> = (0..507).collect();
+        let out: Vec<u32> = input
+            .par_chunks(16)
+            .flat_map_iter(|chunk| chunk.iter().map(|&x| x + 1))
+            .collect();
+        assert_eq!(out, (1..508).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41];
+        let out: Vec<i32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still come back in order.
+        let input: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = input
+            .par_iter()
+            .map(|&x| {
+                let mut acc = 0usize;
+                for i in 0..(x * 1000) {
+                    acc = acc.wrapping_add(i);
+                }
+                let _ = acc;
+                x
+            })
+            .collect();
+        assert_eq!(out, input);
+    }
+}

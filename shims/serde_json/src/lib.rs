@@ -1,0 +1,414 @@
+//! Minimal offline replacement for `serde_json`, printing and parsing
+//! JSON text to and from the serde shim's [`Value`] tree.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Error produced by JSON printing or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl std::fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render any serialisable type into a [`Value`].
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serialise to compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialise to human-readable, two-space indented JSON text.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any deserialisable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_value(&value).map_err(Error::new)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let text = format!("{f}");
+        out.push_str(&text);
+        // `{}` omits the decimal point for integral floats; keep the
+        // number a JSON number either way (it already is).
+    } else {
+        // JSON has no NaN/inf; serde_json emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, d: usize| {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * d));
+        }
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            pad(out, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            pad(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(Error::new(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(if i >= 0 {
+                    Value::UInt(i as u64)
+                } else {
+                    Value::Int(i)
+                });
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error::new(format!("expected ',' or ']', got {other:?}"))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(Error::new(format!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("swdual".into())),
+            ("n".into(), Value::UInt(3)),
+            ("ratio".into(), Value::Float(1.5)),
+            (
+                "tags".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(
+            compact,
+            r#"{"name":"swdual","n":3,"ratio":1.5,"tags":[true,null]}"#
+        );
+        let parsed: Value = from_str(&compact).unwrap();
+        assert_eq!(parsed, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"swdual\""));
+        let parsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::Str("a\"b\\c\nd\te\u{0007}".into());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_parse() {
+        assert_eq!(from_str::<Value>("-42").unwrap(), Value::Int(-42));
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str::<Value>("4.25").unwrap(), Value::Float(4.25));
+        assert_eq!(from_str::<Value>("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            from_str::<Value>("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let v: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(from_str::<Vec<u32>>("[1, -2]").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["", "{", "[1,", "\"abc", "tru", "{\"a\" 1}", "1 2"] {
+            assert!(from_str::<Value>(bad).is_err(), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let text = to_string(&Value::Float(f64::NAN)).unwrap();
+        assert_eq!(text, "null");
+    }
+}

@@ -5,9 +5,9 @@
 //! surface lives in the `swdual-core` crate (re-exported here for
 //! convenience).
 
-pub use swdual_core as core;
 pub use swdual_align as align;
 pub use swdual_bio as bio;
+pub use swdual_core as core;
 pub use swdual_datagen as datagen;
 pub use swdual_gpusim as gpusim;
 pub use swdual_platform as platform;

@@ -22,8 +22,7 @@ fn file_pipeline_fasta_sqb_search() {
     let q_fasta = dir.join("e2e_q.fasta");
 
     let database = demo_database();
-    let queries =
-        queries_from_database(&database, 4, 50, 5000, &MutationProfile::homolog(), 1002);
+    let queries = queries_from_database(&database, 4, 50, 5000, &MutationProfile::homolog(), 1002);
     fasta::write_file(&database, &db_fasta).unwrap();
     sqb::write_file(&database, &db_sqb).unwrap();
     fasta::write_file(&queries, &q_fasta).unwrap();
@@ -59,8 +58,7 @@ fn file_pipeline_fasta_sqb_search() {
 #[test]
 fn hits_invariant_across_policies_and_workers() {
     let database = demo_database();
-    let queries =
-        queries_from_database(&database, 3, 50, 5000, &MutationProfile::distant(), 7);
+    let queries = queries_from_database(&database, 3, 50, 5000, &MutationProfile::distant(), 7);
     let configs: Vec<(AllocationPolicy, Vec<WorkerSpec>)> = vec![
         (
             AllocationPolicy::DualApprox(KnapsackMethod::Greedy),
@@ -107,8 +105,7 @@ fn hits_invariant_across_policies_and_workers() {
 #[test]
 fn scheme_changes_change_scores() {
     let database = demo_database();
-    let queries =
-        queries_from_database(&database, 2, 50, 5000, &MutationProfile::homolog(), 99);
+    let queries = queries_from_database(&database, 2, 50, 5000, &MutationProfile::homolog(), 99);
     let default = SearchBuilder::new()
         .database(database.clone())
         .queries(queries.clone())
@@ -135,8 +132,7 @@ fn scheme_changes_change_scores() {
 #[test]
 fn worker_accounting_adds_up() {
     let database = demo_database();
-    let queries =
-        queries_from_database(&database, 5, 50, 5000, &MutationProfile::homolog(), 13);
+    let queries = queries_from_database(&database, 5, 50, 5000, &MutationProfile::homolog(), 13);
     let report = SearchBuilder::new()
         .database(database.clone())
         .queries(queries)

@@ -59,7 +59,10 @@ fn swdual_dominates_its_own_components() {
         let hybrid = run_swdual(&workload, workers, 4).seconds;
         let cpu_only =
             run_single_kind(&workload, &EngineModel::swipe(), workers, PeKind::Cpu).seconds;
-        assert!(hybrid < cpu_only, "{workers} workers: {hybrid} vs CPU {cpu_only}");
+        assert!(
+            hybrid < cpu_only,
+            "{workers} workers: {hybrid} vs CPU {cpu_only}"
+        );
     }
     // At 2 workers the paper's own Table II has CUDASW++ (2 GPUs,
     // 445.6 s) beating SWDUAL (1 GPU + 1 CPU, 543.3 s) — SWDUAL trades
@@ -67,10 +70,16 @@ fn swdual_dominates_its_own_components() {
     // (272 s vs 292 s). Check both relationships hold in the model.
     let gpu2 = run_single_kind(&workload, &EngineModel::cudasw(), 2, PeKind::Gpu).seconds;
     let hybrid2 = run_swdual(&workload, 2, 4).seconds;
-    assert!(gpu2 < hybrid2, "2 workers: GPU-only {gpu2} vs hybrid {hybrid2}");
+    assert!(
+        gpu2 < hybrid2,
+        "2 workers: GPU-only {gpu2} vs hybrid {hybrid2}"
+    );
     let gpu4 = run_single_kind(&workload, &EngineModel::cudasw(), 4, PeKind::Gpu).seconds;
     let hybrid4 = run_swdual(&workload, 4, 4).seconds;
-    assert!(hybrid4 < gpu4, "4 workers: hybrid {hybrid4} vs GPU-only {gpu4}");
+    assert!(
+        hybrid4 < gpu4,
+        "4 workers: hybrid {hybrid4} vs GPU-only {gpu4}"
+    );
 }
 
 #[test]
@@ -79,11 +88,12 @@ fn runtime_allocation_matches_scheduler_split() {
     // reflect the scheduler's assignment computed from the same rate
     // models.
     use swdual_repro::core::SearchBuilder;
-    use swdual_repro::datagen::{queries_from_database, synthetic_database, LengthModel, MutationProfile};
+    use swdual_repro::datagen::{
+        queries_from_database, synthetic_database, LengthModel, MutationProfile,
+    };
 
     let database = synthetic_database("db", 150, LengthModel::protein_database(300.0), 31);
-    let queries =
-        queries_from_database(&database, 8, 50, 5000, &MutationProfile::homolog(), 32);
+    let queries = queries_from_database(&database, 8, 50, 5000, &MutationProfile::homolog(), 32);
     let report = SearchBuilder::new()
         .database(database)
         .queries(queries)
