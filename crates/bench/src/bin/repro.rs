@@ -7,6 +7,9 @@
 //! repro execute             reduced-scale real execution (wall clock)
 //!       [--trace-out TRACE.json] [--metrics-out METRICS.prom]
 //!       [--journal-out EVENTS.jsonl]   export one observed hybrid run
+//!       [--fault-seed N]    also run the fault-injection demo: inject
+//!                           the seed-derived fault plan and verify the
+//!                           hits stay bit-identical
 //! repro ablation-policy|ablation-knapsack|ablation-binsearch|ablation-robustness
 //! repro write-experiments [PATH]   write EXPERIMENTS.md (default ./EXPERIMENTS.md)
 //! repro write-json [PATH]          machine-readable results (default ./results.json)
@@ -114,6 +117,19 @@ fn main() {
                 if let Some(path) = journal_out {
                     std::fs::write(&path, report.journal()).expect("write journal");
                     println!("wrote {path}");
+                }
+            }
+            if let Some(seed) = flag("--fault-seed") {
+                let seed: u64 = seed.parse().expect("--fault-seed must be a number");
+                let demo =
+                    swdual_bench::execute::execute_fault_demo(ExecuteConfig::default(), seed);
+                println!(
+                    "fault demo (seed {seed}, plan `{}`): hits identical: {}; \
+                     healthy {:.2} s, faulted {:.2} s",
+                    demo.plan, demo.hits_identical, demo.healthy_seconds, demo.faulted_seconds
+                );
+                if !demo.hits_identical {
+                    std::process::exit(1);
                 }
             }
         }

@@ -160,9 +160,73 @@ pub fn execute_traced(config: ExecuteConfig) -> swdual_core::SearchReport {
         .run()
 }
 
+/// Outcome of the fault-injection demonstration.
+#[derive(Debug, Clone)]
+pub struct FaultDemoOutcome {
+    /// The injected plan, rendered in CLI syntax.
+    pub plan: String,
+    /// Whether the faulted run's hits were bit-identical to the
+    /// fault-free run's.
+    pub hits_identical: bool,
+    /// Fault-free wall seconds.
+    pub healthy_seconds: f64,
+    /// Faulted (detect + re-plan + re-execute) wall seconds.
+    pub faulted_seconds: f64,
+}
+
+/// Run the reduced-scale hybrid search twice — fault-free, then under
+/// the deterministic fault plan derived from `fault_seed` — and check
+/// the hits are bit-identical (the runtime's core fault-tolerance
+/// guarantee: faults move work, never change scores).
+pub fn execute_fault_demo(config: ExecuteConfig, fault_seed: u64) -> FaultDemoOutcome {
+    let database = scaled_database("uniprot", 537_505, 362.0, config.db_scale, config.seed);
+    let queries = queries_from_database(
+        &database,
+        config.queries,
+        30,
+        5000,
+        &MutationProfile::homolog(),
+        config.seed + 1,
+    );
+    let build = || {
+        SearchBuilder::new()
+            .database(database.clone())
+            .queries(queries.clone())
+            .hybrid_workers(2, 2)
+            .policy(AllocationPolicy::DualApprox(KnapsackMethod::Greedy))
+            .top_k(5)
+    };
+    let healthy = build().run();
+    let plan = swdual_runtime::FaultPlan::seeded(fault_seed, 4);
+    let faulted = build()
+        .fault_seed(fault_seed)
+        .min_job_timeout(std::time::Duration::from_millis(250))
+        .run();
+    FaultDemoOutcome {
+        plan: plan.to_string(),
+        hits_identical: healthy.hits() == faulted.hits(),
+        healthy_seconds: healthy.wall_seconds(),
+        faulted_seconds: faulted.wall_seconds(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_demo_hits_are_identical() {
+        let out = execute_fault_demo(
+            ExecuteConfig {
+                db_scale: 0.0002,
+                queries: 3,
+                seed: 9,
+            },
+            7,
+        );
+        assert!(out.hits_identical, "plan `{}` changed the hits", out.plan);
+        assert!(out.healthy_seconds > 0.0 && out.faulted_seconds > 0.0);
+    }
 
     #[test]
     fn traced_execution_produces_events() {

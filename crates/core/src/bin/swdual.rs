@@ -8,6 +8,8 @@
 //!                 [--top K] [--gap-open N] [--gap-extend N] [--evalues]
 //!                 [--trace-out TRACE.json] [--metrics-out METRICS.prom]
 //!                 [--journal-out EVENTS.jsonl]
+//!                 [--fault-plan SPEC | --fault-seed N]
+//!                 [--job-timeout-slack F] [--min-job-timeout-ms MS]
 //! swdual convert  --input DB.fasta --output DB.sqb
 //! swdual generate --sequences N --mean-len L --output DB.fasta [--seed S]
 //! swdual info     --db DB.(fasta|sqb)
@@ -20,7 +22,7 @@ use swdual_bio::stats::LengthStats;
 use swdual_bio::{fasta, sqb, Alphabet, Matrix, ScoringScheme, SequenceSet};
 use swdual_core::SearchBuilder;
 use swdual_datagen::{synthetic_database, LengthModel};
-use swdual_runtime::{AllocationPolicy, WorkerSpec};
+use swdual_runtime::{AllocationPolicy, FaultPlan, WorkerSpec};
 use swdual_sched::dual::KnapsackMethod;
 use swdual_sched::knapsack::DpConfig;
 
@@ -44,11 +46,20 @@ USAGE:
                   [--gap-open N] [--gap-extend N] [--evalues]
                   [--trace-out TRACE.json] [--metrics-out METRICS.prom]
                   [--journal-out EVENTS.jsonl]
+                  [--fault-plan SPEC | --fault-seed N]
+                  [--job-timeout-slack F] [--min-job-timeout-ms MS]
   swdual convert  --input FILE.fasta --output FILE.sqb
   swdual generate --sequences N --mean-len L --output FILE [--seed S]
   swdual info     --db FILE
 
-Database/query files may be FASTA (.fasta/.fa) or SQB (.sqb)."
+Database/query files may be FASTA (.fasta/.fa) or SQB (.sqb).
+
+Fault injection (deterministic; hits are identical to a fault-free run
+as long as one worker survives):
+  --fault-plan SPEC    explicit plan, e.g. \"1:crash@2,2:device@0\"
+                       (noreg | crash@N | vanish@N | device@K | straggle@MSxF)
+  --fault-seed N       derive a pseudo-random plan from seed N
+                       (always spares at least one worker)"
 }
 
 /// Parse `--key value` pairs after the subcommand.
@@ -145,7 +156,35 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     if observe {
         builder = builder.observe();
     }
-    let report = builder.run();
+    match (flags.get("fault-plan"), flags.get("fault-seed")) {
+        (Some(_), Some(_)) => {
+            return Err("--fault-plan and --fault-seed are mutually exclusive".into())
+        }
+        (Some(spec), None) => {
+            let plan = FaultPlan::parse(spec)?;
+            eprintln!("faults: injecting plan `{plan}`");
+            builder = builder.fault_plan(plan);
+        }
+        (None, Some(seed)) => {
+            let seed: u64 = seed.parse().map_err(|_| "--fault-seed")?;
+            let plan = FaultPlan::seeded(seed, cpus + gpus);
+            eprintln!("faults: seed {seed} -> plan `{plan}`");
+            builder = builder.fault_seed(seed);
+        }
+        (None, None) => {}
+    }
+    if let Some(slack) = flags.get("job-timeout-slack") {
+        let slack: f64 = slack.parse().map_err(|_| "--job-timeout-slack")?;
+        builder = builder.job_timeout_slack(slack);
+    }
+    if let Some(ms) = flags.get("min-job-timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "--min-job-timeout-ms")?;
+        builder = builder.min_job_timeout(std::time::Duration::from_millis(ms));
+    }
+    let report = match builder.try_run() {
+        Ok(report) => report,
+        Err(e) => return Err(format!("search failed: {e}")),
+    };
 
     if let Some(path) = trace_out {
         std::fs::write(path, report.timeline()).map_err(|e| format!("{path}: {e}"))?;

@@ -6,7 +6,9 @@ use swdual_bio::fasta::ResiduePolicy;
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::{Alphabet, ScoringScheme};
 use swdual_obs::Obs;
-use swdual_runtime::{run_search, AllocationPolicy, RuntimeConfig, WorkerSpec};
+use swdual_runtime::{
+    try_run_search, AllocationPolicy, FaultPlan, RuntimeConfig, SearchError, WorkerSpec,
+};
 use swdual_sched::dual::KnapsackMethod;
 
 /// Builder for one database search — the programmatic equivalent of the
@@ -19,6 +21,9 @@ pub struct SearchBuilder {
     policy: AllocationPolicy,
     top_k: usize,
     obs: Obs,
+    faults: FaultPlan,
+    job_timeout_slack: Option<f64>,
+    min_job_timeout: Option<std::time::Duration>,
 }
 
 impl Default for SearchBuilder {
@@ -40,6 +45,9 @@ impl SearchBuilder {
             policy: AllocationPolicy::DualApprox(KnapsackMethod::Greedy),
             top_k: 10,
             obs: Obs::disabled(),
+            faults: FaultPlan::none(),
+            job_timeout_slack: None,
+            min_job_timeout: None,
         }
     }
 
@@ -148,24 +156,85 @@ impl SearchBuilder {
         self
     }
 
+    /// Inject an explicit fault plan (worker crashes, device failures,
+    /// stragglers). Faults change who computes what and when — never
+    /// the hits, as long as one worker survives.
+    pub fn fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Inject the deterministic pseudo-random fault plan derived from
+    /// `seed` (see [`FaultPlan::seeded`]): same seed and worker count,
+    /// same faults, every run. The plan depends on the worker count, so
+    /// configure the worker pool *before* calling this.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        let n = self.workers.len();
+        self.faults = FaultPlan::seeded(seed, n);
+        self
+    }
+
+    /// Stretch factor on the modelled-time-derived per-worker job
+    /// deadlines the master uses to detect silent deaths.
+    pub fn job_timeout_slack(mut self, slack: f64) -> Self {
+        self.job_timeout_slack = Some(slack.max(1.0));
+        self
+    }
+
+    /// Floor of the per-worker job deadline — silent deaths cannot be
+    /// detected faster than this. Mostly useful to speed up tests and
+    /// fault demos.
+    pub fn min_job_timeout(mut self, floor: std::time::Duration) -> Self {
+        self.min_job_timeout = Some(floor);
+        self
+    }
+
+    fn into_config_and_sets(self) -> (SequenceSet, SequenceSet, Vec<WorkerSpec>, RuntimeConfig) {
+        let database = self.database.expect("database not set");
+        let queries = self.queries.expect("queries not set");
+        let mut config = RuntimeConfig {
+            scheme: self.scheme,
+            policy: self.policy,
+            top_k: self.top_k,
+            obs: self.obs,
+            faults: self.faults,
+            ..RuntimeConfig::default()
+        };
+        if let Some(slack) = self.job_timeout_slack {
+            config.job_timeout_slack = slack;
+        }
+        if let Some(floor) = self.min_job_timeout {
+            config.min_job_timeout = floor;
+        }
+        (database, queries, self.workers, config)
+    }
+
+    /// Launch the search, returning a typed error instead of panicking
+    /// when the platform is lost (all workers dead, nobody registered,
+    /// retry budget exhausted).
+    ///
+    /// # Panics
+    /// Still panics when the database or query set was never set —
+    /// those are caller bugs, not runtime conditions.
+    pub fn try_run(self) -> Result<SearchReport, SearchError> {
+        let (database, queries, workers, config) = self.into_config_and_sets();
+        let obs = config.obs.clone();
+        let db_meta: Vec<String> = database.iter().map(|s| s.id.clone()).collect();
+        let query_meta: Vec<String> = queries.iter().map(|s| s.id.clone()).collect();
+        let outcome = try_run_search(database, queries, &workers, config)?;
+        Ok(SearchReport::new(outcome, db_meta, query_meta).with_obs(obs))
+    }
+
     /// Launch the search.
     ///
     /// # Panics
     /// Panics when the database or query set is missing, or when the
-    /// worker pool is empty.
+    /// worker pool is empty or entirely lost mid-run.
     pub fn run(self) -> SearchReport {
-        let database = self.database.expect("database not set");
-        let queries = self.queries.expect("queries not set");
-        let config = RuntimeConfig {
-            scheme: self.scheme,
-            policy: self.policy,
-            top_k: self.top_k,
-            obs: self.obs.clone(),
-        };
-        let db_meta: Vec<String> = database.iter().map(|s| s.id.clone()).collect();
-        let query_meta: Vec<String> = queries.iter().map(|s| s.id.clone()).collect();
-        let outcome = run_search(database, queries, &self.workers, config);
-        SearchReport::new(outcome, db_meta, query_meta).with_obs(self.obs)
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("search failed: {e}"),
+        }
     }
 }
 
@@ -212,6 +281,59 @@ mod tests {
     fn missing_database_panics() {
         let (_, q) = demo_sets();
         let _ = SearchBuilder::new().queries(q).run();
+    }
+
+    #[test]
+    fn fault_plan_through_builder_preserves_hits() {
+        let (db, q) = demo_sets();
+        let healthy = SearchBuilder::new()
+            .database(db.clone())
+            .queries(q.clone())
+            .hybrid_workers(1, 1)
+            .run();
+        let faulted = SearchBuilder::new()
+            .database(db)
+            .queries(q)
+            .hybrid_workers(1, 1)
+            .fault_plan("0:device@1".parse().unwrap())
+            .min_job_timeout(std::time::Duration::from_millis(60))
+            .run();
+        assert_eq!(healthy.hits(), faulted.hits());
+    }
+
+    #[test]
+    fn fault_seed_is_deterministic_through_builder() {
+        let (db, q) = demo_sets();
+        let run = |seed| {
+            SearchBuilder::new()
+                .database(db.clone())
+                .queries(q.clone())
+                .hybrid_workers(2, 1)
+                .fault_seed(seed)
+                .min_job_timeout(std::time::Duration::from_millis(60))
+                .run()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.hits(), b.hits());
+        // Same-seed runs inject the same faults, so per-worker task
+        // counts also match.
+        let tasks =
+            |r: &SearchReport| -> Vec<usize> { r.worker_stats().iter().map(|s| s.tasks).collect() };
+        assert_eq!(tasks(&a), tasks(&b));
+    }
+
+    #[test]
+    fn try_run_surfaces_platform_loss() {
+        let (db, q) = demo_sets();
+        let err = SearchBuilder::new()
+            .database(db)
+            .queries(q)
+            .workers(vec![WorkerSpec::cpu_default()])
+            .fault_plan("0:crash@0".parse().unwrap())
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, SearchError::AllWorkersDead { .. }));
     }
 
     #[test]

@@ -52,7 +52,37 @@ pub enum DeviceEvent {
         /// Modelled kernel duration in seconds.
         seconds: f64,
     },
+    /// The device failed (an injected fault fired). No further kernels
+    /// or transfers execute after this entry.
+    Fault {
+        /// Virtual-clock time at which the failure surfaced.
+        at: f64,
+        /// Kernels completed before the failure.
+        after_kernels: u64,
+    },
 }
+
+/// Error surfaced when an injected device fault fires: the board is
+/// gone and every subsequent kernel or transfer fails. Mirrors what a
+/// real accelerator runtime reports when a device drops off the bus
+/// mid-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceFault {
+    /// Kernels the device completed before failing.
+    pub after_kernels: u64,
+}
+
+impl std::fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulated GPU device failed after {} kernel(s)",
+            self.after_kernels
+        )
+    }
+}
+
+impl std::error::Error for DeviceFault {}
 
 /// Counters accumulated over the device's lifetime, derived from the
 /// event log.
@@ -68,6 +98,8 @@ pub struct DeviceStats {
     pub bytes_h2d: u64,
     /// Seconds of simulated busy time (kernels + transfers).
     pub busy_seconds: f64,
+    /// Device failures recorded (0 or 1: a failed device stays failed).
+    pub faults: u64,
 }
 
 impl DeviceStats {
@@ -139,6 +171,11 @@ pub struct GpuDevice {
     log: Vec<DeviceEvent>,
     obs: Obs,
     obs_device_id: usize,
+    /// Injected fault: the device dies once this many kernels have
+    /// completed. `None` = healthy forever.
+    fail_after_kernels: Option<u64>,
+    kernels_launched: u64,
+    failed: bool,
 }
 
 impl GpuDevice {
@@ -153,6 +190,52 @@ impl GpuDevice {
             log: Vec::new(),
             obs: Obs::disabled(),
             obs_device_id: 0,
+            fail_after_kernels: None,
+            kernels_launched: 0,
+            failed: false,
+        }
+    }
+
+    /// Inject a deterministic fault: the device fails once `n` kernels
+    /// have completed (`n = 0` means it fails on first use). The fault
+    /// surfaces through [`GpuDevice::check_fault`] /
+    /// [`GpuDevice::try_search`] as a [`DeviceFault`].
+    pub fn inject_fault_after_kernels(&mut self, n: u64) {
+        self.fail_after_kernels = Some(n);
+    }
+
+    /// Whether an injected fault has fired.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Poll the injected fault. The first failing call appends a
+    /// [`DeviceEvent::Fault`] to the event log and records an obs
+    /// instant; every later call keeps failing without re-logging.
+    pub fn check_fault(&mut self) -> Result<(), DeviceFault> {
+        if self.failed {
+            return Err(DeviceFault {
+                after_kernels: self.kernels_launched,
+            });
+        }
+        match self.fail_after_kernels {
+            Some(n) if self.kernels_launched >= n => {
+                self.failed = true;
+                self.log.push(DeviceEvent::Fault {
+                    at: self.clock,
+                    after_kernels: self.kernels_launched,
+                });
+                self.obs.instant(
+                    Track::Device(self.obs_device_id),
+                    "device_fault",
+                    &[("after_kernels", self.kernels_launched as f64)],
+                );
+                self.obs.counter("gpu_device_faults", 1.0);
+                Err(DeviceFault {
+                    after_kernels: self.kernels_launched,
+                })
+            }
+            _ => Ok(()),
         }
     }
 
@@ -197,6 +280,9 @@ impl GpuDevice {
                     stats.useful_cells += useful_cells;
                     stats.padded_cells += padded_cells;
                     stats.busy_seconds += seconds;
+                }
+                DeviceEvent::Fault { .. } => {
+                    stats.faults += 1;
                 }
             }
         }
@@ -308,6 +394,20 @@ impl GpuDevice {
         spec.kernel_launch_latency + padded_cells as f64 / rate
     }
 
+    /// Fault-aware kernel launch: polls the injected fault first, then
+    /// runs [`GpuDevice::search`]. Workers drive the device through this
+    /// entry point so an injected device failure surfaces as an error
+    /// instead of silently returning scores from a dead board.
+    pub fn try_search(
+        &mut self,
+        query: &[u8],
+        db: &ResidentDb,
+        scheme: &ScoringScheme,
+    ) -> Result<KernelResult, DeviceFault> {
+        self.check_fault()?;
+        Ok(self.search(query, db, scheme))
+    }
+
     /// Launch one search kernel: `query` against the whole resident
     /// database. Returns exact scores (in the database's *original*
     /// order) and advances the virtual clock by the modelled kernel
@@ -344,6 +444,7 @@ impl GpuDevice {
 
         let start = self.clock;
         self.clock += kernel_seconds;
+        self.kernels_launched += 1;
         self.log.push(DeviceEvent::Kernel {
             useful_cells: useful,
             padded_cells: padded,
@@ -476,6 +577,57 @@ mod tests {
         let predicted = dev.predict_kernel_seconds(query.len(), &resident);
         let result = dev.search(&query, &resident, &scheme());
         assert!((predicted - result.kernel_seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn injected_fault_fires_after_threshold_and_is_logged_once() {
+        let mut dev = GpuDevice::new(DeviceSpec::toy(10_000));
+        dev.inject_fault_after_kernels(2);
+        let database = db(&["MKVLAT", "GGAR"]);
+        let resident = dev.upload(&database, false).unwrap();
+        let query = Alphabet::Protein.encode(b"MKVL").unwrap();
+        // Two kernels succeed.
+        assert!(dev.try_search(&query, &resident, &scheme()).is_ok());
+        assert!(dev.try_search(&query, &resident, &scheme()).is_ok());
+        // The third fails — and keeps failing.
+        let err = dev.try_search(&query, &resident, &scheme()).unwrap_err();
+        assert_eq!(err.after_kernels, 2);
+        assert!(dev.is_failed());
+        assert!(dev.try_search(&query, &resident, &scheme()).is_err());
+        // Exactly one Fault entry in the log, folded into stats.
+        let faults = dev
+            .events()
+            .iter()
+            .filter(|e| matches!(e, DeviceEvent::Fault { .. }))
+            .count();
+        assert_eq!(faults, 1);
+        assert_eq!(dev.stats().faults, 1);
+        assert_eq!(dev.stats().kernels, 2);
+        assert!(err.to_string().contains("after 2"));
+    }
+
+    #[test]
+    fn healthy_device_try_search_matches_search() {
+        let mut a = GpuDevice::new(DeviceSpec::toy(10_000));
+        let mut b = GpuDevice::new(DeviceSpec::toy(10_000));
+        let database = db(&["MKVLATGGAR", "WWWW"]);
+        let ra = a.upload(&database, true).unwrap();
+        let rb = b.upload(&database, true).unwrap();
+        let query = Alphabet::Protein.encode(b"MKVLAT").unwrap();
+        let via_try = a.try_search(&query, &ra, &scheme()).unwrap();
+        let via_plain = b.search(&query, &rb, &scheme());
+        assert_eq!(via_try, via_plain);
+    }
+
+    #[test]
+    fn fault_at_zero_kernels_fails_first_use() {
+        let mut dev = GpuDevice::new(DeviceSpec::toy(10_000));
+        dev.inject_fault_after_kernels(0);
+        let database = db(&["MKVL"]);
+        let resident = dev.upload(&database, false).unwrap();
+        let query = Alphabet::Protein.encode(b"MK").unwrap();
+        assert!(dev.try_search(&query, &resident, &scheme()).is_err());
+        assert_eq!(dev.stats().kernels, 0);
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod device;
 pub mod memory;
 pub mod spec;
 
-pub use device::{DeviceEvent, DeviceStats, GpuDevice, KernelResult};
+pub use device::{DeviceEvent, DeviceFault, DeviceStats, GpuDevice, KernelResult};
 pub use spec::DeviceSpec;

@@ -135,17 +135,19 @@ pub fn metrics_text(obs: &Obs) -> String {
     out
 }
 
-/// Process ids separating the three timelines in the trace viewer.
+/// Process ids separating the four timelines in the trace viewer.
 const PID_WALL: u64 = 1;
 const PID_MODELLED: u64 = 2;
 const PID_PLANNED: u64 = 3;
+const PID_RECOVERED: u64 = 4;
 
 /// Thread id inside a trace process for a track.
 fn trace_tid(track: Track) -> u64 {
     match track {
         Track::Master => 0,
         Track::Scheduler => 1,
-        Track::Worker(id) | Track::Planned(id) => 10 + id as u64,
+        Track::Faults => 2,
+        Track::Worker(id) | Track::Planned(id) | Track::Recovered(id) => 10 + id as u64,
         Track::Device(id) => 1000 + id as u64,
     }
 }
@@ -199,21 +201,12 @@ fn instant_event(pid: u64, tid: u64, event: &Event) -> Value {
 /// actually did is visible at a glance.
 pub fn chrome_trace(obs: &Obs) -> String {
     let events = obs.events();
-    let mut trace: Vec<Value> = Vec::new();
-
-    trace.push(meta_event(PID_WALL, None, "process_name", "wall clock"));
-    trace.push(meta_event(
-        PID_MODELLED,
-        None,
-        "process_name",
-        "modelled execution",
-    ));
-    trace.push(meta_event(
-        PID_PLANNED,
-        None,
-        "process_name",
-        "planned schedule",
-    ));
+    let mut trace: Vec<Value> = vec![
+        meta_event(PID_WALL, None, "process_name", "wall clock"),
+        meta_event(PID_MODELLED, None, "process_name", "modelled execution"),
+        meta_event(PID_PLANNED, None, "process_name", "planned schedule"),
+        meta_event(PID_RECOVERED, None, "process_name", "recovered schedule"),
+    ];
 
     // Name each (pid, tid) row after its track.
     let mut named: Vec<(u64, u64)> = Vec::new();
@@ -221,6 +214,7 @@ pub fn chrome_trace(obs: &Obs) -> String {
         let tid = trace_tid(event.track);
         let pids: &[u64] = match event.track {
             Track::Planned(_) => &[PID_PLANNED],
+            Track::Recovered(_) => &[PID_RECOVERED],
             _ => &[PID_WALL, PID_MODELLED],
         };
         for &pid in pids {
@@ -243,6 +237,13 @@ pub fn chrome_trace(obs: &Obs) -> String {
                 // Planned placements live on the modelled clock only.
                 if let (Some(vs), Some(vd)) = (event.virt_start, event.virt_dur) {
                     trace.push(complete_event(PID_PLANNED, tid, event, vs, vd));
+                }
+            }
+            Track::Recovered(_) => {
+                // Re-planned placements likewise: modelled clock only,
+                // on their own process row.
+                if let (Some(vs), Some(vd)) = (event.virt_start, event.virt_dur) {
+                    trace.push(complete_event(PID_RECOVERED, tid, event, vs, vd));
                 }
             }
             _ => match event.kind {
@@ -367,7 +368,44 @@ mod tests {
                 .get("traceEvents")
                 .and_then(Value::as_array)
                 .map(Vec::len),
-            Some(3)
+            Some(4)
         );
+    }
+
+    #[test]
+    fn recovered_spans_get_their_own_process() {
+        let obs = Obs::enabled();
+        obs.virtual_span(Track::Recovered(1), "task-4", 0.5, 1.5, &[("task", 4.0)]);
+        obs.instant(Track::Faults, "worker_dead", &[("worker", 0.0)]);
+        let trace = chrome_trace(&obs);
+        let value: Value = serde_json::from_str(&trace).expect("trace parses");
+        let events = value
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // The recovered placement is a span on pid 4, same tid scheme as
+        // worker/planned rows.
+        let recovered: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("pid").and_then(Value::as_u64) == Some(4)
+            })
+            .collect();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(
+            recovered[0].get("tid").and_then(Value::as_u64),
+            Some(11),
+            "recovered row shares the worker tid scheme"
+        );
+        // The fault instant lands on the wall-clock process.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("i")
+                && e.get("name").and_then(Value::as_str) == Some("worker_dead")
+        }));
+        // And the journal names both.
+        let journal = journal_jsonl(&obs);
+        assert!(journal.contains("recovered:1"));
+        assert!(journal.contains("\"faults\""));
     }
 }

@@ -37,8 +37,15 @@ pub enum Track {
     Worker(usize),
     /// Planned (scheduled) occupation of worker `id`.
     Planned(usize),
+    /// Recovered occupation of worker `id`: placements re-planned onto
+    /// it after another worker died. Kept apart from [`Track::Planned`]
+    /// so trace exports can show planned vs actual vs recovered rows.
+    Recovered(usize),
     /// Simulated device `id` kernel/transfer activity.
     Device(usize),
+    /// Fault-tolerance events: injected faults, detected worker deaths,
+    /// timeouts and re-dispatch decisions.
+    Faults,
 }
 
 impl Track {
@@ -49,7 +56,9 @@ impl Track {
             Track::Scheduler => "scheduler".to_string(),
             Track::Worker(id) => format!("worker:{id}"),
             Track::Planned(id) => format!("planned:{id}"),
+            Track::Recovered(id) => format!("recovered:{id}"),
             Track::Device(id) => format!("device:{id}"),
+            Track::Faults => "faults".to_string(),
         }
     }
 }
@@ -314,7 +323,9 @@ mod tests {
         assert_eq!(Track::Scheduler.label(), "scheduler");
         assert_eq!(Track::Worker(3).label(), "worker:3");
         assert_eq!(Track::Planned(3).label(), "planned:3");
+        assert_eq!(Track::Recovered(3).label(), "recovered:3");
         assert_eq!(Track::Device(0).label(), "device:0");
+        assert_eq!(Track::Faults.label(), "faults");
     }
 
     #[test]

@@ -24,12 +24,24 @@
 //! speed. The modelled clock is what corresponds to the paper's tables;
 //! the wall clock is what proves the machinery actually works.
 
+//!
+//! Faults are first-class: a [`FaultPlan`] injects deterministic worker
+//! crashes, GPU device failures and straggler slowdowns; the master
+//! detects deaths (explicitly or by deadline), re-plans orphaned tasks
+//! on the survivors and — because alignment scores are a pure function
+//! of the inputs — returns hits bit-identical to a fault-free run, or a
+//! typed [`SearchError`]. See [`faults`] and [`master::try_run_search`].
+
 pub mod estimator;
+pub mod faults;
 pub mod master;
 pub mod messages;
 pub mod worker;
 
 pub use estimator::WorkerRateModel;
-pub use master::{run_search, AllocationPolicy, RuntimeConfig, SearchOutcome};
-pub use messages::{Hit, QueryHits, WorkerStats};
+pub use faults::{FaultPlan, WorkerFault};
+pub use master::{
+    run_search, try_run_search, AllocationPolicy, RuntimeConfig, SearchError, SearchOutcome,
+};
+pub use messages::{FailureReason, Hit, QueryHits, WorkerFailure, WorkerMsg, WorkerStats};
 pub use worker::WorkerSpec;

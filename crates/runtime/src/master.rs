@@ -1,16 +1,34 @@
 //! The master: task generation, allocation, dispatch and result
-//! merging (paper Figure 6, left column).
+//! merging (paper Figure 6, left column) — plus fault tolerance.
+//!
+//! The fault-tolerant merge loop guarantees [`try_run_search`] always
+//! returns: every worker either answers, notifies its death, or blows a
+//! deadline derived from its own declared rate model; orphaned tasks
+//! are re-planned onto the survivors with the same dual-approximation
+//! allocator that produced the original schedule; and a bounded retry
+//! count converts pathological fault storms into a typed
+//! [`SearchError`] instead of a hang.
+//!
+//! Faults never change results. Alignment scores are a pure function of
+//! (query, database, scheme), so any completion path — the original
+//! worker, a late straggler, a re-dispatched copy — produces the same
+//! score vector; the master dedups by task id and keeps the first.
 
-use crate::messages::{top_k_hits, Job, JobResult, QueryHits, WorkerStats};
+use crate::estimator::job_deadline_seconds;
+use crate::faults::FaultPlan;
+use crate::messages::{
+    top_k_hits, FailureReason, Job, JobResult, QueryHits, Registration, WorkerMsg, WorkerStats,
+};
 use crate::worker::{WorkerContext, WorkerSpec};
-use crossbeam::channel;
+use crossbeam::channel::{self, RecvTimeoutError};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::ScoringScheme;
 use swdual_obs::{Obs, Track};
 use swdual_sched::binsearch::{dual_approx_schedule_observed, BinarySearchConfig};
 use swdual_sched::dual::KnapsackMethod;
+use swdual_sched::remainder::reschedule_remainder;
 use swdual_sched::schedule::{PeKind, Schedule};
 use swdual_sched::{PlatformSpec, Task, TaskSet};
 
@@ -45,8 +63,24 @@ pub struct RuntimeConfig {
     /// Event recorder. Disabled by default: tracing then costs one
     /// branch per would-be event and nothing else. Pass a clone of an
     /// enabled [`Obs`] to capture master phases, scheduler decisions,
-    /// per-job worker spans and device activity.
+    /// per-job worker spans, device activity and fault events.
     pub obs: Obs,
+    /// Injected faults (empty by default — every worker healthy).
+    pub faults: FaultPlan,
+    /// How long the master waits for registrations before proceeding
+    /// with whoever answered. Healthy runs never pay this: the wait
+    /// also ends as soon as every spawned worker has either registered
+    /// or demonstrably died.
+    pub registration_timeout: Duration,
+    /// Floor of the per-worker job deadline. Detection of silent
+    /// worker deaths can never be faster than this.
+    pub min_job_timeout: Duration,
+    /// Slack factor stretching the modelled-time-derived deadline (see
+    /// [`crate::estimator::job_deadline_seconds`]).
+    pub job_timeout_slack: f64,
+    /// How many times one task may be re-dispatched before the search
+    /// gives up with [`SearchError::RetriesExhausted`].
+    pub max_task_retries: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -56,9 +90,58 @@ impl Default for RuntimeConfig {
             policy: AllocationPolicy::DualApprox(KnapsackMethod::Greedy),
             top_k: 10,
             obs: Obs::disabled(),
+            faults: FaultPlan::none(),
+            registration_timeout: Duration::from_secs(5),
+            min_job_timeout: Duration::from_secs(5),
+            job_timeout_slack: 4.0,
+            max_task_retries: 3,
         }
     }
 }
+
+/// Why a search could not complete. Every variant is a *decision*, not
+/// a hang: the master always reaches one of these or a full result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchError {
+    /// No worker specs were supplied at all.
+    NoWorkers,
+    /// Workers were spawned but none registered within the deadline.
+    NoWorkersRegistered,
+    /// Every worker died before the task list was finished.
+    AllWorkersDead {
+        /// Tasks completed before the platform was lost.
+        completed: usize,
+        /// Total tasks in the search.
+        total: usize,
+    },
+    /// One task was re-dispatched more than the configured bound.
+    RetriesExhausted {
+        /// The task that kept failing.
+        task_id: usize,
+        /// Dispatch attempts it consumed.
+        retries: usize,
+    },
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::NoWorkers => write!(f, "no workers supplied"),
+            SearchError::NoWorkersRegistered => {
+                write!(f, "no worker registered within the deadline")
+            }
+            SearchError::AllWorkersDead { completed, total } => write!(
+                f,
+                "all workers died with {completed}/{total} tasks complete"
+            ),
+            SearchError::RetriesExhausted { task_id, retries } => {
+                write!(f, "task {task_id} failed after {retries} dispatch attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
 
 /// Everything a finished search reports.
 #[derive(Debug, Clone)]
@@ -107,6 +190,24 @@ impl SearchOutcome {
 /// platforms.
 const ABSENT_SPECIES_PENALTY: f64 = 1.0e6;
 
+// `reason` argument values on `worker_death` fault events.
+const DEATH_CRASH: f64 = 0.0;
+const DEATH_DEVICE: f64 = 1.0;
+const DEATH_TIMEOUT: f64 = 2.0;
+const DEATH_DISPATCH: f64 = 3.0;
+
+/// Slowest plausible host throughput, in alignment cells per wall
+/// second. Modelled estimates describe the *paper's* hardware; until
+/// the first completion calibrates this host, a deadline derived from
+/// them alone can be arbitrarily wrong (a debug build chews through a
+/// 5000-residue query orders of magnitude slower than the modelled
+/// Tesla). Deadlines therefore never fire before the time a
+/// 10-MCUPS host would need for the worker's largest pending task —
+/// conservative enough that no real host, optimised or not, is
+/// misdeclared dead, while tiny test workloads still detect silent
+/// deaths within the configured floor.
+const COLD_HOST_CELLS_PER_SEC: f64 = 1.0e7;
+
 /// Build the scheduler instance from the rate models the workers
 /// declared at registration.
 fn build_tasks(
@@ -136,53 +237,199 @@ fn build_tasks(
     )
 }
 
-/// Execute a full database search on the given workers.
-///
-/// # Panics
-/// Panics when `workers` is empty or a query/database is inconsistent
-/// with the scheme's alphabet.
-pub fn run_search(
+/// Mutable recovery state threaded through re-dispatch.
+struct Recovery<'a> {
+    tasks: &'a TaskSet,
+    is_gpu: &'a [bool],
+    alive: &'a mut Vec<bool>,
+    pending: &'a mut Vec<Vec<usize>>,
+    private_tx: &'a mut Vec<Option<channel::Sender<Job>>>,
+    /// `Some` under self-scheduling: orphans go back to the shared
+    /// queue instead of a re-planned static schedule.
+    shared_tx: Option<&'a channel::Sender<Job>>,
+    done: &'a [bool],
+    retries: &'a mut Vec<usize>,
+    max_retries: usize,
+    completed: usize,
+    n_tasks: usize,
+    obs: &'a Obs,
+}
+
+/// Give orphaned tasks a new home. Static policies re-plan them with
+/// the dual approximation on the surviving platform (the recovery
+/// schedule shows up on [`Track::Recovered`] rows); self-scheduling
+/// pushes them back onto the shared queue. Survivors found dead while
+/// re-dispatching are declared dead and their load re-orphaned, until
+/// everything is placed, the platform is empty, or a task blows its
+/// retry budget.
+fn redispatch_orphans(cx: Recovery<'_>, orphans: Vec<usize>) -> Result<(), SearchError> {
+    let Recovery {
+        tasks,
+        is_gpu,
+        alive,
+        pending,
+        private_tx,
+        shared_tx,
+        done,
+        retries,
+        max_retries,
+        completed,
+        n_tasks,
+        obs,
+    } = cx;
+    let mut to_place = orphans;
+    loop {
+        to_place.retain(|&t| !done[t]);
+        to_place.sort_unstable();
+        to_place.dedup();
+        if to_place.is_empty() {
+            return Ok(());
+        }
+        for &t in &to_place {
+            retries[t] += 1;
+            if retries[t] > max_retries {
+                return Err(SearchError::RetriesExhausted {
+                    task_id: t,
+                    retries: retries[t],
+                });
+            }
+            obs.instant(
+                Track::Faults,
+                "task_redispatch",
+                &[("task", t as f64), ("retry", retries[t] as f64)],
+            );
+            obs.counter("tasks_redispatched", 1.0);
+        }
+
+        if let Some(shared) = shared_tx {
+            for &t in &to_place {
+                let job = Job {
+                    task_id: t,
+                    query_index: t,
+                };
+                if shared.send(job).is_err() {
+                    return Err(SearchError::AllWorkersDead {
+                        completed,
+                        total: n_tasks,
+                    });
+                }
+            }
+            return Ok(());
+        }
+
+        // Static policies: re-plan the orphans on whoever survives.
+        let live_cpu: Vec<usize> = (0..alive.len())
+            .filter(|&w| alive[w] && !is_gpu[w])
+            .collect();
+        let live_gpu: Vec<usize> = (0..alive.len())
+            .filter(|&w| alive[w] && is_gpu[w])
+            .collect();
+        if live_cpu.is_empty() && live_gpu.is_empty() {
+            return Err(SearchError::AllWorkersDead {
+                completed,
+                total: n_tasks,
+            });
+        }
+        let platform = PlatformSpec::new(live_cpu.len(), live_gpu.len());
+        let plan = reschedule_remainder(tasks, &to_place, &platform, BinarySearchConfig::default());
+        let mut per: Vec<Vec<(f64, usize)>> = vec![Vec::new(); alive.len()];
+        for p in &plan.placements {
+            let w = match p.pe.kind {
+                PeKind::Cpu => live_cpu[p.pe.index],
+                PeKind::Gpu => live_gpu[p.pe.index],
+            };
+            if obs.is_enabled() {
+                obs.virtual_span(
+                    Track::Recovered(w),
+                    &format!("task-{}", p.task),
+                    p.start,
+                    p.end - p.start,
+                    &[("task", p.task as f64)],
+                );
+            }
+            per[w].push((p.start, p.task));
+        }
+        let mut next_round: Vec<usize> = Vec::new();
+        for (w, mut list) in per.into_iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut target_dead = false;
+            for &(_, t) in &list {
+                if target_dead {
+                    next_round.push(t);
+                    continue;
+                }
+                let job = Job {
+                    task_id: t,
+                    query_index: t,
+                };
+                let sent = private_tx[w]
+                    .as_ref()
+                    .map(|tx| tx.send(job).is_ok())
+                    .unwrap_or(false);
+                if sent {
+                    pending[w].push(t);
+                } else {
+                    // This survivor is dead too: re-orphan its load.
+                    target_dead = true;
+                    alive[w] = false;
+                    private_tx[w] = None;
+                    next_round.append(&mut pending[w]);
+                    next_round.push(t);
+                    obs.instant(
+                        Track::Faults,
+                        "worker_death",
+                        &[("worker", w as f64), ("reason", DEATH_DISPATCH)],
+                    );
+                    obs.counter("workers_lost", 1.0);
+                }
+            }
+        }
+        to_place = next_round;
+    }
+}
+
+/// Execute a full database search on the given workers, tolerating the
+/// faults the run's [`FaultPlan`] injects (and, structurally, any
+/// worker death or stall the deadlines catch): orphaned tasks are
+/// re-planned on the survivors, results are deduplicated by task id,
+/// and the search either completes with exactly the hits a fault-free
+/// run produces or returns a typed [`SearchError`]. It cannot hang.
+pub fn try_run_search(
     database: SequenceSet,
     queries: SequenceSet,
     workers: &[WorkerSpec],
     config: RuntimeConfig,
-) -> SearchOutcome {
-    assert!(!workers.is_empty(), "at least one worker required");
+) -> Result<SearchOutcome, SearchError> {
+    if workers.is_empty() {
+        return Err(SearchError::NoWorkers);
+    }
     let n_tasks = queries.len();
     let database = Arc::new(database);
     let queries = Arc::new(queries);
     let db_residues = database.total_residues();
     let total_cells: u64 = queries.iter().map(|q| q.len() as u64 * db_residues).sum();
+    let is_gpu: Vec<bool> = workers.iter().map(|w| w.is_gpu()).collect();
 
-    // Identify species.
-    let cpu_worker_ids: Vec<usize> = workers
-        .iter()
-        .enumerate()
-        .filter_map(|(i, w)| (!w.is_gpu()).then_some(i))
-        .collect();
-    let gpu_worker_ids: Vec<usize> = workers
-        .iter()
-        .enumerate()
-        .filter_map(|(i, w)| w.is_gpu().then_some(i))
-        .collect();
-    let platform = PlatformSpec::new(cpu_worker_ids.len(), gpu_worker_ids.len());
-
-    // Phase 1 — spawn workers; each registers with the master before
-    // waiting for jobs (paper Figure 6: "Register with master" /
-    // "Register slaves"). Job queues exist upfront but are filled only
-    // after allocation.
-    let (reg_tx, reg_rx) = channel::unbounded::<crate::messages::Registration>();
-    let (result_tx, result_rx) = channel::unbounded::<JobResult>();
+    let (reg_tx, reg_rx) = channel::unbounded::<Registration>();
+    let (msg_tx, msg_rx) = channel::unbounded::<WorkerMsg>();
     let shared_queue = matches!(config.policy, AllocationPolicy::SelfScheduling);
     let (shared_tx, shared_rx) = channel::unbounded::<Job>();
+    let mut shared_tx = Some(shared_tx);
     let mut private_tx: Vec<Option<channel::Sender<Job>>> = Vec::with_capacity(workers.len());
 
     let obs = config.obs.clone();
     let start = Instant::now();
     let mut results: Vec<JobResult> = Vec::with_capacity(n_tasks);
     let mut schedule: Option<Schedule> = None;
+    let mut error: Option<SearchError> = None;
 
     std::thread::scope(|scope| {
+        // Phase 1 — spawn workers; each registers with the master
+        // before waiting for jobs (paper Figure 6: "Register with
+        // master" / "Register slaves").
         let t_register = obs.now();
         for (worker_id, spec) in workers.iter().enumerate() {
             let job_rx = if shared_queue {
@@ -199,162 +446,523 @@ pub fn run_search(
                 queries: Arc::clone(&queries),
                 scheme: config.scheme.clone(),
                 obs: obs.clone(),
+                fault: config.faults.get(worker_id),
             };
             let spec = spec.clone();
-            let result_tx = result_tx.clone();
+            let msg_tx = msg_tx.clone();
             let reg_tx = reg_tx.clone();
             scope.spawn(move || {
-                crate::worker::worker_loop_registered(spec, ctx, Some(reg_tx), job_rx, result_tx)
+                crate::worker::worker_loop_registered(spec, ctx, Some(reg_tx), job_rx, msg_tx)
             });
         }
         drop(reg_tx);
-        drop(result_tx);
+        drop(msg_tx);
         drop(shared_rx);
 
-        // Phase 2 — collect every registration ("Register slaves").
-        let mut registrations: Vec<crate::messages::Registration> =
-            reg_rx.iter().take(workers.len()).collect();
+        // Phase 2 — collect registrations ("Register slaves") until
+        // everyone answered, every hello sender is gone (each worker
+        // either registered or died trying), or the deadline passed.
+        let mut registrations: Vec<Registration> = Vec::new();
+        let reg_deadline = Instant::now() + config.registration_timeout;
+        while registrations.len() < workers.len() {
+            match reg_rx.recv_deadline(reg_deadline) {
+                Ok(r) => registrations.push(r),
+                Err(_) => break, // deadline or disconnect
+            }
+        }
         registrations.sort_by_key(|r| r.worker_id);
-        assert_eq!(registrations.len(), workers.len(), "every worker registers");
+        let mut alive = vec![false; workers.len()];
+        for r in &registrations {
+            alive[r.worker_id] = true;
+        }
+        for w in 0..workers.len() {
+            if !alive[w] {
+                // Dead at (or before) registration: close its queue so
+                // the thread — if it is somehow still there — exits.
+                private_tx[w] = None;
+                obs.instant(
+                    Track::Faults,
+                    "worker_lost_registration",
+                    &[("worker", w as f64)],
+                );
+                obs.counter("workers_lost", 1.0);
+            }
+        }
         obs.span(
             Track::Master,
             "register",
             t_register,
             obs.now() - t_register,
             None,
-            &[("workers", workers.len() as f64)],
+            &[
+                ("workers", workers.len() as f64),
+                ("registered", registrations.len() as f64),
+            ],
         );
-
-        // Phase 3 — allocate from the *declared* rate models.
-        let t_allocate = obs.now();
-        let cpu_model = registrations
-            .iter()
-            .find(|r| !r.is_gpu)
-            .map(|r| r.rate_model);
-        let gpu_model = registrations
-            .iter()
-            .find(|r| r.is_gpu)
-            .map(|r| r.rate_model);
-        let tasks = build_tasks(&queries, db_residues, cpu_model, gpu_model);
-        let planned: Option<Schedule> = match config.policy {
-            AllocationPolicy::DualApprox(method) => Some(
-                dual_approx_schedule_observed(
-                    &tasks,
-                    &platform,
-                    BinarySearchConfig {
-                        method,
-                        ..BinarySearchConfig::default()
-                    },
-                    &obs,
-                )
-                .schedule,
-            ),
-            AllocationPolicy::SelfScheduling => None,
-            AllocationPolicy::MultiRound { rounds } => {
-                Some(swdual_sched::multiround::multi_round_schedule(
-                    &tasks,
-                    &platform,
-                    rounds,
-                    BinarySearchConfig::default(),
-                ))
-            }
-        };
-        obs.span(
-            Track::Master,
-            "allocate",
-            t_allocate,
-            obs.now() - t_allocate,
-            None,
-            &[("tasks", n_tasks as f64)],
-        );
-
-        // The planned schedule goes on its own modelled-clock tracks so
-        // exports can overlay plan against actual execution.
-        if obs.is_enabled() {
-            if let Some(s) = &planned {
-                for p in &s.placements {
-                    let worker_id = match p.pe.kind {
-                        PeKind::Cpu => cpu_worker_ids[p.pe.index],
-                        PeKind::Gpu => gpu_worker_ids[p.pe.index],
-                    };
-                    obs.virtual_span(
-                        Track::Planned(worker_id),
-                        &format!("task-{}", p.task),
-                        p.start,
-                        p.end - p.start,
-                        &[("task", p.task as f64)],
-                    );
-                }
-            }
+        if registrations.is_empty() {
+            error = Some(SearchError::NoWorkersRegistered);
         }
 
-        // Phase 4 — dispatch: private per-worker queues ordered by
-        // planned start, or the shared self-scheduling queue.
-        let t_dispatch = obs.now();
-        match &planned {
-            Some(s) => {
-                let mut jobs: Vec<Vec<(f64, Job)>> = vec![Vec::new(); workers.len()];
-                for p in &s.placements {
-                    let worker_id = match p.pe.kind {
-                        PeKind::Cpu => cpu_worker_ids[p.pe.index],
-                        PeKind::Gpu => gpu_worker_ids[p.pe.index],
-                    };
-                    jobs[worker_id].push((
-                        p.start,
-                        Job {
-                            task_id: p.task,
-                            query_index: p.task,
+        if error.is_none() {
+            // Phase 3 — allocate from the *declared* rate models of
+            // the workers that actually registered.
+            let t_allocate = obs.now();
+            let cpu_model = registrations
+                .iter()
+                .find(|r| !r.is_gpu)
+                .map(|r| r.rate_model);
+            let gpu_model = registrations
+                .iter()
+                .find(|r| r.is_gpu)
+                .map(|r| r.rate_model);
+            let live_cpu: Vec<usize> = registrations
+                .iter()
+                .filter(|r| !r.is_gpu)
+                .map(|r| r.worker_id)
+                .collect();
+            let live_gpu: Vec<usize> = registrations
+                .iter()
+                .filter(|r| r.is_gpu)
+                .map(|r| r.worker_id)
+                .collect();
+            let platform = PlatformSpec::new(live_cpu.len(), live_gpu.len());
+            let tasks = build_tasks(&queries, db_residues, cpu_model, gpu_model);
+            let planned: Option<Schedule> = match config.policy {
+                AllocationPolicy::DualApprox(method) => Some(
+                    dual_approx_schedule_observed(
+                        &tasks,
+                        &platform,
+                        BinarySearchConfig {
+                            method,
+                            ..BinarySearchConfig::default()
                         },
-                    ));
+                        &obs,
+                    )
+                    .schedule,
+                ),
+                AllocationPolicy::SelfScheduling => None,
+                AllocationPolicy::MultiRound { rounds } => {
+                    Some(swdual_sched::multiround::multi_round_schedule(
+                        &tasks,
+                        &platform,
+                        rounds,
+                        BinarySearchConfig::default(),
+                    ))
                 }
-                for (worker_id, mut list) in jobs.into_iter().enumerate() {
-                    list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                    let tx = private_tx[worker_id].as_ref().expect("private queue");
-                    for (_, job) in list {
-                        tx.send(job).expect("queue open");
+            };
+            obs.span(
+                Track::Master,
+                "allocate",
+                t_allocate,
+                obs.now() - t_allocate,
+                None,
+                &[("tasks", n_tasks as f64)],
+            );
+
+            // The planned schedule goes on its own modelled-clock
+            // tracks so exports can overlay plan against actual.
+            if obs.is_enabled() {
+                if let Some(s) = &planned {
+                    for p in &s.placements {
+                        let worker_id = match p.pe.kind {
+                            PeKind::Cpu => live_cpu[p.pe.index],
+                            PeKind::Gpu => live_gpu[p.pe.index],
+                        };
+                        obs.virtual_span(
+                            Track::Planned(worker_id),
+                            &format!("task-{}", p.task),
+                            p.start,
+                            p.end - p.start,
+                            &[("task", p.task as f64)],
+                        );
                     }
                 }
             }
-            None => {
-                for task_id in 0..n_tasks {
-                    shared_tx
-                        .send(Job {
+
+            // Phase 4 — dispatch: private per-worker queues ordered by
+            // planned start, or the shared self-scheduling queue. The
+            // queues stay open afterwards: the merge loop re-uses them
+            // to re-dispatch orphans of dead workers.
+            let t_dispatch = obs.now();
+            let mut pending: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+            let mut initial_orphans: Vec<usize> = Vec::new();
+            match &planned {
+                Some(s) => {
+                    let mut jobs: Vec<Vec<(f64, Job)>> = vec![Vec::new(); workers.len()];
+                    for p in &s.placements {
+                        let worker_id = match p.pe.kind {
+                            PeKind::Cpu => live_cpu[p.pe.index],
+                            PeKind::Gpu => live_gpu[p.pe.index],
+                        };
+                        jobs[worker_id].push((
+                            p.start,
+                            Job {
+                                task_id: p.task,
+                                query_index: p.task,
+                            },
+                        ));
+                    }
+                    for (worker_id, mut list) in jobs.into_iter().enumerate() {
+                        list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                        for (idx, (_, job)) in list.iter().enumerate() {
+                            let sent = private_tx[worker_id]
+                                .as_ref()
+                                .map(|tx| tx.send(*job).is_ok())
+                                .unwrap_or(false);
+                            if sent {
+                                pending[worker_id].push(job.task_id);
+                            } else {
+                                // Crashed while we were still loading
+                                // its queue.
+                                alive[worker_id] = false;
+                                private_tx[worker_id] = None;
+                                initial_orphans.append(&mut pending[worker_id]);
+                                initial_orphans.extend(list[idx..].iter().map(|(_, j)| j.task_id));
+                                obs.instant(
+                                    Track::Faults,
+                                    "worker_death",
+                                    &[("worker", worker_id as f64), ("reason", DEATH_DISPATCH)],
+                                );
+                                obs.counter("workers_lost", 1.0);
+                                break;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for task_id in 0..n_tasks {
+                        let job = Job {
                             task_id,
                             query_index: task_id,
-                        })
-                        .expect("queue open");
+                        };
+                        if shared_tx
+                            .as_ref()
+                            .expect("shared queue open")
+                            .send(job)
+                            .is_err()
+                        {
+                            error = Some(SearchError::AllWorkersDead {
+                                completed: 0,
+                                total: n_tasks,
+                            });
+                            break;
+                        }
+                    }
                 }
             }
-        }
-        schedule = planned;
-        // Close all job queues: one-round dispatch is complete.
-        private_tx.clear();
-        drop(shared_tx);
-        obs.span(
-            Track::Master,
-            "dispatch",
-            t_dispatch,
-            obs.now() - t_dispatch,
-            None,
-            &[("tasks", n_tasks as f64)],
-        );
+            schedule = planned;
+            obs.span(
+                Track::Master,
+                "dispatch",
+                t_dispatch,
+                obs.now() - t_dispatch,
+                None,
+                &[("tasks", n_tasks as f64)],
+            );
 
-        // Phase 5 — merge results as they stream in.
-        let t_merge = obs.now();
-        for r in result_rx.iter() {
-            results.push(r);
+            // Phase 5 — merge results as they stream in, watching for
+            // deaths (explicit or by deadline) and re-dispatching.
+            let t_merge = obs.now();
+            let mut done = vec![false; n_tasks];
+            let mut retries = vec![0usize; n_tasks];
+            let mut completed = 0usize;
+            // Largest observed wall-seconds per estimated-modelled-second:
+            // converts modelled estimates into wall deadlines as the run
+            // calibrates itself.
+            let mut wall_ratio = 0.0f64;
+            // Slowest observed wall-seconds per alignment cell, seeded
+            // with the conservative cold-start prior. This bounds every
+            // deadline from below: the modelled-estimate path can be
+            // badly miscalibrated (modelled overhead dominates tiny
+            // tasks while wall time is compute-dominated), but "no host
+            // is slower than 10 MCUPS" always holds.
+            let mut secs_per_cell = 1.0 / COLD_HOST_CELLS_PER_SEC;
+            let floor = config.min_job_timeout.as_secs_f64();
+            let slack = config.job_timeout_slack;
+            let est_on = |w: usize, t: usize| {
+                let task = tasks.tasks()[t];
+                if is_gpu[w] {
+                    task.p_gpu
+                } else {
+                    task.p_cpu
+                }
+            };
+            let cells_of = |t: usize| {
+                queries
+                    .get(t)
+                    .map_or(0.0, |q| q.len() as f64 * db_residues as f64)
+            };
+            let timeout_for = |w: usize, pending_w: &[usize], ratio: f64, spc: f64| {
+                let est = pending_w.iter().map(|&t| est_on(w, t)).fold(0.0, f64::max);
+                let max_cells = pending_w.iter().map(|&t| cells_of(t)).fold(0.0, f64::max);
+                let modelled = job_deadline_seconds(est, ratio, slack, floor);
+                Duration::from_secs_f64(modelled.max(slack * max_cells * spc))
+            };
+            let far_future = Instant::now() + Duration::from_secs(365 * 86_400);
+            let mut deadlines: Vec<Instant> = vec![far_future; workers.len()];
+            macro_rules! refresh_deadlines {
+                () => {
+                    for w in 0..workers.len() {
+                        deadlines[w] = if alive[w] && !pending[w].is_empty() {
+                            Instant::now() + timeout_for(w, &pending[w], wall_ratio, secs_per_cell)
+                        } else {
+                            far_future
+                        };
+                    }
+                };
+            }
+            refresh_deadlines!();
+            let mut last_activity = Instant::now();
+            let tick = (config.min_job_timeout / 8)
+                .min(Duration::from_millis(25))
+                .max(Duration::from_millis(1));
+
+            if error.is_none() && !initial_orphans.is_empty() {
+                let res = redispatch_orphans(
+                    Recovery {
+                        tasks: &tasks,
+                        is_gpu: &is_gpu,
+                        alive: &mut alive,
+                        pending: &mut pending,
+                        private_tx: &mut private_tx,
+                        shared_tx: None,
+                        done: &done,
+                        retries: &mut retries,
+                        max_retries: config.max_task_retries,
+                        completed,
+                        n_tasks,
+                        obs: &obs,
+                    },
+                    initial_orphans,
+                );
+                match res {
+                    Ok(()) => refresh_deadlines!(),
+                    Err(e) => error = Some(e),
+                }
+            }
+
+            while error.is_none() && completed < n_tasks {
+                match msg_rx.recv_timeout(tick) {
+                    Ok(WorkerMsg::Completed(r)) => {
+                        last_activity = Instant::now();
+                        let w = r.worker_id;
+                        pending[w].retain(|&t| t != r.task_id);
+                        // Calibrate against the *estimator's* modelled
+                        // time for this task — the same quantity the
+                        // deadlines below are computed from. (The
+                        // worker-reported modelled clock is a different
+                        // animal: GPU workers report kernel-only virtual
+                        // seconds, orders of magnitude away from both
+                        // the estimate and the wall clock.)
+                        let est = est_on(w, r.task_id);
+                        if est > 0.0 {
+                            wall_ratio = wall_ratio.max(r.wall_seconds / est);
+                        }
+                        let cells = cells_of(r.task_id);
+                        if cells > 0.0 {
+                            secs_per_cell = secs_per_cell.max(r.wall_seconds / cells);
+                        }
+                        if done[r.task_id] {
+                            // A straggler or an undetected-dead worker
+                            // finished a task someone else already
+                            // completed. Scores are identical by
+                            // construction; keep the first.
+                            obs.instant(
+                                Track::Faults,
+                                "duplicate_result",
+                                &[("task", r.task_id as f64), ("worker", w as f64)],
+                            );
+                            obs.counter("duplicate_results", 1.0);
+                        } else {
+                            done[r.task_id] = true;
+                            completed += 1;
+                            results.push(r);
+                        }
+                        if alive[w] {
+                            deadlines[w] = if pending[w].is_empty() {
+                                far_future
+                            } else {
+                                Instant::now()
+                                    + timeout_for(w, &pending[w], wall_ratio, secs_per_cell)
+                            };
+                        }
+                    }
+                    Ok(WorkerMsg::Failed(f)) => {
+                        last_activity = Instant::now();
+                        let w = f.worker_id;
+                        if alive[w] {
+                            alive[w] = false;
+                            private_tx[w] = None;
+                            let reason = match f.reason {
+                                FailureReason::Crash => DEATH_CRASH,
+                                FailureReason::DeviceFault { .. } => DEATH_DEVICE,
+                            };
+                            obs.instant(
+                                Track::Faults,
+                                "worker_death",
+                                &[("worker", w as f64), ("reason", reason)],
+                            );
+                            obs.counter("workers_lost", 1.0);
+                            let mut orphans: Vec<usize> = pending[w].drain(..).collect();
+                            if let Some(t) = f.in_flight {
+                                orphans.push(t);
+                            }
+                            let res = redispatch_orphans(
+                                Recovery {
+                                    tasks: &tasks,
+                                    is_gpu: &is_gpu,
+                                    alive: &mut alive,
+                                    pending: &mut pending,
+                                    private_tx: &mut private_tx,
+                                    shared_tx: if shared_queue {
+                                        shared_tx.as_ref()
+                                    } else {
+                                        None
+                                    },
+                                    done: &done,
+                                    retries: &mut retries,
+                                    max_retries: config.max_task_retries,
+                                    completed,
+                                    n_tasks,
+                                    obs: &obs,
+                                },
+                                orphans,
+                            );
+                            match res {
+                                Ok(()) => refresh_deadlines!(),
+                                Err(e) => error = Some(e),
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        let now = Instant::now();
+                        if shared_queue {
+                            // Self-scheduling: the master cannot know
+                            // which worker holds which task, so a
+                            // global stall re-queues everything not
+                            // done (duplicates are deduped on merge).
+                            let est = (0..n_tasks)
+                                .filter(|&t| !done[t])
+                                .map(|t| {
+                                    let task = tasks.tasks()[t];
+                                    let mut e = 0.0f64;
+                                    if (0..workers.len()).any(|w| alive[w] && !is_gpu[w]) {
+                                        e = e.max(task.p_cpu);
+                                    }
+                                    if (0..workers.len()).any(|w| alive[w] && is_gpu[w]) {
+                                        e = e.max(task.p_gpu);
+                                    }
+                                    e
+                                })
+                                .fold(0.0, f64::max);
+                            let max_cells = (0..n_tasks)
+                                .filter(|&t| !done[t])
+                                .map(cells_of)
+                                .fold(0.0, f64::max);
+                            let stall = Duration::from_secs_f64(
+                                job_deadline_seconds(est, wall_ratio, slack, floor)
+                                    .max(slack * max_cells * secs_per_cell),
+                            );
+                            if now.duration_since(last_activity) >= stall {
+                                obs.instant(
+                                    Track::Faults,
+                                    "stall_redispatch",
+                                    &[("outstanding", (n_tasks - completed) as f64)],
+                                );
+                                let orphans: Vec<usize> =
+                                    (0..n_tasks).filter(|&t| !done[t]).collect();
+                                let res = redispatch_orphans(
+                                    Recovery {
+                                        tasks: &tasks,
+                                        is_gpu: &is_gpu,
+                                        alive: &mut alive,
+                                        pending: &mut pending,
+                                        private_tx: &mut private_tx,
+                                        shared_tx: shared_tx.as_ref(),
+                                        done: &done,
+                                        retries: &mut retries,
+                                        max_retries: config.max_task_retries,
+                                        completed,
+                                        n_tasks,
+                                        obs: &obs,
+                                    },
+                                    orphans,
+                                );
+                                if let Err(e) = res {
+                                    error = Some(e);
+                                }
+                                last_activity = Instant::now();
+                            }
+                        } else {
+                            for w in 0..workers.len() {
+                                if error.is_some() {
+                                    break;
+                                }
+                                if alive[w] && !pending[w].is_empty() && now >= deadlines[w] {
+                                    alive[w] = false;
+                                    private_tx[w] = None;
+                                    obs.instant(
+                                        Track::Faults,
+                                        "worker_death",
+                                        &[("worker", w as f64), ("reason", DEATH_TIMEOUT)],
+                                    );
+                                    obs.counter("workers_lost", 1.0);
+                                    let orphans: Vec<usize> = pending[w].drain(..).collect();
+                                    let res = redispatch_orphans(
+                                        Recovery {
+                                            tasks: &tasks,
+                                            is_gpu: &is_gpu,
+                                            alive: &mut alive,
+                                            pending: &mut pending,
+                                            private_tx: &mut private_tx,
+                                            shared_tx: None,
+                                            done: &done,
+                                            retries: &mut retries,
+                                            max_retries: config.max_task_retries,
+                                            completed,
+                                            n_tasks,
+                                            obs: &obs,
+                                        },
+                                        orphans,
+                                    );
+                                    match res {
+                                        Ok(()) => refresh_deadlines!(),
+                                        Err(e) => error = Some(e),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Every worker thread has exited with work
+                        // still outstanding.
+                        error = Some(SearchError::AllWorkersDead {
+                            completed,
+                            total: n_tasks,
+                        });
+                    }
+                }
+            }
+            obs.span(
+                Track::Master,
+                "merge",
+                t_merge,
+                obs.now() - t_merge,
+                None,
+                &[("results", completed as f64)],
+            );
         }
-        obs.span(
-            Track::Master,
-            "merge",
-            t_merge,
-            obs.now() - t_merge,
-            None,
-            &[("results", results.len() as f64)],
-        );
+
+        // Shut every queue so surviving worker threads drain out and
+        // the scope join below completes — on success and error alike.
+        private_tx.clear();
+        shared_tx = None;
     });
     let wall_seconds = start.elapsed().as_secs_f64();
-    assert_eq!(results.len(), n_tasks, "every task must report a result");
+    if let Some(e) = error {
+        return Err(e);
+    }
+    debug_assert_eq!(results.len(), n_tasks, "every task reported exactly once");
 
     // Per-query hits.
     let mut hits: Vec<Option<QueryHits>> = vec![None; n_tasks];
@@ -381,19 +989,41 @@ pub fn run_search(
     let hits: Vec<QueryHits> = hits.into_iter().map(|h| h.expect("all merged")).collect();
     let modelled_makespan = stats.iter().map(|s| s.busy_modelled).fold(0.0, f64::max);
 
-    SearchOutcome {
+    Ok(SearchOutcome {
         hits,
         worker_stats: stats,
         wall_seconds,
         modelled_makespan,
         total_cells,
         schedule,
+    })
+}
+
+/// Execute a full database search on the given workers.
+///
+/// Thin wrapper over [`try_run_search`] for call sites that treat any
+/// [`SearchError`] as fatal.
+///
+/// # Panics
+/// Panics when the search returns an error (no workers, platform lost,
+/// retry budget exhausted) or a query/database is inconsistent with
+/// the scheme's alphabet.
+pub fn run_search(
+    database: SequenceSet,
+    queries: SequenceSet,
+    workers: &[WorkerSpec],
+    config: RuntimeConfig,
+) -> SearchOutcome {
+    match try_run_search(database, queries, workers, config) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("search failed: {e}"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::WorkerFault;
     use swdual_bio::seq::Sequence;
     use swdual_bio::Alphabet;
 
@@ -589,6 +1219,16 @@ mod tests {
     }
 
     #[test]
+    fn no_workers_is_a_typed_error() {
+        let database = db(2, 10);
+        let queries = queries_from(&database, &[0]);
+        assert_eq!(
+            try_run_search(database, queries, &[], RuntimeConfig::default()).unwrap_err(),
+            SearchError::NoWorkers
+        );
+    }
+
+    #[test]
     fn single_species_task_times_stay_finite() {
         // Regression: the old absent-species sentinel (`f64::MAX / 4.0`)
         // made area sums overflow to infinity on single-species
@@ -675,6 +1315,8 @@ mod tests {
         }
         // Scheduler events made it onto the scheduler track.
         assert!(events.iter().any(|e| e.track == Track::Scheduler));
+        // A fault-free run records no fault events.
+        assert!(!events.iter().any(|e| e.track == Track::Faults));
         // Obs-derived per-worker modelled busy totals agree with the
         // hand-accumulated WorkerStats.
         for stats in &outcome.worker_stats {
@@ -710,5 +1352,350 @@ mod tests {
         );
         assert!(outcome.hits.is_empty());
         assert_eq!(outcome.total_cells, 0);
+    }
+
+    // ---- fault-tolerance tests ----
+
+    fn fault_config(faults: FaultPlan) -> RuntimeConfig {
+        RuntimeConfig {
+            faults,
+            // Fast silent-death detection for tests; correctness does
+            // not depend on the value.
+            min_job_timeout: Duration::from_millis(60),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn gpu_device_fault_mid_run_recovers_with_identical_hits() {
+        // The acceptance scenario: a GPU worker's device dies mid-job;
+        // the master re-plans its orphans on the surviving CPU worker,
+        // the search completes, and the hits are bit-identical to a
+        // fault-free run. Fault + re-dispatch events land on the
+        // faults track, the recovery plan on the recovered tracks.
+        let database = db(20, 100);
+        let queries = queries_from(&database, &[1, 5, 9, 13, 17]);
+        let workers = vec![WorkerSpec::cpu_default(), WorkerSpec::gpu_default()];
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let obs = Obs::enabled();
+        let faulted = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                obs: obs.clone(),
+                ..fault_config(
+                    FaultPlan::none().with(1, WorkerFault::DeviceFault { after_kernels: 1 }),
+                )
+            },
+        );
+        assert_eq!(faulted.hits, healthy.hits, "faults must not change hits");
+        // The GPU completed exactly its one kernel before dying.
+        assert_eq!(faulted.worker_stats[1].tasks, 1);
+        assert_eq!(faulted.worker_stats[0].tasks, 4);
+        let events = obs.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.track == Track::Faults && e.name == "worker_death"),
+            "death must be recorded"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.track == Track::Faults && e.name == "task_redispatch"),
+            "re-dispatches must be recorded"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.track, Track::Recovered(0))),
+            "recovery plan must be recorded on the survivor's track"
+        );
+    }
+
+    #[test]
+    fn notified_crash_recovers() {
+        let database = db(16, 80);
+        let queries = queries_from(&database, &[0, 4, 8, 12]);
+        let workers = vec![WorkerSpec::cpu_default(), WorkerSpec::cpu_default()];
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let faulted = run_search(
+            database,
+            queries,
+            &workers,
+            fault_config(FaultPlan::none().with(
+                0,
+                WorkerFault::Crash {
+                    after_jobs: 0,
+                    notify: true,
+                },
+            )),
+        );
+        assert_eq!(faulted.hits, healthy.hits);
+        assert_eq!(faulted.worker_stats[0].tasks, 0);
+        assert_eq!(faulted.worker_stats[1].tasks, 4);
+    }
+
+    #[test]
+    fn silent_crash_is_detected_by_deadline() {
+        let database = db(16, 80);
+        let queries = queries_from(&database, &[0, 4, 8, 12]);
+        let workers = vec![WorkerSpec::cpu_default(), WorkerSpec::cpu_default()];
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let obs = Obs::enabled();
+        let faulted = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                obs: obs.clone(),
+                ..fault_config(FaultPlan::none().with(
+                    1,
+                    WorkerFault::Crash {
+                        after_jobs: 0,
+                        notify: false,
+                    },
+                ))
+            },
+        );
+        assert_eq!(faulted.hits, healthy.hits);
+        assert_eq!(faulted.worker_stats[1].tasks, 0);
+        // The death was found by deadline, not notification.
+        assert!(obs.events().iter().any(|e| {
+            e.track == Track::Faults
+                && e.name == "worker_death"
+                && e.args
+                    .iter()
+                    .any(|(k, v)| k == "reason" && *v == DEATH_TIMEOUT)
+        }));
+    }
+
+    #[test]
+    fn straggler_is_timed_out_and_work_rerouted() {
+        let database = db(12, 60);
+        let queries = queries_from(&database, &[0, 3, 6]);
+        let workers = vec![WorkerSpec::cpu_default(), WorkerSpec::cpu_default()];
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let faulted = run_search(
+            database,
+            queries,
+            &workers,
+            fault_config(FaultPlan::none().with(
+                0,
+                WorkerFault::Straggler {
+                    delay_ms: 250,
+                    factor: 2.0,
+                },
+            )),
+        );
+        // Whether the straggler's own late results or the re-dispatched
+        // copies land first, the hits are identical.
+        assert_eq!(faulted.hits, healthy.hits);
+    }
+
+    #[test]
+    fn crash_before_registration_degrades_gracefully() {
+        let database = db(12, 60);
+        let queries = queries_from(&database, &[2, 7]);
+        let workers = vec![WorkerSpec::gpu_default(), WorkerSpec::cpu_default()];
+        let obs = Obs::enabled();
+        let outcome = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                obs: obs.clone(),
+                ..fault_config(FaultPlan::none().with(0, WorkerFault::CrashBeforeRegistration))
+            },
+        );
+        assert_eq!(outcome.hits[0].hits[0].db_index, 2);
+        assert_eq!(outcome.hits[1].hits[0].db_index, 7);
+        assert_eq!(outcome.worker_stats[0].tasks, 0);
+        assert!(obs
+            .events()
+            .iter()
+            .any(|e| e.track == Track::Faults && e.name == "worker_lost_registration"));
+    }
+
+    #[test]
+    fn all_gpus_dead_degrades_to_cpu_only() {
+        // Both GPUs die; the re-plan runs on a zero-GPU platform.
+        let database = db(16, 80);
+        let queries = queries_from(&database, &[0, 4, 8, 12]);
+        let workers = vec![
+            WorkerSpec::cpu_default(),
+            WorkerSpec::gpu_default(),
+            WorkerSpec::gpu_default(),
+        ];
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let faulted = run_search(
+            database,
+            queries,
+            &workers,
+            fault_config(
+                FaultPlan::none()
+                    .with(1, WorkerFault::DeviceFault { after_kernels: 0 })
+                    .with(2, WorkerFault::DeviceFault { after_kernels: 0 }),
+            ),
+        );
+        assert_eq!(faulted.hits, healthy.hits);
+        assert_eq!(faulted.worker_stats[0].tasks, 4, "CPU carried everything");
+    }
+
+    #[test]
+    fn all_workers_dead_is_a_typed_error() {
+        let database = db(8, 40);
+        let queries = queries_from(&database, &[0, 2]);
+        let err = try_run_search(
+            database,
+            queries,
+            &[WorkerSpec::cpu_default()],
+            fault_config(FaultPlan::none().with(
+                0,
+                WorkerFault::Crash {
+                    after_jobs: 0,
+                    notify: true,
+                },
+            )),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::AllWorkersDead {
+                completed: 0,
+                total: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn nobody_registers_is_a_typed_error() {
+        let database = db(8, 40);
+        let queries = queries_from(&database, &[0]);
+        let err = try_run_search(
+            database,
+            queries,
+            &[WorkerSpec::cpu_default()],
+            fault_config(FaultPlan::none().with(0, WorkerFault::CrashBeforeRegistration)),
+        )
+        .unwrap_err();
+        assert_eq!(err, SearchError::NoWorkersRegistered);
+    }
+
+    #[test]
+    fn retry_budget_converts_livelock_into_error() {
+        // Self-scheduling with one extreme straggler: the stall
+        // detector re-queues the task faster than the worker finishes
+        // it; the retry bound turns that into a typed error instead of
+        // an unbounded loop.
+        let database = db(8, 40);
+        let queries = queries_from(&database, &[1]);
+        let err = try_run_search(
+            database,
+            queries,
+            &[WorkerSpec::cpu_default()],
+            RuntimeConfig {
+                policy: AllocationPolicy::SelfScheduling,
+                faults: FaultPlan::none().with(
+                    0,
+                    WorkerFault::Straggler {
+                        delay_ms: 400,
+                        factor: 1.0,
+                    },
+                ),
+                min_job_timeout: Duration::from_millis(25),
+                max_task_retries: 1,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::RetriesExhausted { task_id: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn self_scheduling_survives_a_silent_crash() {
+        let database = db(16, 80);
+        let queries = queries_from(&database, &[0, 4, 8, 12]);
+        let workers = vec![WorkerSpec::cpu_default(), WorkerSpec::cpu_default()];
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let faulted = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                policy: AllocationPolicy::SelfScheduling,
+                ..fault_config(FaultPlan::none().with(
+                    0,
+                    WorkerFault::Crash {
+                        after_jobs: 1,
+                        notify: false,
+                    },
+                ))
+            },
+        );
+        assert_eq!(faulted.hits, healthy.hits);
+    }
+
+    #[test]
+    fn seeded_fault_plans_preserve_hits() {
+        // A few seeds through the full stack: whatever the plan does,
+        // hits must match the fault-free run.
+        let database = db(14, 70);
+        let queries = queries_from(&database, &[0, 3, 6, 9]);
+        let workers = vec![
+            WorkerSpec::cpu_default(),
+            WorkerSpec::cpu_default(),
+            WorkerSpec::gpu_default(),
+        ];
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        for seed in [1u64, 7, 23] {
+            let plan = FaultPlan::seeded(seed, workers.len());
+            let faulted = run_search(
+                database.clone(),
+                queries.clone(),
+                &workers,
+                fault_config(plan.clone()),
+            );
+            assert_eq!(faulted.hits, healthy.hits, "seed {seed} plan {plan}");
+        }
     }
 }

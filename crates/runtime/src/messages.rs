@@ -64,6 +64,53 @@ pub struct JobResult {
     pub cells: u64,
 }
 
+/// Why a worker stopped serving jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The worker process died (injected crash with notification).
+    Crash,
+    /// The worker's GPU device failed after this many kernel launches.
+    DeviceFault {
+        /// Kernels the device completed before failing.
+        after_kernels: u64,
+    },
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureReason::Crash => write!(f, "crash"),
+            FailureReason::DeviceFault { after_kernels } => {
+                write!(f, "device fault after {after_kernels} kernel(s)")
+            }
+        }
+    }
+}
+
+/// A worker's explicit death notification: the clean-exit path of the
+/// fault model. Silent deaths send nothing and are detected by the
+/// master's per-worker deadlines instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// The dying worker.
+    pub worker_id: usize,
+    /// Why it died.
+    pub reason: FailureReason,
+    /// The task it was holding when it died, if any — the master
+    /// re-dispatches this (and, for static policies, everything else
+    /// still queued on the worker).
+    pub in_flight: Option<usize>,
+}
+
+/// What flows from workers back to the master.
+#[derive(Debug, Clone)]
+pub enum WorkerMsg {
+    /// A finished task.
+    Completed(JobResult),
+    /// The worker is dead; its in-flight task needs a new home.
+    Failed(WorkerFailure),
+}
+
 /// Per-worker accounting the master reports at the end of a search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkerStats {
@@ -143,6 +190,50 @@ mod tests {
         let h = top_k_hits(0, &[1, 2], 10);
         assert_eq!(h.hits.len(), 2);
         assert_eq!(h.hits[0].score, 2);
+    }
+
+    #[test]
+    fn top_k_zero_keeps_nothing() {
+        let h = top_k_hits(2, &[9, 3, 7], 0);
+        assert_eq!(h.query_index, 2);
+        assert!(h.hits.is_empty());
+    }
+
+    #[test]
+    fn top_k_of_empty_scores_is_empty() {
+        let h = top_k_hits(0, &[], 5);
+        assert!(h.hits.is_empty());
+    }
+
+    #[test]
+    fn ties_at_the_cutoff_keep_lowest_db_indices() {
+        // Four sequences tie at score 5; k=2 must keep the two with the
+        // lowest db indices, deterministically.
+        let scores = vec![5, 5, 5, 5];
+        let h = top_k_hits(0, &scores, 2);
+        assert_eq!(
+            h.hits,
+            vec![
+                Hit {
+                    db_index: 0,
+                    score: 5
+                },
+                Hit {
+                    db_index: 1,
+                    score: 5
+                },
+            ]
+        );
+        // And the selection is stable across repeated reductions.
+        assert_eq!(top_k_hits(0, &scores, 2), h);
+    }
+
+    #[test]
+    fn all_negative_scores_still_rank() {
+        let scores = vec![-7, -2, -9, -2];
+        let h = top_k_hits(1, &scores, 3);
+        let ranked: Vec<(usize, i32)> = h.hits.iter().map(|h| (h.db_index, h.score)).collect();
+        assert_eq!(ranked, vec![(1, -2), (3, -2), (0, -7)]);
     }
 
     #[test]

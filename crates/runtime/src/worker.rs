@@ -5,9 +5,17 @@
 //! execute it with its engine, send the result. CPU workers run an
 //! alignment kernel in-thread; GPU workers drive a simulated device
 //! whose virtual clock supplies the modelled task time.
+//!
+//! Workers honour an optional [`WorkerFault`] from the run's
+//! [`FaultPlan`](crate::faults::FaultPlan): crashing before
+//! registration, crashing on a given job (silently or with a
+//! [`WorkerMsg::Failed`] goodbye), failing their simulated GPU device,
+//! or straggling. Fault checks sit outside the per-job compute path and
+//! cost one `Option` match when no fault is planned.
 
 use crate::estimator::WorkerRateModel;
-use crate::messages::{Job, JobResult};
+use crate::faults::WorkerFault;
+use crate::messages::{FailureReason, Job, JobResult, WorkerFailure, WorkerMsg};
 use crossbeam::channel::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
@@ -84,6 +92,8 @@ pub struct WorkerContext {
     /// hot path below records nothing, takes no locks and allocates
     /// nothing for tracing.
     pub obs: Obs,
+    /// Injected fault behaviour, if this worker is in the fault plan.
+    pub fault: Option<WorkerFault>,
 }
 
 /// Record one finished job as a dual-clock span on the worker's track.
@@ -117,6 +127,74 @@ fn record_job_span(
     obs.counter("cells_computed", cells as f64);
 }
 
+/// The crash/straggler knobs a worker consults per job, pre-split from
+/// the fault enum so the healthy path pays a single `None` check.
+struct FaultKnobs {
+    crash_after: Option<usize>,
+    crash_notify: bool,
+    straggle_ms: u64,
+    straggle_factor: f64,
+}
+
+impl FaultKnobs {
+    fn from(fault: Option<WorkerFault>) -> FaultKnobs {
+        let mut knobs = FaultKnobs {
+            crash_after: None,
+            crash_notify: false,
+            straggle_ms: 0,
+            straggle_factor: 1.0,
+        };
+        match fault {
+            Some(WorkerFault::Crash { after_jobs, notify }) => {
+                knobs.crash_after = Some(after_jobs);
+                knobs.crash_notify = notify;
+            }
+            Some(WorkerFault::Straggler { delay_ms, factor }) => {
+                knobs.straggle_ms = delay_ms;
+                knobs.straggle_factor = factor;
+            }
+            _ => {}
+        }
+        knobs
+    }
+
+    /// Apply the pre-job fault behaviour. Returns `false` when the
+    /// worker must die instead of executing `job`.
+    fn pre_job(
+        &self,
+        jobs_done: usize,
+        job: Job,
+        worker_id: usize,
+        obs: &Obs,
+        results: &Sender<WorkerMsg>,
+    ) -> bool {
+        if self.crash_after == Some(jobs_done) {
+            obs.instant(
+                Track::Faults,
+                "worker_crash",
+                &[
+                    ("worker", worker_id as f64),
+                    ("task", job.task_id as f64),
+                    ("notified", if self.crash_notify { 1.0 } else { 0.0 }),
+                ],
+            );
+            obs.counter("faults_injected", 1.0);
+            if self.crash_notify {
+                let _ = results.send(WorkerMsg::Failed(WorkerFailure {
+                    worker_id,
+                    reason: FailureReason::Crash,
+                    in_flight: Some(job.task_id),
+                }));
+            }
+            return false;
+        }
+        if self.straggle_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.straggle_ms));
+        }
+        true
+    }
+}
+
 /// Run a worker loop until the job channel closes, registering with the
 /// master first when a registration channel is supplied (the paper's
 /// Figure 6 "Register with master" step). This is the body of each
@@ -126,8 +204,17 @@ pub fn worker_loop_registered(
     ctx: WorkerContext,
     registration: Option<Sender<crate::messages::Registration>>,
     jobs: Receiver<Job>,
-    results: Sender<JobResult>,
+    results: Sender<WorkerMsg>,
 ) {
+    if matches!(ctx.fault, Some(WorkerFault::CrashBeforeRegistration)) {
+        ctx.obs.instant(
+            Track::Faults,
+            "worker_crash_before_registration",
+            &[("worker", ctx.worker_id as f64)],
+        );
+        ctx.obs.counter("faults_injected", 1.0);
+        return; // dies without saying hello
+    }
     if let Some(reg) = registration {
         let hello = crate::messages::Registration {
             worker_id: ctx.worker_id,
@@ -148,8 +235,13 @@ pub fn worker_loop(
     spec: WorkerSpec,
     ctx: WorkerContext,
     jobs: Receiver<Job>,
-    results: Sender<JobResult>,
+    results: Sender<WorkerMsg>,
 ) {
+    if matches!(ctx.fault, Some(WorkerFault::CrashBeforeRegistration)) {
+        return;
+    }
+    let knobs = FaultKnobs::from(ctx.fault);
+    let mut jobs_done = 0usize;
     match spec {
         WorkerSpec::Cpu { engine } => {
             let engine = engine.build();
@@ -157,6 +249,9 @@ pub fn worker_loop(
             let model = WorkerRateModel::cpu_swipe();
             let mut virt_clock = 0.0;
             for job in jobs.iter() {
+                if !knobs.pre_job(jobs_done, job, ctx.worker_id, &ctx.obs, &results) {
+                    return;
+                }
                 let query = ctx
                     .queries
                     .get(job.query_index)
@@ -166,7 +261,8 @@ pub fn worker_loop(
                 let scores = engine.score_many(query.codes(), &db_refs, &ctx.scheme);
                 let wall = start.elapsed().as_secs_f64();
                 let cells = query.len() as u64 * ctx.database.total_residues();
-                let modelled = model.task_seconds(query.len(), ctx.database.total_residues());
+                let modelled = model.task_seconds(query.len(), ctx.database.total_residues())
+                    * knobs.straggle_factor;
                 record_job_span(
                     &ctx.obs,
                     ctx.worker_id,
@@ -178,14 +274,15 @@ pub fn worker_loop(
                     cells,
                 );
                 virt_clock += modelled;
-                let send = results.send(JobResult {
+                jobs_done += 1;
+                let send = results.send(WorkerMsg::Completed(JobResult {
                     task_id: job.task_id,
                     worker_id: ctx.worker_id,
                     scores,
                     wall_seconds: wall,
                     modelled_seconds: modelled,
                     cells,
-                });
+                }));
                 if send.is_err() {
                     break; // master went away
                 }
@@ -194,6 +291,9 @@ pub fn worker_loop(
         WorkerSpec::Gpu { device } => {
             let mut device = GpuDevice::new(device);
             device.attach_obs(ctx.obs.clone(), ctx.worker_id);
+            if let Some(WorkerFault::DeviceFault { after_kernels }) = ctx.fault {
+                device.inject_fault_after_kernels(after_kernels);
+            }
             let mut virt_clock = 0.0;
             // Databases that fit stay resident across tasks (the
             // CUDASW++ pattern); oversized ones fall back to the
@@ -204,18 +304,20 @@ pub fn worker_loop(
             // anyway; only the host-side split could be cached.
             let resident = device.upload(&ctx.database, true).ok();
             for job in jobs.iter() {
+                if !knobs.pre_job(jobs_done, job, ctx.worker_id, &ctx.obs, &results) {
+                    return;
+                }
                 let query = ctx
                     .queries
                     .get(job.query_index)
                     .expect("query index in range");
                 let wall_start = ctx.obs.now();
                 let start = Instant::now();
-                let (scores, modelled) = match &resident {
-                    Some(db) => {
-                        let r = device.search(query.codes(), db, &ctx.scheme);
-                        (r.scores, r.kernel_seconds)
-                    }
-                    None => {
+                let computed = match &resident {
+                    Some(db) => device
+                        .try_search(query.codes(), db, &ctx.scheme)
+                        .map(|r| (r.scores, r.kernel_seconds)),
+                    None => device.check_fault().map(|()| {
                         let r = swdual_gpusim::chunked::overlapped_search(
                             &mut device,
                             &ctx.database,
@@ -225,6 +327,21 @@ pub fn worker_loop(
                         )
                         .expect("chunked search handles oversized databases");
                         (r.scores, r.seconds)
+                    }),
+                };
+                let (scores, modelled) = match computed {
+                    Ok((scores, modelled)) => (scores, modelled * knobs.straggle_factor),
+                    Err(fault) => {
+                        // The board died under us: report and exit. The
+                        // device itself already logged the fault event.
+                        let _ = results.send(WorkerMsg::Failed(WorkerFailure {
+                            worker_id: ctx.worker_id,
+                            reason: FailureReason::DeviceFault {
+                                after_kernels: fault.after_kernels,
+                            },
+                            in_flight: Some(job.task_id),
+                        }));
+                        return;
                     }
                 };
                 let wall = start.elapsed().as_secs_f64();
@@ -240,14 +357,15 @@ pub fn worker_loop(
                     cells,
                 );
                 virt_clock += modelled;
-                let send = results.send(JobResult {
+                jobs_done += 1;
+                let send = results.send(WorkerMsg::Completed(JobResult {
                     task_id: job.task_id,
                     worker_id: ctx.worker_id,
                     scores,
                     wall_seconds: wall,
                     modelled_seconds: modelled,
                     cells,
-                });
+                }));
                 if send.is_err() {
                     break;
                 }
@@ -289,7 +407,7 @@ mod tests {
         set
     }
 
-    fn run_one(spec: WorkerSpec) -> Vec<JobResult> {
+    fn run_msgs(spec: WorkerSpec, fault: Option<WorkerFault>) -> Vec<WorkerMsg> {
         let (job_tx, job_rx) = channel::unbounded();
         let (res_tx, res_rx) = channel::unbounded();
         let ctx = WorkerContext {
@@ -298,6 +416,7 @@ mod tests {
             queries: Arc::new(tiny_queries()),
             scheme: ScoringScheme::protein_default(),
             obs: Obs::disabled(),
+            fault,
         };
         job_tx
             .send(Job {
@@ -314,6 +433,16 @@ mod tests {
         drop(job_tx);
         worker_loop(spec, ctx, job_rx, res_tx);
         res_rx.iter().collect()
+    }
+
+    fn run_one(spec: WorkerSpec) -> Vec<JobResult> {
+        run_msgs(spec, None)
+            .into_iter()
+            .map(|m| match m {
+                WorkerMsg::Completed(r) => r,
+                WorkerMsg::Failed(f) => panic!("unexpected failure: {f:?}"),
+            })
+            .collect()
     }
 
     fn expected_scores(query_index: usize) -> Vec<i32> {
@@ -382,5 +511,98 @@ mod tests {
                 assert_eq!(r.scores, expected_scores(r.task_id), "engine {engine}");
             }
         }
+    }
+
+    #[test]
+    fn notified_crash_reports_its_in_flight_task() {
+        let msgs = run_msgs(
+            WorkerSpec::cpu_default(),
+            Some(WorkerFault::Crash {
+                after_jobs: 1,
+                notify: true,
+            }),
+        );
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(&msgs[0], WorkerMsg::Completed(r) if r.task_id == 0));
+        match &msgs[1] {
+            WorkerMsg::Failed(f) => {
+                assert_eq!(f.worker_id, 3);
+                assert_eq!(f.reason, FailureReason::Crash);
+                assert_eq!(f.in_flight, Some(1));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_crash_just_stops() {
+        let msgs = run_msgs(
+            WorkerSpec::cpu_default(),
+            Some(WorkerFault::Crash {
+                after_jobs: 0,
+                notify: false,
+            }),
+        );
+        assert!(msgs.is_empty());
+    }
+
+    #[test]
+    fn device_fault_reports_and_stops() {
+        let msgs = run_msgs(
+            WorkerSpec::gpu_default(),
+            Some(WorkerFault::DeviceFault { after_kernels: 1 }),
+        );
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(&msgs[0], WorkerMsg::Completed(r) if r.task_id == 0));
+        match &msgs[1] {
+            WorkerMsg::Failed(f) => {
+                assert_eq!(f.reason, FailureReason::DeviceFault { after_kernels: 1 });
+                assert_eq!(f.in_flight, Some(1));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_fault_is_ignored_by_cpu_workers() {
+        let msgs = run_msgs(
+            WorkerSpec::cpu_default(),
+            Some(WorkerFault::DeviceFault { after_kernels: 0 }),
+        );
+        assert_eq!(msgs.len(), 2, "CPU worker has no device to fail");
+    }
+
+    #[test]
+    fn straggler_computes_correct_scores_with_inflated_model_times() {
+        let healthy = run_one(WorkerSpec::cpu_default());
+        let msgs = run_msgs(
+            WorkerSpec::cpu_default(),
+            Some(WorkerFault::Straggler {
+                delay_ms: 1,
+                factor: 3.0,
+            }),
+        );
+        assert_eq!(msgs.len(), 2);
+        for (m, h) in msgs.iter().zip(&healthy) {
+            match m {
+                WorkerMsg::Completed(r) => {
+                    assert_eq!(r.scores, h.scores, "straggling must not change scores");
+                    assert!(
+                        (r.modelled_seconds - 3.0 * h.modelled_seconds).abs()
+                            <= 1e-9 * h.modelled_seconds
+                    );
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_before_registration_sends_nothing() {
+        let msgs = run_msgs(
+            WorkerSpec::cpu_default(),
+            Some(WorkerFault::CrashBeforeRegistration),
+        );
+        assert!(msgs.is_empty());
     }
 }

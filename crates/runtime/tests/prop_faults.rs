@@ -1,0 +1,130 @@
+//! End-to-end fault-tolerance property: for random workloads, worker
+//! pools and seeded fault plans (which always spare at least one
+//! worker), the search terminates and returns top-k hits bit-identical
+//! to the fault-free run.
+//!
+//! The invariant holds by construction — alignment scores are a pure
+//! function of (query, database, scheme), so faults can only move work
+//! around — but this test exercises the whole detection/recovery
+//! machinery: notified and silent crashes, device faults, stragglers,
+//! registration losses, re-planning, deduplication.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use swdual_bio::seq::{Sequence, SequenceSet};
+use swdual_bio::Alphabet;
+use swdual_runtime::master::AllocationPolicy;
+use swdual_runtime::{run_search, FaultPlan, RuntimeConfig, WorkerSpec};
+
+fn database(n: usize, len: usize, seed: u64) -> SequenceSet {
+    let mut set = SequenceSet::new(Alphabet::Protein);
+    let mut state = seed | 1;
+    for i in 0..n {
+        let residues: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 20) as u8
+            })
+            .collect();
+        set.push(Sequence::from_codes(
+            format!("d{i}"),
+            Alphabet::Protein,
+            residues,
+        ))
+        .unwrap();
+    }
+    set
+}
+
+fn queries_from(db: &SequenceSet, n_queries: usize, seed: u64) -> SequenceSet {
+    let mut set = SequenceSet::new(Alphabet::Protein);
+    let mut state = seed | 1;
+    for i in 0..n_queries {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pick = ((state >> 33) as usize) % db.len();
+        let mut s = db.get(pick).unwrap().clone();
+        s.id = format!("q{i}");
+        set.push(s).unwrap();
+    }
+    set
+}
+
+fn workers(cpus: usize, gpus: usize) -> Vec<WorkerSpec> {
+    let mut v = Vec::with_capacity(cpus + gpus);
+    for _ in 0..cpus {
+        v.push(WorkerSpec::cpu_default());
+    }
+    for _ in 0..gpus {
+        v.push(WorkerSpec::gpu_default());
+    }
+    v
+}
+
+proptest! {
+    // Each case runs two full searches with real threads; keep the
+    // case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn faulted_search_matches_fault_free_hits(
+        db_n in 6usize..16,
+        db_len in 30usize..90,
+        n_queries in 1usize..6,
+        cpus in 1usize..3,
+        gpus in 0usize..3,
+        data_seed in 1u64..10_000,
+        fault_seed in 1u64..10_000,
+        self_sched in any::<bool>(),
+    ) {
+        let pool = workers(cpus, gpus);
+        let db = database(db_n, db_len, data_seed);
+        let queries = queries_from(&db, n_queries, data_seed ^ 0xABCD);
+        let policy = if self_sched {
+            AllocationPolicy::SelfScheduling
+        } else {
+            RuntimeConfig::default().policy
+        };
+
+        let healthy = run_search(
+            db.clone(),
+            queries.clone(),
+            &pool,
+            RuntimeConfig {
+                policy,
+                ..RuntimeConfig::default()
+            },
+        );
+
+        // Seeded plans always spare at least one worker, so recovery
+        // can always finish the workload.
+        let plan = FaultPlan::seeded(fault_seed, pool.len());
+        let faulted = run_search(
+            db,
+            queries,
+            &pool,
+            RuntimeConfig {
+                policy,
+                faults: plan.clone(),
+                // Fast silent-death detection; generous retry budget so
+                // transient re-queues of straggler-held tasks never
+                // exhaust it.
+                min_job_timeout: Duration::from_millis(80),
+                max_task_retries: 10,
+                ..RuntimeConfig::default()
+            },
+        );
+
+        prop_assert_eq!(
+            &faulted.hits, &healthy.hits,
+            "hits diverged under plan `{}` (fault seed {})",
+            plan, fault_seed
+        );
+        // Accounting still covers every task exactly once.
+        let tasks: usize = faulted.worker_stats.iter().map(|s| s.tasks).sum();
+        prop_assert_eq!(tasks, n_queries);
+    }
+}

@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod multiround;
 pub mod platform;
 pub mod policies;
+pub mod remainder;
 pub mod robustness;
 pub mod schedule;
 pub mod task;
@@ -44,5 +45,6 @@ pub use binsearch::{
 };
 pub use dual::{dual_step, dual_step_observed, DualStepResult, KnapsackMethod};
 pub use platform::PlatformSpec;
+pub use remainder::reschedule_remainder;
 pub use schedule::{Assignment, PeId, PeKind, Schedule};
 pub use task::{Task, TaskSet};

@@ -1,0 +1,150 @@
+//! Re-planning the remainder of an interrupted run.
+//!
+//! When a worker dies mid-execution, the master is left with a subset
+//! of the original tasks (the dead worker's orphans plus everything not
+//! yet dispatched) and a *smaller* platform. Re-running the full
+//! dual-approximation on that residual instance is exactly the paper's
+//! allocator applied to a fresh problem — the 2-approximation guarantee
+//! carries over to the recovery schedule.
+//!
+//! This module packages that re-planning step: re-index the surviving
+//! tasks as a standalone instance (the binary search and knapsack
+//! expect dense ids), schedule them on the reduced platform, and map
+//! the placements back to the original task ids.
+
+use crate::binsearch::{dual_approx_schedule, BinarySearchConfig};
+use crate::platform::PlatformSpec;
+use crate::schedule::{Placement, Schedule};
+use crate::task::{Task, TaskSet};
+
+/// Schedule the tasks in `remaining` (global ids into `tasks`) on
+/// `platform` with the dual approximation. The returned schedule's
+/// placements carry the *global* task ids; its clock starts at zero —
+/// callers overlay it on their own notion of "now".
+///
+/// Duplicate ids in `remaining` are scheduled once (first occurrence
+/// wins); ids out of range panic, as they indicate master-side
+/// bookkeeping corruption rather than a recoverable fault.
+pub fn reschedule_remainder(
+    tasks: &TaskSet,
+    remaining: &[usize],
+    platform: &PlatformSpec,
+    config: BinarySearchConfig,
+) -> Schedule {
+    let mut seen = vec![false; tasks.len()];
+    let mut ids: Vec<usize> = Vec::with_capacity(remaining.len());
+    for &gid in remaining {
+        assert!(
+            gid < tasks.len(),
+            "remainder task id {gid} out of range (n={})",
+            tasks.len()
+        );
+        if !seen[gid] {
+            seen[gid] = true;
+            ids.push(gid);
+        }
+    }
+    if ids.is_empty() {
+        return Schedule::default();
+    }
+
+    let residual = TaskSet::new(
+        ids.iter()
+            .enumerate()
+            .map(|(local, &gid)| {
+                let t = tasks.tasks()[gid];
+                Task::new(local, t.p_cpu, t.p_gpu)
+            })
+            .collect(),
+    );
+    let outcome = dual_approx_schedule(&residual, platform, config);
+
+    let placements = outcome
+        .schedule
+        .placements
+        .into_iter()
+        .map(|p| Placement {
+            task: ids[p.task],
+            pe: p.pe,
+            start: p.start,
+            end: p.end,
+        })
+        .collect();
+    Schedule { placements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::PeKind;
+
+    fn instance(n: usize) -> TaskSet {
+        TaskSet::from_times(
+            &(0..n)
+                .map(|i| {
+                    let gpu = 0.5 + (i as f64) * 0.3;
+                    (gpu * (2.0 + (i % 5) as f64), gpu)
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn full_remainder_matches_direct_schedule() {
+        let tasks = instance(12);
+        let platform = PlatformSpec::new(2, 2);
+        let all: Vec<usize> = (0..12).collect();
+        let re = reschedule_remainder(&tasks, &all, &platform, BinarySearchConfig::default());
+        let direct = dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
+        re.validate(&tasks, &platform).unwrap();
+        assert!((re.makespan() - direct.schedule.makespan()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_remainder_places_each_survivor_exactly_once() {
+        let tasks = instance(20);
+        let platform = PlatformSpec::new(1, 1);
+        let remaining = [3usize, 7, 11, 19, 4];
+        let re = reschedule_remainder(&tasks, &remaining, &platform, BinarySearchConfig::default());
+        let mut placed: Vec<usize> = re.placements.iter().map(|p| p.task).collect();
+        placed.sort_unstable();
+        let mut want = remaining.to_vec();
+        want.sort_unstable();
+        assert_eq!(placed, want);
+    }
+
+    #[test]
+    fn duplicates_schedule_once() {
+        let tasks = instance(6);
+        let platform = PlatformSpec::new(1, 1);
+        let re = reschedule_remainder(
+            &tasks,
+            &[2, 2, 5, 2, 5],
+            &platform,
+            BinarySearchConfig::default(),
+        );
+        let mut placed: Vec<usize> = re.placements.iter().map(|p| p.task).collect();
+        placed.sort_unstable();
+        assert_eq!(placed, vec![2, 5]);
+    }
+
+    #[test]
+    fn empty_remainder_is_an_empty_schedule() {
+        let tasks = instance(4);
+        let platform = PlatformSpec::new(1, 1);
+        let re = reschedule_remainder(&tasks, &[], &platform, BinarySearchConfig::default());
+        assert!(re.placements.is_empty());
+    }
+
+    #[test]
+    fn degraded_cpu_only_platform_still_schedules() {
+        // All GPUs died: the residual platform has zero GPUs and every
+        // orphan must land on a CPU.
+        let tasks = instance(8);
+        let platform = PlatformSpec::new(2, 0);
+        let remaining: Vec<usize> = (0..8).collect();
+        let re = reschedule_remainder(&tasks, &remaining, &platform, BinarySearchConfig::default());
+        assert_eq!(re.placements.len(), 8);
+        assert!(re.placements.iter().all(|p| p.pe.kind == PeKind::Cpu));
+    }
+}

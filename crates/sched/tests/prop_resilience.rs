@@ -1,0 +1,158 @@
+//! Property tests for the resilience-adjacent scheduler modules:
+//! multi-round allocation, remainder re-planning (the recovery path of
+//! the fault-tolerant runtime) and robustness replay.
+
+use proptest::prelude::*;
+use swdual_sched::binsearch::{dual_approx_schedule, BinarySearchConfig};
+use swdual_sched::multiround::multi_round_schedule;
+use swdual_sched::remainder::reschedule_remainder;
+use swdual_sched::robustness::{replay_static, ActualTimes};
+use swdual_sched::{PlatformSpec, TaskSet};
+
+/// Random task set: GPU time in (0.1, 5.0), acceleration in (0.2, 12) —
+/// includes GPU-averse tasks (acceleration < 1).
+fn task_set(max_n: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((0.1f64..5.0, 0.2f64..12.0), 1..max_n).prop_map(|v| {
+        let times: Vec<(f64, f64)> = v.into_iter().map(|(gpu, acc)| (gpu * acc, gpu)).collect();
+        TaskSet::from_times(&times)
+    })
+}
+
+fn platform() -> impl Strategy<Value = PlatformSpec> {
+    (1usize..6, 1usize..6).prop_map(|(m, k)| PlatformSpec::new(m, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn one_round_multiround_equals_one_shot(tasks in task_set(40), pf in platform()) {
+        // rounds = 1 releases everything at once: it must be the
+        // one-shot dual-approximation schedule, makespan included.
+        let one_shot = dual_approx_schedule(&tasks, &pf, BinarySearchConfig::default()).schedule;
+        let multi = multi_round_schedule(&tasks, &pf, 1, BinarySearchConfig::default());
+        prop_assert!(
+            (one_shot.makespan() - multi.makespan()).abs() < 1e-9,
+            "one-shot {} vs rounds=1 {}",
+            one_shot.makespan(),
+            multi.makespan()
+        );
+    }
+
+    #[test]
+    fn multiround_places_each_task_exactly_once(
+        tasks in task_set(40),
+        pf in platform(),
+        rounds in 1usize..6,
+    ) {
+        let sched = multi_round_schedule(&tasks, &pf, rounds, BinarySearchConfig::default());
+        let mut placed: Vec<usize> = sched.placements.iter().map(|p| p.task).collect();
+        placed.sort_unstable();
+        let expect: Vec<usize> = (0..tasks.len()).collect();
+        prop_assert_eq!(placed, expect, "every task exactly once, rounds={}", rounds);
+        // No machine runs two tasks at the same time and every PE index
+        // exists on the platform.
+        prop_assert!(sched.makespan() >= 0.0);
+        for p in &sched.placements {
+            prop_assert!(p.end >= p.start);
+        }
+    }
+
+    #[test]
+    fn multiround_never_misplaces_time(
+        tasks in task_set(30),
+        pf in platform(),
+        rounds in 1usize..5,
+    ) {
+        // Per-machine, placements are back to back and non-overlapping.
+        let sched = multi_round_schedule(&tasks, &pf, rounds, BinarySearchConfig::default());
+        let mut by_pe: std::collections::HashMap<_, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for p in &sched.placements {
+            by_pe.entry(p.pe).or_default().push((p.start, p.end));
+        }
+        for (pe, mut spans) in by_pe {
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].0 + 1e-9,
+                    "overlap on {:?}: {:?} then {:?}",
+                    pe, w[0], w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_replay_reproduces_planned_makespan(tasks in task_set(40), pf in platform()) {
+        // Replaying a schedule under the estimates themselves must
+        // reproduce the planned makespan exactly (the zero-noise fixed
+        // point of the robustness model).
+        let sched = dual_approx_schedule(&tasks, &pf, BinarySearchConfig::default()).schedule;
+        let replayed = replay_static(&sched, &ActualTimes::exact(&tasks));
+        prop_assert!(
+            (replayed.makespan() - sched.makespan()).abs() < 1e-9,
+            "replayed {} vs planned {}",
+            replayed.makespan(),
+            sched.makespan()
+        );
+    }
+
+    #[test]
+    fn replayed_makespan_is_monotone_under_uniform_slowdown(
+        tasks in task_set(30),
+        pf in platform(),
+        scale in 1.0f64..3.0,
+    ) {
+        // Uniformly scaled-up actual times can only stretch the realised
+        // makespan — and by exactly the scale factor, since every
+        // machine's finish time is a sum of scaled durations.
+        let sched = dual_approx_schedule(&tasks, &pf, BinarySearchConfig::default()).schedule;
+        let base = replay_static(&sched, &ActualTimes::exact(&tasks)).makespan();
+        let scaled = ActualTimes {
+            p_cpu: tasks.iter().map(|t| t.p_cpu * scale).collect(),
+            p_gpu: tasks.iter().map(|t| t.p_gpu * scale).collect(),
+        };
+        let slowed = replay_static(&sched, &scaled).makespan();
+        prop_assert!(slowed >= base - 1e-9, "slowdown shrank the makespan");
+        prop_assert!(
+            (slowed - scale * base).abs() <= 1e-6 * base.max(1.0),
+            "uniform scale {} should scale the makespan: {} vs {}",
+            scale, slowed, scale * base
+        );
+    }
+
+    #[test]
+    fn remainder_reschedule_places_survivors_exactly_once(
+        tasks in task_set(40),
+        pf in platform(),
+        keep_mask in prop::collection::vec(any::<bool>(), 40..41),
+    ) {
+        // The recovery path: an arbitrary subset of tasks is orphaned
+        // and re-planned. Each orphan must appear exactly once, nothing
+        // else may appear at all.
+        let remaining: Vec<usize> = (0..tasks.len())
+            .filter(|&t| keep_mask.get(t).copied().unwrap_or(false))
+            .collect();
+        let plan = reschedule_remainder(&tasks, &remaining, &pf, BinarySearchConfig::default());
+        let mut placed: Vec<usize> = plan.placements.iter().map(|p| p.task).collect();
+        placed.sort_unstable();
+        prop_assert_eq!(placed, remaining);
+    }
+
+    #[test]
+    fn remainder_reschedule_survives_single_species_platforms(
+        tasks in task_set(25),
+        cpus in 1usize..4,
+    ) {
+        // Graceful degradation: all GPUs dead leaves a CPU-only
+        // platform; the re-plan must still place everything.
+        let remaining: Vec<usize> = (0..tasks.len()).collect();
+        let pf = PlatformSpec::new(cpus, 0);
+        let plan = reschedule_remainder(&tasks, &remaining, &pf, BinarySearchConfig::default());
+        prop_assert_eq!(plan.placements.len(), tasks.len());
+        for p in &plan.placements {
+            prop_assert_eq!(p.pe.kind, swdual_sched::schedule::PeKind::Cpu);
+        }
+    }
+}

@@ -37,6 +37,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`] and
+    /// [`Receiver::recv_deadline`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait expired with no message.
+        Timeout,
+        /// Channel is empty and every sender is dropped.
+        Disconnected,
+    }
+
     /// Sending half; cloneable.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -108,6 +118,36 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 queue = self.shared.ready.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Block until a message arrives, every sender is dropped, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(std::time::Instant::now() + timeout)
+        }
+
+        /// Block until a message arrives, every sender is dropped, or
+        /// `deadline` passes.
+        pub fn recv_deadline(&self, deadline: std::time::Instant) -> Result<T, RecvTimeoutError> {
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .expect("channel poisoned");
+                queue = guard;
             }
         }
 
@@ -230,6 +270,23 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         drop(rx);
         assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
