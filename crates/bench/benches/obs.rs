@@ -1,0 +1,155 @@
+//! Observability overhead: the per-job instrumentation path and the
+//! live-metrics registry, enabled vs disabled.
+//!
+//! The disabled recorder is the default for every search, so its cost
+//! is the price *all* users pay; the enabled cost bounds what `--trace`
+//! / `--progress` runs add per job. Besides the criterion-style console
+//! report, a full run (`cargo bench -p swdual-bench --bench obs`)
+//! records the medians to `BENCH_obs.json` at the workspace root so
+//! later PRs can diff the overhead.
+
+use std::time::Instant;
+use swdual_obs::metrics::Metrics;
+use swdual_obs::{Obs, Track};
+
+/// Mirror of the worker's per-job instrumentation sequence (span +
+/// counters + registry), shared with the allocation guard test.
+fn per_job(obs: &Obs, metrics: &Metrics, worker_id: usize, task_id: usize) {
+    let wall_start = obs.now();
+    let wall_end = obs.now();
+    if obs.is_enabled() {
+        obs.span(
+            Track::Worker(worker_id),
+            &format!("task-{task_id}"),
+            wall_start,
+            wall_end - wall_start,
+            Some((0.0, 1.0)),
+            &[("task", task_id as f64)],
+        );
+    }
+    obs.counter("jobs_completed", 1.0);
+    obs.counter("cells_computed", 1000.0);
+    let labels = [("worker", "0")];
+    metrics.observe("job_wall_seconds", &labels, wall_end - wall_start);
+    metrics.counter("worker_jobs", &labels, 1.0);
+    metrics.gauge("worker_mcups", &labels, 1.0);
+}
+
+/// Median ns/op over `samples` timed batches of `iters` calls each.
+fn measure<F: FnMut()>(samples: usize, iters: usize, mut op: F) -> f64 {
+    op(); // warm-up
+    let mut nanos: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        nanos.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    nanos.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    nanos[nanos.len() / 2]
+}
+
+fn main() {
+    // `cargo bench -- --test` (CI smoke) only checks the benches run.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (samples, iters) = if test_mode { (1, 10) } else { (21, 20_000) };
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    let mut bench = |name: &'static str, ns: f64| {
+        println!("obs_overhead/{name}  median {ns:.1} ns/op");
+        results.push((name, ns));
+    };
+
+    let disabled = Obs::disabled();
+    let disabled_metrics = disabled.metrics().for_shard(0);
+    let mut task = 0usize;
+    bench(
+        "per_job_disabled",
+        measure(samples, iters, || {
+            task = task.wrapping_add(1);
+            per_job(&disabled, &disabled_metrics, task % 4, task);
+        }),
+    );
+
+    let enabled = Obs::enabled();
+    let enabled_metrics = enabled.metrics().for_shard(0);
+    bench(
+        "per_job_enabled",
+        measure(samples, iters, || {
+            task = task.wrapping_add(1);
+            per_job(&enabled, &enabled_metrics, task % 4, task);
+        }),
+    );
+
+    bench(
+        "registry_observe_disabled",
+        measure(samples, iters, || {
+            disabled_metrics.observe("job_wall_seconds", &[("worker", "0")], 0.5);
+        }),
+    );
+    bench(
+        "registry_observe_enabled",
+        measure(samples, iters, || {
+            enabled_metrics.observe("job_wall_seconds", &[("worker", "0")], 0.5);
+        }),
+    );
+    bench(
+        "registry_counter_enabled",
+        measure(samples, iters, || {
+            enabled_metrics.counter("worker_jobs", &[("worker", "0")], 1.0);
+        }),
+    );
+
+    // Snapshot cost over a populated registry (16 shards, mixed kinds).
+    let populated = Metrics::enabled();
+    for shard in 0..16 {
+        let h = populated.for_shard(shard);
+        let worker = shard.to_string();
+        let labels = [("worker", worker.as_str())];
+        for i in 0..64 {
+            h.observe("job_wall_seconds", &labels, 1e-3 * (i + 1) as f64);
+            h.counter("worker_jobs", &labels, 1.0);
+            h.gauge("worker_mcups", &labels, i as f64);
+        }
+    }
+    bench(
+        "registry_snapshot",
+        measure(samples.min(11), iters / 100 + 1, || {
+            std::hint::black_box(populated.snapshot());
+        }),
+    );
+
+    if test_mode {
+        return;
+    }
+
+    // Record medians for later PRs to diff against.
+    let ratio = results
+        .iter()
+        .find(|(n, _)| *n == "per_job_enabled")
+        .map(|(_, e)| *e)
+        .zip(
+            results
+                .iter()
+                .find(|(n, _)| *n == "per_job_disabled")
+                .map(|(_, d)| *d),
+        )
+        .map(|(e, d)| if d > 0.0 { e / d } else { 0.0 })
+        .unwrap_or(0.0);
+    let mut json = String::from("{\n  \"bench\": \"obs_overhead\",\n  \"unit\": \"ns_per_op\",\n");
+    json.push_str("  \"medians\": {\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"enabled_over_disabled_per_job\": {ratio:.2}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -34,8 +34,8 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 /// The shape of the worker's per-job instrumentation (see
 /// `swdual_runtime::worker`): clock reads bracketing the compute, then
-/// a guarded span + counters. With a disabled recorder this entire
-/// sequence must not allocate.
+/// a guarded span + counters + live-metrics registry updates. With a
+/// disabled recorder this entire sequence must not allocate.
 fn per_job_hot_path(obs: &Obs, worker_id: usize, task_id: usize) {
     let wall_start = obs.now();
     let wall_end = obs.now();
@@ -51,6 +51,13 @@ fn per_job_hot_path(obs: &Obs, worker_id: usize, task_id: usize) {
     }
     obs.counter("jobs_completed", 1.0);
     obs.counter("cells_computed", 1000.0);
+    // The registry side of the per-job path: a disabled registry must
+    // early-return before touching shards or building keys.
+    let metrics = obs.metrics().for_shard(worker_id);
+    let labels = [("worker", "0")];
+    metrics.observe("job_wall_seconds", &labels, wall_end - wall_start);
+    metrics.counter("worker_jobs", &labels, 1.0);
+    metrics.gauge("worker_mcups", &labels, 1.0);
 }
 
 #[test]

@@ -7,9 +7,10 @@
 //!                 [--cpus N] [--gpus N] [--policy dual|dual-dp|self]
 //!                 [--top K] [--gap-open N] [--gap-extend N] [--evalues]
 //!                 [--trace-out TRACE.json] [--metrics-out METRICS.prom]
-//!                 [--journal-out EVENTS.jsonl]
+//!                 [--journal-out EVENTS.jsonl] [--progress]
 //!                 [--fault-plan SPEC | --fault-seed N]
 //!                 [--job-timeout-slack F] [--min-job-timeout-ms MS]
+//! swdual analyze  EVENTS.jsonl [--json|--text]
 //! swdual convert  --input DB.fasta --output DB.sqb
 //! swdual generate --sequences N --mean-len L --output DB.fasta [--seed S]
 //! swdual info     --db DB.(fasta|sqb)
@@ -20,7 +21,7 @@ use std::process::ExitCode;
 use swdual_bio::karlin;
 use swdual_bio::stats::LengthStats;
 use swdual_bio::{fasta, sqb, Alphabet, Matrix, ScoringScheme, SequenceSet};
-use swdual_core::SearchBuilder;
+use swdual_core::{ProgressReporter, SearchBuilder};
 use swdual_datagen::{synthetic_database, LengthModel};
 use swdual_runtime::{AllocationPolicy, FaultPlan, WorkerSpec};
 use swdual_sched::dual::KnapsackMethod;
@@ -45,14 +46,19 @@ USAGE:
                   [--policy dual|dual-dp|self] [--top K]
                   [--gap-open N] [--gap-extend N] [--evalues]
                   [--trace-out TRACE.json] [--metrics-out METRICS.prom]
-                  [--journal-out EVENTS.jsonl]
+                  [--journal-out EVENTS.jsonl] [--progress]
                   [--fault-plan SPEC | --fault-seed N]
                   [--job-timeout-slack F] [--min-job-timeout-ms MS]
+  swdual analyze  EVENTS.jsonl [--json|--text]
   swdual convert  --input FILE.fasta --output FILE.sqb
   swdual generate --sequences N --mean-len L --output FILE [--seed S]
   swdual info     --db FILE
 
 Database/query files may be FASTA (.fasta/.fa) or SQB (.sqb).
+
+`swdual analyze` audits a `--journal-out` journal: achieved makespan
+vs the dual-approximation λ and its 2λ guarantee, per-worker
+utilization, load imbalance, latency quantiles and plan skew.
 
 Fault injection (deterministic; hits are identical to a fault-free run
 as long as one worker survives):
@@ -71,7 +77,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
         // Boolean flags.
-        if key == "evalues" {
+        if matches!(key, "evalues" | "progress" | "json" | "text") {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -145,17 +151,21 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     let trace_out = flags.get("trace-out");
     let metrics_out = flags.get("metrics-out");
     let journal_out = flags.get("journal-out");
-    let observe = trace_out.is_some() || metrics_out.is_some() || journal_out.is_some();
+    let progress = flags.contains_key("progress");
+    let observe = trace_out.is_some() || metrics_out.is_some() || journal_out.is_some() || progress;
+    let obs = if observe {
+        swdual_obs::Obs::enabled()
+    } else {
+        swdual_obs::Obs::disabled()
+    };
     let mut builder = SearchBuilder::new()
         .database(database)
         .queries(queries)
         .workers(workers)
         .scheme(scheme)
         .policy(policy)
-        .top_k(top);
-    if observe {
-        builder = builder.observe();
-    }
+        .top_k(top)
+        .observability(obs.clone());
     match (flags.get("fault-plan"), flags.get("fault-seed")) {
         (Some(_), Some(_)) => {
             return Err("--fault-plan and --fault-seed are mutually exclusive".into())
@@ -181,7 +191,13 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
         let ms: u64 = ms.parse().map_err(|_| "--min-job-timeout-ms")?;
         builder = builder.min_job_timeout(std::time::Duration::from_millis(ms));
     }
-    let report = match builder.try_run() {
+    let reporter =
+        progress.then(|| ProgressReporter::start(&obs, std::time::Duration::from_millis(250)));
+    let result = builder.try_run();
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
+    let report = match result {
         Ok(report) => report,
         Err(e) => return Err(format!("search failed: {e}")),
     };
@@ -235,6 +251,43 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
         report.wall_seconds(),
         report.wall_gcups()
     );
+    Ok(())
+}
+
+/// `swdual analyze EVENTS.jsonl [--json|--text]` — audit a recorded
+/// journal against the scheduler's promises. Takes one positional
+/// path, so it parses its own arguments.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    let mut text = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--text" => text = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown analyze flag {other:?} (--json|--text)"))
+            }
+            other => {
+                if path.is_some() {
+                    return Err("analyze takes exactly one journal path".into());
+                }
+                path = Some(other);
+            }
+        }
+    }
+    let path = path.ok_or("usage: swdual analyze EVENTS.jsonl [--json|--text]")?;
+    if json && text {
+        return Err("--json and --text are mutually exclusive".into());
+    }
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report =
+        swdual_obs::analysis::analyze_journal(&contents).map_err(|e| format!("{path}: {e}"))?;
+    if json {
+        outln!("{}", report.to_json());
+    } else {
+        outln!("{}", report.to_text());
+    }
     Ok(())
 }
 
@@ -310,6 +363,17 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
+    // `analyze` takes a positional journal path and parses its own
+    // arguments; every other command uses `--key value` flags.
+    if cmd == "analyze" {
+        return match cmd_analyze(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match parse_flags(&args[1..]) {
         Ok(f) => f,
         Err(e) => {

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod engine;
+pub mod progress;
 pub mod report;
 
 /// Re-export: alignment kernels.
@@ -60,6 +61,7 @@ pub use swdual_runtime as runtime;
 pub use swdual_sched as sched;
 
 pub use engine::SearchBuilder;
+pub use progress::ProgressReporter;
 pub use report::SearchReport;
 
 /// The common imports of a SWDUAL application.

@@ -1,0 +1,151 @@
+//! Live progress reporting for long searches.
+//!
+//! [`ProgressReporter`] runs a small background thread that polls the
+//! search's live metrics registry and prints a one-line status to
+//! stderr at a fixed cadence — completion, queue depth, worker count
+//! and job-latency quantiles. It reads the same sharded registry the
+//! workers write into, so it never touches the search's data path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use swdual_obs::metrics::{Metrics, MetricsSnapshot};
+use swdual_obs::Obs;
+
+/// Background thread printing periodic progress lines from the live
+/// metrics registry. Stops (and joins) on [`ProgressReporter::finish`]
+/// or drop.
+pub struct ProgressReporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ProgressReporter {
+    /// Start reporting from `obs`'s registry every `interval`. The
+    /// thread is a no-op when observability is disabled — the registry
+    /// snapshot is empty and no lines are printed.
+    pub fn start(obs: &Obs, interval: Duration) -> ProgressReporter {
+        let metrics = obs.metrics();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("swdual-progress".into())
+            .spawn(move || run(metrics, interval, stop_flag))
+            .expect("spawn progress thread");
+        ProgressReporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the reporter and wait for its thread to exit. Prints one
+    /// final line so the last state is always visible.
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProgressReporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run(metrics: Metrics, interval: Duration, stop: Arc<AtomicBool>) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    // Sleep in short slices so finish() never blocks a full interval.
+    let slice = Duration::from_millis(20).min(interval);
+    let mut elapsed = Duration::ZERO;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        std::thread::sleep(slice);
+        elapsed += slice;
+        if elapsed >= interval {
+            elapsed = Duration::ZERO;
+            if let Some(line) = render_line(&metrics.snapshot()) {
+                eprintln!("{line}");
+            }
+        }
+    }
+    // Final line: the run just ended, show where it landed.
+    if let Some(line) = render_line(&metrics.snapshot()) {
+        eprintln!("{line}");
+    }
+}
+
+/// Format one progress line from a registry snapshot, or `None` when
+/// the search has not published anything yet.
+pub(crate) fn render_line(snap: &MetricsSnapshot) -> Option<String> {
+    let total = snap.gauge_value("tasks_total", &[])?;
+    let done = snap.gauge_value("tasks_completed", &[]).unwrap_or(0.0);
+    let queue = snap.gauge_value("queue_depth", &[]).unwrap_or(total - done);
+    let workers = snap.gauge_value("workers_alive", &[]).unwrap_or(0.0);
+    let mut line = format!(
+        "progress: {done:.0}/{total:.0} tasks done, queue {queue:.0}, {workers:.0} workers"
+    );
+    if let Some(h) = snap.histogram_summed("job_wall_seconds") {
+        if let (Some(p50), Some(p95)) = (h.quantile(0.50), h.quantile(0.95)) {
+            line.push_str(&format!(
+                ", job p50 {:.1} ms / p95 {:.1} ms",
+                p50 * 1e3,
+                p95 * 1e3
+            ));
+        }
+    }
+    Some(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_needs_a_task_total() {
+        let metrics = Metrics::enabled();
+        assert!(render_line(&metrics.snapshot()).is_none());
+    }
+
+    #[test]
+    fn render_line_summarizes_gauges_and_latency() {
+        let metrics = Metrics::enabled();
+        metrics.gauge("tasks_total", &[], 10.0);
+        metrics.gauge("tasks_completed", &[], 4.0);
+        metrics.gauge("queue_depth", &[], 6.0);
+        metrics.gauge("workers_alive", &[], 3.0);
+        metrics.observe("job_wall_seconds", &[("worker", "0")], 0.002);
+        metrics.observe("job_wall_seconds", &[("worker", "1")], 0.004);
+        let line = render_line(&metrics.snapshot()).unwrap();
+        assert!(line.contains("4/10 tasks done"), "{line}");
+        assert!(line.contains("queue 6"), "{line}");
+        assert!(line.contains("3 workers"), "{line}");
+        assert!(line.contains("job p50"), "{line}");
+    }
+
+    #[test]
+    fn reporter_starts_and_finishes_cleanly() {
+        let obs = Obs::enabled();
+        obs.metrics().gauge("tasks_total", &[], 1.0);
+        let reporter = ProgressReporter::start(&obs, Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(15));
+        reporter.finish();
+    }
+
+    #[test]
+    fn disabled_obs_reporter_is_a_no_op() {
+        let reporter = ProgressReporter::start(&Obs::disabled(), Duration::from_millis(1));
+        reporter.finish();
+    }
+}

@@ -130,10 +130,18 @@ impl SearchReport {
         swdual_obs::export::metrics_text(&self.obs)
     }
 
-    /// JSON-lines journal: one event object per line, in recording
-    /// order.
+    /// JSON-lines journal: a schema header line followed by one event
+    /// object per line, in recording order.
     pub fn journal(&self) -> String {
         swdual_obs::export::journal_jsonl(&self.obs)
+    }
+
+    /// Audit the run against the scheduler's promises: achieved
+    /// makespan vs λ and the 2λ bound, per-worker utilization, load
+    /// imbalance, latency quantiles, planned-vs-actual skew, GPU
+    /// ordering quality. Empty report when tracing was off.
+    pub fn analysis(&self) -> swdual_obs::analysis::RunReport {
+        swdual_obs::analysis::analyze_obs(&self.obs)
     }
 
     /// Render the hit lists like a classic search tool report.
@@ -241,7 +249,21 @@ mod tests {
         assert!(metrics.contains("swdual_track_busy_modelled_seconds"));
 
         let journal = r.journal();
-        assert_eq!(journal.lines().count(), r.obs().event_count());
+        // Header line plus one line per event.
+        assert_eq!(journal.lines().count(), r.obs().event_count() + 1);
+
+        let audit = r.analysis();
+        let jobs = r
+            .obs()
+            .counters()
+            .into_iter()
+            .find(|(name, _)| name == "jobs_completed")
+            .map(|(_, v)| v)
+            .expect("jobs_completed counter");
+        assert_eq!(audit.tasks as f64, jobs);
+        assert!(audit.modelled_makespan > 0.0);
+        assert!(audit.has_bound);
+        assert!(audit.bound_holds, "2λ bound must hold on a healthy run");
     }
 
     #[test]

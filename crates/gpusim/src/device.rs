@@ -176,6 +176,9 @@ pub struct GpuDevice {
     fail_after_kernels: Option<u64>,
     kernels_launched: u64,
     failed: bool,
+    // Virtual-clock busy accumulators feeding the occupancy gauges.
+    busy_kernel: f64,
+    busy_transfer: f64,
 }
 
 impl GpuDevice {
@@ -193,6 +196,35 @@ impl GpuDevice {
             fail_after_kernels: None,
             kernels_launched: 0,
             failed: false,
+            busy_kernel: 0.0,
+            busy_transfer: 0.0,
+        }
+    }
+
+    /// Update the per-device registry series: kernel/transfer time
+    /// histograms were just fed one value; refresh the occupancy
+    /// gauges (fraction of the device's virtual clock spent in kernels
+    /// / transfers).
+    fn update_device_metrics(&self, histogram: &str, seconds: f64) {
+        let metrics = self.obs.metrics();
+        if !metrics.is_enabled() {
+            return;
+        }
+        let metrics = metrics.for_shard(self.obs_device_id);
+        let device = self.obs_device_id.to_string();
+        let labels = [("device", device.as_str())];
+        metrics.observe(histogram, &labels, seconds);
+        if self.clock > 0.0 {
+            metrics.gauge(
+                "device_kernel_occupancy",
+                &labels,
+                self.busy_kernel / self.clock,
+            );
+            metrics.gauge(
+                "device_transfer_occupancy",
+                &labels,
+                self.busy_transfer / self.clock,
+            );
         }
     }
 
@@ -340,6 +372,8 @@ impl GpuDevice {
             &[("bytes", bytes as f64)],
         );
         self.obs.counter("gpu_bytes_h2d", bytes as f64);
+        self.busy_transfer += t;
+        self.update_device_metrics("device_h2d_seconds", t);
         Ok(ResidentDb {
             allocation,
             subjects,
@@ -464,6 +498,8 @@ impl GpuDevice {
         );
         self.obs.counter("gpu_kernels", 1.0);
         self.obs.counter("gpu_useful_cells", useful as f64);
+        self.busy_kernel += kernel_seconds;
+        self.update_device_metrics("device_kernel_seconds", kernel_seconds);
 
         KernelResult {
             scores,

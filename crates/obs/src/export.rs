@@ -28,10 +28,30 @@ fn args_value(event: &Event) -> Value {
     )
 }
 
-/// Render all events as JSON lines, one event per line.
+/// Render all events as JSON lines: a schema header, then one event
+/// per line. The header line
+/// `{"schema":"swdual-journal/1","events":N}` lets
+/// [`analysis::analyze_journal`](crate::analysis::analyze_journal)
+/// reject incompatible journals with a typed error instead of garbage
+/// output. A disabled recorder renders an empty journal (no header).
 pub fn journal_jsonl(obs: &Obs) -> String {
     let mut out = String::new();
-    for event in obs.events() {
+    if !obs.is_enabled() {
+        return out;
+    }
+    let events = obs.events();
+    out.push_str(
+        &serde_json::to_string(&Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::Str(crate::analysis::JOURNAL_SCHEMA.to_string()),
+            ),
+            ("events".to_string(), Value::UInt(events.len() as u64)),
+        ]))
+        .expect("journal header serialises"),
+    );
+    out.push('\n');
+    for event in events {
         let mut fields = vec![
             ("track".to_string(), Value::Str(event.track.label())),
             ("name".to_string(), Value::Str(event.name.clone())),
@@ -63,26 +83,81 @@ pub fn journal_jsonl(obs: &Obs) -> String {
     out
 }
 
+/// Restrict a metric name to the Prometheus charset
+/// `[a-zA-Z0-9_:]` (everything else becomes `_`).
 fn sanitize_metric(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
-/// Render counters and per-track aggregates in Prometheus text format.
+/// Escape a label *value* per the Prometheus text exposition format:
+/// backslash, double quote and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a `{k="v",...}` label block ("" when no labels).
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric(k), escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn help_and_type(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+}
+
+/// Render counters, per-track aggregates and the live-metrics registry
+/// (gauges and log-bucketed histograms) in Prometheus text format.
+///
+/// Output ordering is stable: fixed section order, series sorted by
+/// name then labels inside each section. Label values are escaped per
+/// the exposition format.
 pub fn metrics_text(obs: &Obs) -> String {
     let mut out = String::new();
 
-    out.push_str("# TYPE swdual_events_total counter\n");
+    help_and_type(
+        &mut out,
+        "swdual_events_total",
+        "counter",
+        "Events recorded in the journal.",
+    );
     out.push_str(&format!("swdual_events_total {}\n", obs.event_count()));
 
     let counters = obs.counters();
     if !counters.is_empty() {
-        out.push_str("# TYPE swdual_counter counter\n");
+        help_and_type(
+            &mut out,
+            "swdual_counter",
+            "counter",
+            "Aggregate counters from the event recorder.",
+        );
         for (name, value) in &counters {
             out.push_str(&format!(
                 "swdual_counter{{name=\"{}\"}} {}\n",
-                sanitize_metric(name),
+                escape_label(name),
                 value
             ));
         }
@@ -107,31 +182,131 @@ pub fn metrics_text(obs: &Obs) -> String {
     }
     tracks.sort_by_key(|(t, ..)| *t);
     if !tracks.is_empty() {
-        out.push_str("# TYPE swdual_track_busy_wall_seconds gauge\n");
+        help_and_type(
+            &mut out,
+            "swdual_track_busy_wall_seconds",
+            "gauge",
+            "Wall-clock busy seconds per track.",
+        );
         for (track, wall, _, _) in &tracks {
             out.push_str(&format!(
                 "swdual_track_busy_wall_seconds{{track=\"{}\"}} {}\n",
-                track.label(),
+                escape_label(&track.label()),
                 wall
             ));
         }
-        out.push_str("# TYPE swdual_track_busy_modelled_seconds gauge\n");
+        help_and_type(
+            &mut out,
+            "swdual_track_busy_modelled_seconds",
+            "gauge",
+            "Modelled-clock busy seconds per track.",
+        );
         for (track, _, virt, _) in &tracks {
             out.push_str(&format!(
                 "swdual_track_busy_modelled_seconds{{track=\"{}\"}} {}\n",
-                track.label(),
+                escape_label(&track.label()),
                 virt
             ));
         }
-        out.push_str("# TYPE swdual_track_spans_total counter\n");
+        help_and_type(
+            &mut out,
+            "swdual_track_spans_total",
+            "counter",
+            "Spans recorded per track.",
+        );
         for (track, _, _, spans) in &tracks {
             out.push_str(&format!(
                 "swdual_track_spans_total{{track=\"{}\"}} {}\n",
-                track.label(),
+                escape_label(&track.label()),
                 spans
             ));
         }
     }
+
+    // Live-metrics registry: gauges, labelled counters, histograms.
+    let snapshot = obs.metrics().snapshot();
+
+    let labelled: Vec<_> = snapshot
+        .counters
+        .iter()
+        .filter(|(k, _)| !k.labels.is_empty())
+        .collect();
+    let mut last_name = String::new();
+    for (key, value) in labelled {
+        let name = format!("swdual_{}_total", sanitize_metric(&key.name));
+        if name != last_name {
+            help_and_type(
+                &mut out,
+                &name,
+                "counter",
+                "Labelled counter from the live-metrics registry.",
+            );
+            last_name = name.clone();
+        }
+        out.push_str(&format!("{}{} {}\n", name, label_block(&key.labels), value));
+    }
+
+    let mut last_name = String::new();
+    for (key, value) in &snapshot.gauges {
+        let name = format!("swdual_{}", sanitize_metric(&key.name));
+        if name != last_name {
+            help_and_type(
+                &mut out,
+                &name,
+                "gauge",
+                "Gauge from the live-metrics registry.",
+            );
+            last_name = name.clone();
+        }
+        out.push_str(&format!("{}{} {}\n", name, label_block(&key.labels), value));
+    }
+
+    let mut last_name = String::new();
+    for (key, histogram) in &snapshot.histograms {
+        let name = format!("swdual_{}", sanitize_metric(&key.name));
+        if name != last_name {
+            help_and_type(
+                &mut out,
+                &name,
+                "histogram",
+                "Log-bucketed histogram from the live-metrics registry.",
+            );
+            last_name = name.clone();
+        }
+        let mut cumulative = 0u64;
+        for (upper, count) in &histogram.buckets {
+            cumulative += count;
+            let mut labels = key.labels.clone();
+            labels.push(("le".to_string(), format!("{upper}")));
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                name,
+                label_block(&labels),
+                cumulative
+            ));
+        }
+        let mut labels = key.labels.clone();
+        labels.push(("le".to_string(), "+Inf".to_string()));
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            name,
+            label_block(&labels),
+            histogram.count
+        ));
+        out.push_str(&format!(
+            "{}_sum{} {}\n",
+            name,
+            label_block(&key.labels),
+            histogram.sum
+        ));
+        out.push_str(&format!(
+            "{}_count{} {}\n",
+            name,
+            label_block(&key.labels),
+            histogram.count
+        ));
+    }
+
     out
 }
 
@@ -295,17 +470,23 @@ mod tests {
     }
 
     #[test]
-    fn journal_emits_one_line_per_event() {
+    fn journal_emits_header_then_one_line_per_event() {
         let journal = journal_jsonl(&sample_obs());
         let lines: Vec<&str> = journal.lines().collect();
-        assert_eq!(lines.len(), 4);
-        for line in &lines {
+        assert_eq!(lines.len(), 5);
+        let header: Value = serde_json::from_str(lines[0]).expect("header parses");
+        assert_eq!(
+            header.get("schema").and_then(Value::as_str),
+            Some(crate::analysis::JOURNAL_SCHEMA)
+        );
+        assert_eq!(header.get("events").and_then(Value::as_u64), Some(4));
+        for line in &lines[1..] {
             let value: Value = serde_json::from_str(line).expect("journal line parses");
             assert!(value.get("track").is_some());
             assert!(value.get("name").is_some());
         }
-        assert!(lines[1].contains("\"virt_dur\""));
-        assert!(lines[3].contains("\"instant\""));
+        assert!(lines[2].contains("\"virt_dur\""));
+        assert!(lines[4].contains("\"instant\""));
     }
 
     #[test]
@@ -316,6 +497,73 @@ mod tests {
         assert!(metrics.contains("swdual_track_busy_wall_seconds{track=\"worker:0\"} 1"));
         assert!(metrics.contains("swdual_track_busy_modelled_seconds{track=\"worker:0\"} 1.1"));
         assert!(metrics.contains("swdual_track_spans_total{track=\"master\"} 1"));
+    }
+
+    #[test]
+    fn metrics_format_regression() {
+        // Exact shape of the exposition format: every series preceded
+        // by # HELP and # TYPE, stable ordering, escaped label values,
+        // histograms with cumulative buckets, +Inf, _sum and _count.
+        let obs = sample_obs();
+        let m = obs.metrics();
+        m.gauge("queue_depth", &[], 3.0);
+        m.observe("job_wall_seconds", &[("worker", "0")], 0.010);
+        m.observe("job_wall_seconds", &[("worker", "0")], 0.020);
+        m.counter("worker_jobs", &[("worker", "a\"b\\c\nd")], 2.0);
+        let text = metrics_text(&obs);
+        let lines: Vec<&str> = text.lines().collect();
+
+        // Every non-comment metric family is introduced by HELP + TYPE.
+        for family in [
+            "swdual_events_total",
+            "swdual_counter",
+            "swdual_track_busy_wall_seconds",
+            "swdual_worker_jobs_total",
+            "swdual_queue_depth",
+            "swdual_job_wall_seconds",
+        ] {
+            let help = lines
+                .iter()
+                .position(|l| l.starts_with(&format!("# HELP {family} ")))
+                .unwrap_or_else(|| panic!("missing HELP for {family}"));
+            assert!(
+                lines[help + 1]
+                    .strip_prefix(&format!("# TYPE {family} "))
+                    .is_some(),
+                "TYPE must follow HELP for {family}"
+            );
+        }
+
+        // Label-value escaping: backslash, quote and newline.
+        assert!(
+            text.contains("swdual_worker_jobs_total{worker=\"a\\\"b\\\\c\\nd\"} 2"),
+            "escaped label value missing in:\n{text}"
+        );
+
+        // Gauge section.
+        assert!(text.contains("swdual_queue_depth 3"));
+
+        // Histogram: cumulative buckets end at +Inf == _count.
+        let bucket_lines: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.starts_with("swdual_job_wall_seconds_bucket"))
+            .copied()
+            .collect();
+        assert!(bucket_lines.len() >= 3, "two buckets plus +Inf");
+        let last = bucket_lines.last().unwrap();
+        assert!(last.contains("le=\"+Inf\""));
+        assert!(last.ends_with(" 2"));
+        assert!(text.contains("swdual_job_wall_seconds_count{worker=\"0\"} 2"));
+        assert!(text.contains("swdual_job_wall_seconds_sum{worker=\"0\"} 0.03"));
+        // Cumulative counts are non-decreasing.
+        let counts: Vec<u64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+
+        // Stable ordering: rendering twice gives identical text.
+        assert_eq!(text, metrics_text(&obs));
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //! timeline that overlays the planned schedule against actual
 //! per-worker execution.
 
+pub mod analysis;
 pub mod export;
+pub mod metrics;
 
+use metrics::Metrics;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -61,6 +64,26 @@ impl Track {
             Track::Faults => "faults".to_string(),
         }
     }
+
+    /// Parse a label produced by [`Track::label`] back into a track.
+    /// Used by the journal auditor; returns `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<Track> {
+        match label {
+            "master" => return Some(Track::Master),
+            "scheduler" => return Some(Track::Scheduler),
+            "faults" => return Some(Track::Faults),
+            _ => {}
+        }
+        let (kind, id) = label.split_once(':')?;
+        let id: usize = id.parse().ok()?;
+        match kind {
+            "worker" => Some(Track::Worker(id)),
+            "planned" => Some(Track::Planned(id)),
+            "recovered" => Some(Track::Recovered(id)),
+            "device" => Some(Track::Device(id)),
+            _ => None,
+        }
+    }
 }
 
 /// Span (has duration) or instant (point in time).
@@ -97,6 +120,7 @@ struct Inner {
     origin: Instant,
     events: Mutex<Vec<Event>>,
     counters: Mutex<BTreeMap<String, f64>>,
+    metrics: Metrics,
 }
 
 /// Handle to a recorder; cheap to clone and share across threads.
@@ -112,13 +136,24 @@ impl Obs {
         Obs(None)
     }
 
-    /// A live recorder; its wall clock starts now.
+    /// A live recorder; its wall clock starts now. Carries a live
+    /// [`Metrics`] registry reachable via [`Obs::metrics`].
     pub fn enabled() -> Obs {
         Obs(Some(Arc::new(Inner {
             origin: Instant::now(),
             events: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
+            metrics: Metrics::enabled(),
         })))
+    }
+
+    /// The live-metrics registry carried by this recorder. Disabled
+    /// when the recorder is.
+    pub fn metrics(&self) -> Metrics {
+        match &self.0 {
+            Some(inner) => inner.metrics.clone(),
+            None => Metrics::disabled(),
+        }
     }
 
     /// Whether events are being kept.
@@ -192,16 +227,21 @@ impl Obs {
         inner.events.lock().expect("obs events lock").push(event);
     }
 
-    /// Add `delta` to the named aggregate counter.
+    /// Add `delta` to the named aggregate counter. Mirrored into the
+    /// live registry so every journal counter also appears in metric
+    /// snapshots.
     pub fn counter(&self, name: &str, delta: f64) {
         let Some(inner) = &self.0 else { return };
-        let mut counters = inner.counters.lock().expect("obs counters lock");
-        match counters.get_mut(name) {
-            Some(v) => *v += delta,
-            None => {
-                counters.insert(name.to_string(), delta);
+        {
+            let mut counters = inner.counters.lock().expect("obs counters lock");
+            match counters.get_mut(name) {
+                Some(v) => *v += delta,
+                None => {
+                    counters.insert(name.to_string(), delta);
+                }
             }
         }
+        inner.metrics.counter(name, &[], delta);
     }
 
     /// Snapshot of all recorded events, in recording order.
@@ -326,6 +366,39 @@ mod tests {
         assert_eq!(Track::Recovered(3).label(), "recovered:3");
         assert_eq!(Track::Device(0).label(), "device:0");
         assert_eq!(Track::Faults.label(), "faults");
+    }
+
+    #[test]
+    fn track_labels_round_trip() {
+        for track in [
+            Track::Master,
+            Track::Scheduler,
+            Track::Worker(7),
+            Track::Planned(0),
+            Track::Recovered(12),
+            Track::Device(3),
+            Track::Faults,
+        ] {
+            assert_eq!(Track::from_label(&track.label()), Some(track));
+        }
+        assert_eq!(Track::from_label("worker"), None);
+        assert_eq!(Track::from_label("worker:x"), None);
+        assert_eq!(Track::from_label("submarine:1"), None);
+    }
+
+    #[test]
+    fn counters_mirror_into_the_registry() {
+        let obs = Obs::enabled();
+        obs.counter("cells", 42.0);
+        obs.counter("cells", 8.0);
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter_value("cells", &[]), Some(50.0));
+    }
+
+    #[test]
+    fn disabled_obs_has_disabled_metrics() {
+        assert!(!Obs::disabled().metrics().is_enabled());
+        assert!(Obs::enabled().metrics().is_enabled());
     }
 
     #[test]

@@ -1,0 +1,572 @@
+//! Sharded live-metrics registry: counters, gauges and log-bucketed
+//! latency histograms.
+//!
+//! The event recorder in [`crate`] keeps a faithful journal; this
+//! module keeps cheap *aggregates* that can be read while a run is in
+//! flight (the `--progress` line) and exported as Prometheus text.
+//!
+//! Design:
+//!
+//! * A [`Metrics`] handle is a cheap clone around an `Option<Arc<..>>`,
+//!   exactly like [`Obs`](crate::Obs); the disabled handle returns
+//!   before touching a lock or allocating.
+//! * The registry is **sharded**: writes land in one of a fixed set of
+//!   shards, each behind its own mutex, so per-worker instrumentation
+//!   never contends with other workers. [`Metrics::for_shard`] pins a
+//!   handle to the shard for a worker id.
+//! * [`Metrics::snapshot`] merges all shards: counters sum, gauges keep
+//!   the most recent write (a global sequence number decides), and
+//!   histograms merge bucket-wise.
+//!
+//! Histograms are log-bucketed: bucket `i` covers
+//! `(MIN·γ^(i-1), MIN·γ^i]` with `γ = 2^(1/4) ≈ 1.19`, so any quantile
+//! estimate is an over-estimate by at most one bucket's relative width:
+//! `est/exact ∈ [1, γ)` for values above `MIN`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log buckets per histogram.
+pub const HISTOGRAM_BUCKETS: usize = 256;
+
+/// Smallest resolvable histogram value (seconds): one nanosecond.
+pub const HISTOGRAM_MIN: f64 = 1e-9;
+
+/// Bucket growth factor `2^(1/4)`: four buckets per doubling, ~19%
+/// relative quantile error worst-case. 256 buckets reach
+/// `1e-9 · γ^255 ≈ 1.5e10` seconds — far beyond any run.
+pub const HISTOGRAM_GAMMA: f64 = 1.189_207_115_002_721;
+
+/// Number of shards in an enabled registry.
+const SHARDS: usize = 16;
+
+/// Identity of one metric series: a name plus sorted `(key, value)`
+/// labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (exported with the `swdual_` prefix).
+    pub name: String,
+    /// Label set, as given at the call site.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        MetricKey {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// Fixed-size log-bucketed histogram.
+#[derive(Debug, Clone)]
+struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn merge_from(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Bucket index for a value: 0 holds everything at or below
+/// [`HISTOGRAM_MIN`]; bucket `i` covers `(MIN·γ^(i-1), MIN·γ^i]`.
+pub fn bucket_index(value: f64) -> usize {
+    if value <= HISTOGRAM_MIN {
+        return 0;
+    }
+    let raw = (value / HISTOGRAM_MIN).ln() / HISTOGRAM_GAMMA.ln();
+    // ceil with a nudge against `ln` round-off putting an exact bucket
+    // boundary into the bucket above.
+    let idx = (raw - 1e-9).ceil() as i64;
+    idx.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// Upper bound of bucket `i` (its representative value).
+pub fn bucket_upper(index: usize) -> f64 {
+    HISTOGRAM_MIN * HISTOGRAM_GAMMA.powi(index as i32)
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<MetricKey, f64>,
+    gauges: BTreeMap<MetricKey, (u64, f64)>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+struct RegistryInner {
+    shards: Vec<Mutex<Shard>>,
+    gauge_seq: AtomicU64,
+}
+
+/// Handle to the sharded registry; cheap to clone. The default handle
+/// is disabled and records nothing.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<RegistryInner>>,
+    shard: usize,
+}
+
+impl Metrics {
+    /// A registry that drops everything (the default).
+    pub fn disabled() -> Metrics {
+        Metrics {
+            inner: None,
+            shard: 0,
+        }
+    }
+
+    /// A live registry.
+    pub fn enabled() -> Metrics {
+        Metrics {
+            inner: Some(Arc::new(RegistryInner {
+                shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+                gauge_seq: AtomicU64::new(0),
+            })),
+            shard: 0,
+        }
+    }
+
+    /// Whether metrics are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A handle pinned to the shard for `id` (e.g. a worker id), so
+    /// that worker's writes never contend with other workers'.
+    pub fn for_shard(&self, id: usize) -> Metrics {
+        Metrics {
+            inner: self.inner.clone(),
+            shard: id % SHARDS,
+        }
+    }
+
+    fn shard(&self, inner: &Arc<RegistryInner>) -> usize {
+        self.shard % inner.shards.len()
+    }
+
+    /// Add `delta` to the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut shard = inner.shards[self.shard(inner)]
+            .lock()
+            .expect("metrics shard lock");
+        let key = MetricKey::new(name, labels);
+        *shard.counters.entry(key).or_insert(0.0) += delta;
+    }
+
+    /// Set the gauge `name{labels}` to `value`. On snapshot the most
+    /// recent write wins across shards.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let seq = inner.gauge_seq.fetch_add(1, Ordering::Relaxed);
+        let mut shard = inner.shards[self.shard(inner)]
+            .lock()
+            .expect("metrics shard lock");
+        let key = MetricKey::new(name, labels);
+        shard.gauges.insert(key, (seq, value));
+    }
+
+    /// Record `value` into the histogram `name{labels}`.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut shard = inner.shards[self.shard(inner)]
+            .lock()
+            .expect("metrics shard lock");
+        let key = MetricKey::new(name, labels);
+        shard
+            .histograms
+            .entry(key)
+            .or_insert_with(Histogram::new)
+            .record(value);
+    }
+
+    /// Merge every shard into a consistent point-in-time view.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let mut counters: BTreeMap<MetricKey, f64> = BTreeMap::new();
+        let mut gauges: BTreeMap<MetricKey, (u64, f64)> = BTreeMap::new();
+        let mut histograms: BTreeMap<MetricKey, Histogram> = BTreeMap::new();
+        for shard in &inner.shards {
+            let shard = shard.lock().expect("metrics shard lock");
+            for (key, value) in &shard.counters {
+                *counters.entry(key.clone()).or_insert(0.0) += value;
+            }
+            for (key, (seq, value)) in &shard.gauges {
+                match gauges.get_mut(key) {
+                    Some(existing) if existing.0 >= *seq => {}
+                    Some(existing) => *existing = (*seq, *value),
+                    None => {
+                        gauges.insert(key.clone(), (*seq, *value));
+                    }
+                }
+            }
+            for (key, histogram) in &shard.histograms {
+                histograms
+                    .entry(key.clone())
+                    .or_insert_with(Histogram::new)
+                    .merge_from(histogram);
+            }
+        }
+        MetricsSnapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, h)| {
+                    let snap = HistogramSnapshot {
+                        count: h.count,
+                        sum: h.sum,
+                        min: if h.count > 0 { h.min } else { 0.0 },
+                        max: if h.count > 0 { h.max } else { 0.0 },
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| **c > 0)
+                            .map(|(i, c)| (bucket_upper(i), *c))
+                            .collect(),
+                    };
+                    (k, snap)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.is_enabled())
+            .field("shard", &self.shard)
+            .finish()
+    }
+}
+
+/// Point-in-time merged view of the registry. All series sorted by
+/// [`MetricKey`] for stable export ordering.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, shard-summed.
+    pub counters: Vec<(MetricKey, f64)>,
+    /// Gauges, most recent write wins.
+    pub gauges: Vec<(MetricKey, f64)>,
+    /// Histograms, bucket-merged.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    fn find<'a, T>(
+        series: &'a [(MetricKey, T)],
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&'a T> {
+        let key = MetricKey::new(name, labels);
+        series.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Value of a counter series, if present.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        Self::find(&self.counters, name, labels).copied()
+    }
+
+    /// Value of a gauge series, if present.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        Self::find(&self.gauges, name, labels).copied()
+    }
+
+    /// A histogram series, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        Self::find(&self.histograms, name, labels)
+    }
+
+    /// Sum every histogram series with this metric name into one
+    /// (e.g. all per-worker job-latency histograms).
+    pub fn histogram_summed(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for (key, h) in &self.histograms {
+            if key.name != name {
+                continue;
+            }
+            match &mut merged {
+                None => merged = Some(h.clone()),
+                Some(m) => m.merge_from(h),
+            }
+        }
+        merged
+    }
+}
+
+/// Immutable histogram view with quantile extraction.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Exact smallest observation (0 when empty).
+    pub min: f64,
+    /// Exact largest observation (0 when empty).
+    pub max: f64,
+    /// Non-empty buckets as `(upper_bound, count)`, ascending.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0..=1.0`). Returns the upper bound
+    /// of the bucket holding the rank-`⌈q·count⌉` observation, clamped
+    /// to the exact max — an over-estimate by at most a factor
+    /// [`HISTOGRAM_GAMMA`]. `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (upper, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return Some(upper.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    fn merge_from(&mut self, other: &HistogramSnapshot) {
+        let mut merged: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+        let mut insert = |upper: f64, count: u64| {
+            let bits = upper.to_bits();
+            merged
+                .entry(bits)
+                .and_modify(|(_, c)| *c += count)
+                .or_insert((upper, count));
+        };
+        for (u, c) in &self.buckets {
+            insert(*u, *c);
+        }
+        for (u, c) in &other.buckets {
+            insert(*u, *c);
+        }
+        self.buckets = merged.into_values().collect();
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = if self.count == 0 {
+                other.max
+            } else {
+                self.max.max(other.max)
+            };
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let metrics = Metrics::disabled();
+        metrics.counter("jobs", &[], 1.0);
+        metrics.gauge("depth", &[("worker", "0")], 4.0);
+        metrics.observe("latency", &[], 0.5);
+        assert!(!metrics.is_enabled());
+        let snap = metrics.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Metrics::default().is_enabled());
+    }
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let metrics = Metrics::enabled();
+        for w in 0..32 {
+            metrics.for_shard(w).counter("jobs", &[], 1.0);
+        }
+        assert_eq!(metrics.snapshot().counter_value("jobs", &[]), Some(32.0));
+    }
+
+    #[test]
+    fn counters_keep_labels_apart() {
+        let metrics = Metrics::enabled();
+        metrics.counter("cells", &[("worker", "0")], 10.0);
+        metrics.counter("cells", &[("worker", "1")], 20.0);
+        metrics.counter("cells", &[("worker", "0")], 5.0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter_value("cells", &[("worker", "0")]), Some(15.0));
+        assert_eq!(snap.counter_value("cells", &[("worker", "1")]), Some(20.0));
+    }
+
+    #[test]
+    fn gauge_latest_write_wins_across_shards() {
+        let metrics = Metrics::enabled();
+        metrics.for_shard(3).gauge("queue_depth", &[], 9.0);
+        metrics.for_shard(7).gauge("queue_depth", &[], 4.0);
+        metrics.for_shard(1).gauge("queue_depth", &[], 2.0);
+        assert_eq!(
+            metrics.snapshot().gauge_value("queue_depth", &[]),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_and_stats() {
+        let metrics = Metrics::enabled();
+        for i in 1..=100 {
+            metrics.observe("latency", &[], i as f64 * 1e-3);
+        }
+        let snap = metrics.snapshot();
+        let h = snap.histogram("latency", &[]).expect("series exists");
+        assert_eq!(h.count, 100);
+        assert!((h.min - 1e-3).abs() < 1e-12);
+        assert!((h.max - 0.1).abs() < 1e-12);
+        assert!((h.mean().unwrap() - 0.0505).abs() < 1e-9);
+        for (q, exact) in [(0.5, 0.05), (0.95, 0.095), (0.99, 0.099), (1.0, 0.1)] {
+            let est = h.quantile(q).expect("non-empty");
+            assert!(
+                est >= exact * (1.0 - 1e-9) && est <= exact * HISTOGRAM_GAMMA,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn histograms_merge_across_shards() {
+        let metrics = Metrics::enabled();
+        metrics.for_shard(0).observe("latency", &[], 0.010);
+        metrics.for_shard(5).observe("latency", &[], 0.020);
+        metrics.for_shard(9).observe("latency", &[], 0.040);
+        let snap = metrics.snapshot();
+        let h = snap.histogram("latency", &[]).expect("series exists");
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 0.07).abs() < 1e-12);
+        assert!((h.min - 0.010).abs() < 1e-12);
+        assert!((h.max - 0.040).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_summed_merges_labelled_series() {
+        let metrics = Metrics::enabled();
+        metrics.observe("job_seconds", &[("worker", "0")], 0.010);
+        metrics.observe("job_seconds", &[("worker", "1")], 0.030);
+        let snap = metrics.snapshot();
+        let all = snap.histogram_summed("job_seconds").expect("merged");
+        assert_eq!(all.count, 2);
+        assert!((all.sum - 0.04).abs() < 1e-12);
+        assert!((all.max - 0.030).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_index_respects_boundaries() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(HISTOGRAM_MIN), 0);
+        assert_eq!(bucket_index(f64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS {
+            let upper = bucket_upper(i);
+            assert_eq!(bucket_index(upper), i, "upper bound of bucket {i}");
+            // Just above a boundary lands in the next bucket.
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert_eq!(bucket_index(upper * 1.0001), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_is_within_one_bucket_of_exact() {
+        let values: Vec<f64> = (0..500).map(|i| 1e-6 * 1.03f64.powi(i % 37)).collect();
+        let metrics = Metrics::enabled();
+        for v in &values {
+            metrics.observe("x", &[], *v);
+        }
+        let snap = metrics.snapshot();
+        let h = snap.histogram("x", &[]).expect("series");
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q).expect("non-empty");
+            assert!(
+                est >= exact * (1.0 - 1e-9) && est <= exact * HISTOGRAM_GAMMA * (1.0 + 1e-9),
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_are_all_kept() {
+        let metrics = Metrics::enabled();
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let handle = metrics.for_shard(w);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        handle.counter("ops", &[], 1.0);
+                        handle.observe("lat", &[], 1e-3);
+                    }
+                });
+            }
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter_value("ops", &[]), Some(800.0));
+        assert_eq!(snap.histogram("lat", &[]).unwrap().count, 800);
+    }
+}

@@ -488,6 +488,18 @@ pub fn try_run_search(
                 obs.counter("workers_lost", 1.0);
             }
         }
+        // Journal who registered as what: the auditor uses these to
+        // attribute species (CPU/GPU) to worker tracks.
+        for r in &registrations {
+            obs.instant(
+                Track::Master,
+                "worker_registered",
+                &[
+                    ("worker", r.worker_id as f64),
+                    ("is_gpu", if r.is_gpu { 1.0 } else { 0.0 }),
+                ],
+            );
+        }
         obs.span(
             Track::Master,
             "register",
@@ -499,6 +511,10 @@ pub fn try_run_search(
                 ("registered", registrations.len() as f64),
             ],
         );
+        let metrics = obs.metrics();
+        metrics.gauge("workers_alive", &[], registrations.len() as f64);
+        metrics.gauge("tasks_total", &[], n_tasks as f64);
+        metrics.gauge("queue_depth", &[], n_tasks as f64);
         if registrations.is_empty() {
             error = Some(SearchError::NoWorkersRegistered);
         }
@@ -527,6 +543,22 @@ pub fn try_run_search(
                 .collect();
             let platform = PlatformSpec::new(live_cpu.len(), live_gpu.len());
             let tasks = build_tasks(&queries, db_residues, cpu_model, gpu_model);
+            // Journal the rate-model estimates per task: the auditor
+            // reconstructs acceleration ratios (p_cpu/p_gpu) from these
+            // to judge the knapsack's GPU-side ordering.
+            if obs.is_enabled() {
+                for t in tasks.iter() {
+                    obs.instant(
+                        Track::Master,
+                        "task_model",
+                        &[
+                            ("task", t.id as f64),
+                            ("p_cpu", t.p_cpu),
+                            ("p_gpu", t.p_gpu),
+                        ],
+                    );
+                }
+            }
             let planned: Option<Schedule> = match config.policy {
                 AllocationPolicy::DualApprox(method) => Some(
                     dual_approx_schedule_observed(
@@ -777,6 +809,8 @@ pub fn try_run_search(
                             done[r.task_id] = true;
                             completed += 1;
                             results.push(r);
+                            metrics.gauge("queue_depth", &[], (n_tasks - completed) as f64);
+                            metrics.gauge("tasks_completed", &[], completed as f64);
                         }
                         if alive[w] {
                             deadlines[w] = if pending[w].is_empty() {

@@ -125,6 +125,18 @@ fn record_job_span(
     );
     obs.counter("jobs_completed", 1.0);
     obs.counter("cells_computed", cells as f64);
+    // Live registry: job-latency histograms on both clocks plus a
+    // running MCUPS gauge, per worker, on the worker's own shard.
+    let metrics = obs.metrics().for_shard(worker_id);
+    let worker = worker_id.to_string();
+    let labels = [("worker", worker.as_str())];
+    metrics.observe("job_wall_seconds", &labels, wall_dur);
+    metrics.observe("job_modelled_seconds", &labels, modelled);
+    metrics.counter("worker_jobs", &labels, 1.0);
+    metrics.counter("worker_cells", &labels, cells as f64);
+    if wall_dur > 0.0 {
+        metrics.gauge("worker_mcups", &labels, cells as f64 / wall_dur / 1e6);
+    }
 }
 
 /// The crash/straggler knobs a worker consults per job, pre-split from

@@ -203,6 +203,10 @@ pub fn dual_approx_schedule_observed(
         }
     }
 
+    // `lambda` is the smallest feasible guess the search settled on;
+    // the dual step guarantees the returned schedule's makespan is at
+    // most `2·lambda`. Journaled so the post-run auditor can check the
+    // achieved makespan against the bound.
     obs.instant(
         Track::Scheduler,
         "binsearch_done",
@@ -211,6 +215,8 @@ pub fn dual_approx_schedule_observed(
             ("lower_bound", lo),
             ("upper_bound", hi),
             ("makespan", best.makespan()),
+            ("lambda", hi),
+            ("two_lambda_bound", 2.0 * hi),
         ],
     );
     obs.counter("sched_binsearch_iterations", iterations as f64);
