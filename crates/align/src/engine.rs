@@ -65,6 +65,27 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
+/// Wall-clock seconds a `score_many` call spent in each host phase.
+/// The profiler's phase taxonomy for CPU workers: query-profile setup,
+/// the DP inner loop, and traceback (zero in score-only searches, kept
+/// so the taxonomy stays stable once alignment reconstruction lands).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Seconds building the query profile (striped layout, etc.).
+    pub profile_build: f64,
+    /// Seconds in the DP recurrence itself.
+    pub dp_inner: f64,
+    /// Seconds reconstructing alignments.
+    pub traceback: f64,
+}
+
+impl PhaseTimings {
+    /// Total seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.profile_build + self.dp_inner + self.traceback
+    }
+}
+
 /// A local-alignment scoring engine. All engines are *exact*: they must
 /// return the same score as the scalar Gotoh reference.
 pub trait AlignEngine: Send + Sync {
@@ -81,6 +102,28 @@ pub trait AlignEngine: Send + Sync {
             .iter()
             .map(|s| self.score(query, s, scheme))
             .collect()
+    }
+
+    /// Like [`AlignEngine::score_many`] but also reports where the wall
+    /// time went. The default attributes everything to the DP inner
+    /// loop; engines with a separable setup stage (striped profile
+    /// construction) override this to split it out. Scores MUST equal
+    /// `score_many`'s — profiling never changes results.
+    fn score_many_phased(
+        &self,
+        query: &[u8],
+        subjects: &[&[u8]],
+        scheme: &ScoringScheme,
+    ) -> (Vec<i32>, PhaseTimings) {
+        let start = std::time::Instant::now();
+        let scores = self.score_many(query, subjects, scheme);
+        (
+            scores,
+            PhaseTimings {
+                dp_inner: start.elapsed().as_secs_f64(),
+                ..PhaseTimings::default()
+            },
+        )
     }
 }
 
@@ -117,6 +160,34 @@ impl AlignEngine for StripedEngine {
                     .unwrap_or_else(|| gotoh_score(query, s, scheme))
             })
             .collect()
+    }
+    fn score_many_phased(
+        &self,
+        query: &[u8],
+        subjects: &[&[u8]],
+        scheme: &ScoringScheme,
+    ) -> (Vec<i32>, PhaseTimings) {
+        // Same computation as `score_many`, with the profile-build
+        // stage timed separately from the per-subject DP loop.
+        let start = std::time::Instant::now();
+        let profile = StripedProfile::build(query, &scheme.matrix);
+        let profile_build = start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        let scores = subjects
+            .iter()
+            .map(|s| {
+                striped::striped_score_profile(&profile, s, scheme)
+                    .unwrap_or_else(|| gotoh_score(query, s, scheme))
+            })
+            .collect();
+        (
+            scores,
+            PhaseTimings {
+                profile_build,
+                dp_inner: start.elapsed().as_secs_f64(),
+                traceback: 0.0,
+            },
+        )
     }
 }
 
@@ -196,6 +267,28 @@ mod tests {
         assert_eq!(EngineKind::Striped.to_string(), "striped");
         assert_eq!(EngineKind::InterSeq.name(), "interseq");
         assert_eq!(EngineKind::Wavefront.name(), "wavefront");
+    }
+
+    #[test]
+    fn phased_scoring_matches_unphased_for_all_engines() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKWVTFISLLFLFSSAYSRGVFRR");
+        let subs = subjects();
+        let refs: Vec<&[u8]> = subs.iter().map(|s| s.as_slice()).collect();
+        for kind in EngineKind::ALL {
+            let engine = kind.build();
+            let plain = engine.score_many(&q, &refs, &scheme);
+            let (phased, timings) = engine.score_many_phased(&q, &refs, &scheme);
+            assert_eq!(phased, plain, "engine {kind}: profiling changed scores");
+            assert!(timings.profile_build >= 0.0);
+            assert!(timings.dp_inner >= 0.0);
+            assert_eq!(timings.traceback, 0.0, "score-only search");
+            assert!(timings.total() >= timings.dp_inner);
+        }
+        // The striped engine is the one that actually splits out a
+        // profile-build phase; the default lumps everything in dp_inner.
+        let (_, scalar) = ScalarEngine.score_many_phased(&q, &refs, &scheme);
+        assert_eq!(scalar.profile_build, 0.0);
     }
 
     #[test]

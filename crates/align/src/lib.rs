@@ -45,5 +45,5 @@ pub mod traceback;
 pub mod wavefront;
 
 pub use alignment::{AlignOp, Alignment};
-pub use engine::{AlignEngine, EngineKind};
+pub use engine::{AlignEngine, EngineKind, PhaseTimings};
 pub use scalar::{gotoh_score, sw_linear_score};

@@ -7,8 +7,16 @@
 //! report, a full run (`cargo bench -p swdual-bench --bench obs`)
 //! records the medians to `BENCH_obs.json` at the workspace root so
 //! later PRs can diff the overhead.
+//!
+//! A second section times a *realistic CPU job* (striped score_many
+//! over a small database chunk) with the profiler off and on, and
+//! records the wall-time overhead ratio to `BENCH_profile.json` — the
+//! `--profile` acceptance budget is ≤ 2% over an unprofiled job.
 
 use std::time::Instant;
+use swdual_align::engine::{AlignEngine, PhaseTimings, StripedEngine};
+use swdual_bio::ScoringScheme;
+use swdual_datagen::{synthetic_database, LengthModel};
 use swdual_obs::metrics::Metrics;
 use swdual_obs::{Obs, Track};
 
@@ -33,6 +41,64 @@ fn per_job(obs: &Obs, metrics: &Metrics, worker_id: usize, task_id: usize) {
     metrics.observe("job_wall_seconds", &labels, wall_end - wall_start);
     metrics.counter("worker_jobs", &labels, 1.0);
     metrics.gauge("worker_mcups", &labels, 1.0);
+}
+
+/// Mirror of the CPU worker's per-job path with profiling hooks (see
+/// `swdual_runtime::worker`): phased scoring when the profiler is on,
+/// the task span, then the phase spans that subdivide it.
+fn profiled_job(
+    obs: &Obs,
+    engine: &StripedEngine,
+    query: &[u8],
+    subjects: &[&[u8]],
+    scheme: &ScoringScheme,
+    task_id: usize,
+) -> i32 {
+    let wall_start = obs.now();
+    let (scores, timings) = if obs.is_profiling() {
+        let (scores, timings) = engine.score_many_phased(query, subjects, scheme);
+        (scores, Some(timings))
+    } else {
+        (engine.score_many(query, subjects, scheme), None)
+    };
+    let wall_end = obs.now();
+    if obs.is_enabled() {
+        obs.span(
+            Track::Worker(0),
+            &format!("task-{task_id}"),
+            wall_start,
+            wall_end - wall_start,
+            Some((0.0, 1.0)),
+            &[("task", task_id as f64)],
+        );
+    }
+    if let Some(PhaseTimings {
+        profile_build,
+        dp_inner,
+        traceback,
+    }) = timings
+    {
+        let mut at = wall_start;
+        for (name, dur) in [
+            ("phase_profile_build", profile_build),
+            ("phase_dp_inner", dp_inner),
+            ("phase_traceback", traceback),
+        ] {
+            if dur <= 0.0 {
+                continue;
+            }
+            obs.span(
+                Track::Worker(0),
+                name,
+                at,
+                dur,
+                Some((at, dur)),
+                &[("task", task_id as f64)],
+            );
+            at += dur;
+        }
+    }
+    scores.into_iter().max().unwrap_or(0)
 }
 
 /// Median ns/op over `samples` timed batches of `iters` calls each.
@@ -120,8 +186,76 @@ fn main() {
         }),
     );
 
+    // ---- profiler overhead on a realistic job ----
+    //
+    // A striped score_many over a 32-sequence chunk, the shape of one
+    // CPU worker job. Three configurations: no observability at all,
+    // tracing without the profiler, and tracing with the profiler.
+    // The acceptance budget is profiling ≤ 2% over the unprofiled job.
+    let (job_samples, job_iters) = if test_mode { (1, 2) } else { (15, 200) };
+    let db = synthetic_database("bench", 32, LengthModel::Fixed(80), 1);
+    let chunk: Vec<&[u8]> = db.iter().map(|s| s.residues.as_slice()).collect();
+    let query = db.get(0).expect("non-empty db").residues.clone();
+    let scheme = ScoringScheme::protein_default();
+    let engine = StripedEngine;
+
+    let mut profile_results: Vec<(&str, f64)> = Vec::new();
+    let mut job_bench = |name: &'static str, obs: Obs, profiling: bool| {
+        obs.set_profiling(profiling);
+        let mut task = 0usize;
+        let ns = measure(job_samples, job_iters, || {
+            task = task.wrapping_add(1);
+            std::hint::black_box(profiled_job(&obs, &engine, &query, &chunk, &scheme, task));
+        });
+        println!("profile_overhead/{name}  median {ns:.1} ns/op");
+        profile_results.push((name, ns));
+    };
+    job_bench("job_baseline", Obs::disabled(), false);
+    job_bench("job_profiling_disabled", Obs::enabled(), false);
+    job_bench("job_profiling_enabled", Obs::enabled(), true);
+
     if test_mode {
         return;
+    }
+
+    // Record the profiler overhead for the acceptance check and later
+    // PRs to diff against.
+    let median_of = |name: &str| -> f64 {
+        profile_results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ns)| *ns)
+            .unwrap_or(0.0)
+    };
+    let baseline = median_of("job_baseline");
+    let traced = median_of("job_profiling_disabled");
+    let profiled = median_of("job_profiling_enabled");
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let mut json =
+        String::from("{\n  \"bench\": \"profile_overhead\",\n  \"unit\": \"ns_per_op\",\n");
+    json.push_str("  \"medians\": {\n");
+    for (i, (name, ns)) in profile_results.iter().enumerate() {
+        let comma = if i + 1 < profile_results.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"profiling_over_traced\": {:.4},\n",
+        ratio(profiled, traced)
+    ));
+    json.push_str(&format!(
+        "  \"profiling_over_baseline\": {:.4},\n",
+        ratio(profiled, baseline)
+    ));
+    json.push_str("  \"budget_profiling_over_traced\": 1.02\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_profile.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 
     // Record medians for later PRs to diff against.

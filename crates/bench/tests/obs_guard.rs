@@ -38,6 +38,9 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 /// disabled recorder this entire sequence must not allocate.
 fn per_job_hot_path(obs: &Obs, worker_id: usize, task_id: usize) {
     let wall_start = obs.now();
+    // The profiler gate the worker consults before choosing the phased
+    // scoring path; a disabled recorder must answer without allocating.
+    let phased = obs.is_profiling();
     let wall_end = obs.now();
     if obs.is_enabled() {
         obs.span(
@@ -48,6 +51,21 @@ fn per_job_hot_path(obs: &Obs, worker_id: usize, task_id: usize) {
             Some((0.0, 1.0)),
             &[("task", task_id as f64)],
         );
+    }
+    if phased {
+        // Phase spans mirroring `record_phase_spans`; never reached on
+        // the disabled path, but kept so the guard measures the same
+        // instruction sequence the worker runs.
+        for name in ["phase_profile_build", "phase_dp_inner", "phase_traceback"] {
+            obs.span(
+                Track::Worker(worker_id),
+                name,
+                wall_start,
+                wall_end - wall_start,
+                Some((0.0, 0.5)),
+                &[("task", task_id as f64)],
+            );
+        }
     }
     obs.counter("jobs_completed", 1.0);
     obs.counter("cells_computed", 1000.0);
@@ -77,6 +95,20 @@ fn disabled_obs_hot_path_allocates_nothing() {
         "disabled tracing must be allocation-free in the per-job path"
     );
 
+    // A disabled recorder also refuses to turn profiling on — the
+    // whole profiled branch stays unreachable and allocation-free.
+    disabled.set_profiling(true);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for task in 0..1_000usize {
+        per_job_hot_path(&disabled, task % 4, task);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "set_profiling on a disabled recorder must stay allocation-free"
+    );
+
     // Sanity: the same path with an enabled recorder does record (and
     // therefore allocates), so the guard above is measuring the right
     // thing.
@@ -86,4 +118,14 @@ fn disabled_obs_hot_path_allocates_nothing() {
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert!(after > before, "enabled recorder must actually record");
     assert_eq!(enabled.event_count(), 1);
+
+    // And with the profiler on, the phase spans land too.
+    let profiled = Obs::enabled();
+    profiled.set_profiling(true);
+    per_job_hot_path(&profiled, 0, 7);
+    assert_eq!(
+        profiled.event_count(),
+        4,
+        "task span + three phase spans when profiling"
+    );
 }

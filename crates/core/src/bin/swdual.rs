@@ -7,10 +7,12 @@
 //!                 [--cpus N] [--gpus N] [--policy dual|dual-dp|self]
 //!                 [--top K] [--gap-open N] [--gap-extend N] [--evalues]
 //!                 [--trace-out TRACE.json] [--metrics-out METRICS.prom]
-//!                 [--journal-out EVENTS.jsonl] [--progress]
+//!                 [--journal-out EVENTS.jsonl] [--progress] [--profile]
 //!                 [--fault-plan SPEC | --fault-seed N]
 //!                 [--job-timeout-slack F] [--min-job-timeout-ms MS]
 //! swdual analyze  EVENTS.jsonl [--json|--text]
+//! swdual profile  EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json]
+//!                 [--roofline] [--json]
 //! swdual convert  --input DB.fasta --output DB.sqb
 //! swdual generate --sequences N --mean-len L --output DB.fasta [--seed S]
 //! swdual info     --db DB.(fasta|sqb)
@@ -46,10 +48,12 @@ USAGE:
                   [--policy dual|dual-dp|self] [--top K]
                   [--gap-open N] [--gap-extend N] [--evalues]
                   [--trace-out TRACE.json] [--metrics-out METRICS.prom]
-                  [--journal-out EVENTS.jsonl] [--progress]
+                  [--journal-out EVENTS.jsonl] [--progress] [--profile]
                   [--fault-plan SPEC | --fault-seed N]
                   [--job-timeout-slack F] [--min-job-timeout-ms MS]
   swdual analyze  EVENTS.jsonl [--json|--text]
+  swdual profile  EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json]
+                  [--roofline] [--json]
   swdual convert  --input FILE.fasta --output FILE.sqb
   swdual generate --sequences N --mean-len L --output FILE [--seed S]
   swdual info     --db FILE
@@ -59,6 +63,14 @@ Database/query files may be FASTA (.fasta/.fa) or SQB (.sqb).
 `swdual analyze` audits a `--journal-out` journal: achieved makespan
 vs the dual-approximation λ and its 2λ guarantee, per-worker
 utilization, load imbalance, latency quantiles and plan skew.
+
+`swdual profile` folds a journal (ideally recorded with `search
+--profile` for phase-level detail) into a profile: `--flame` writes
+collapsed stacks for flamegraph.pl / inferno, `--speedscope` writes a
+speedscope.app document with one profile per clock, and `--roofline`
+(the default) prints the per-device roofline report — achieved vs
+attainable GCUPS and a transfer- vs compute-bound verdict per
+query-length bucket.
 
 Fault injection (deterministic; hits are identical to a fault-free run
 as long as one worker survives):
@@ -77,7 +89,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
         // Boolean flags.
-        if matches!(key, "evalues" | "progress" | "json" | "text") {
+        if matches!(key, "evalues" | "progress" | "json" | "text" | "profile") {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -152,12 +164,20 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     let metrics_out = flags.get("metrics-out");
     let journal_out = flags.get("journal-out");
     let progress = flags.contains_key("progress");
-    let observe = trace_out.is_some() || metrics_out.is_some() || journal_out.is_some() || progress;
+    let profile = flags.contains_key("profile");
+    let observe = trace_out.is_some()
+        || metrics_out.is_some()
+        || journal_out.is_some()
+        || progress
+        || profile;
     let obs = if observe {
         swdual_obs::Obs::enabled()
     } else {
         swdual_obs::Obs::disabled()
     };
+    // Phase/kernel-level detail spans; the journal then feeds
+    // `swdual profile`.
+    obs.set_profiling(profile);
     let mut builder = SearchBuilder::new()
         .database(database)
         .queries(queries)
@@ -291,6 +311,81 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `swdual profile EVENTS.jsonl [--flame OUT] [--speedscope OUT]
+/// [--roofline] [--json]` — fold a journal into flamegraph /
+/// speedscope / roofline views. Takes one positional path, so it
+/// parses its own arguments (like `analyze`).
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut flame: Option<&str> = None;
+    let mut speedscope: Option<&str> = None;
+    let mut roofline = false;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--roofline" => roofline = true,
+            "--json" => json = true,
+            "--flame" | "--speedscope" => {
+                let key = args[i].clone();
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag {key} needs a value"))?;
+                if key == "--flame" {
+                    flame = Some(value);
+                } else {
+                    speedscope = Some(value);
+                }
+                i += 1;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown profile flag {other:?} (--flame|--speedscope|--roofline|--json)"
+                ))
+            }
+            other => {
+                if path.is_some() {
+                    return Err("profile takes exactly one journal path".into());
+                }
+                path = Some(other);
+            }
+        }
+        i += 1;
+    }
+    let path = path.ok_or(
+        "usage: swdual profile EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json] \
+         [--roofline] [--json]",
+    )?;
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events =
+        swdual_obs::analysis::parse_journal(&contents).map_err(|e| format!("{path}: {e}"))?;
+    let profile = swdual_obs::profile::Profile::from_events(&events);
+    if let Some(out) = flame {
+        let folded = swdual_obs::export::flamegraph_folded(
+            &profile,
+            swdual_obs::profile::ProfileClock::Modelled,
+        );
+        std::fs::write(out, folded).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("flame: wrote collapsed stacks (modelled clock) to {out}");
+    }
+    if let Some(out) = speedscope {
+        let doc = swdual_obs::export::speedscope_json(&profile);
+        std::fs::write(out, doc).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("speedscope: wrote profile document to {out}");
+    }
+    // The roofline report is the default view when no export was
+    // requested, and can always be asked for explicitly.
+    if roofline || json || (flame.is_none() && speedscope.is_none()) {
+        let report = profile.roofline();
+        if json {
+            outln!("{}", report.to_json());
+        } else {
+            outln!("{}", report.to_text());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_convert(flags: HashMap<String, String>) -> Result<(), String> {
     let input = flags.get("input").ok_or("--input is required")?;
     let output = flags.get("output").ok_or("--output is required")?;
@@ -363,10 +458,15 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    // `analyze` takes a positional journal path and parses its own
-    // arguments; every other command uses `--key value` flags.
-    if cmd == "analyze" {
-        return match cmd_analyze(&args[1..]) {
+    // `analyze` and `profile` take a positional journal path and parse
+    // their own arguments; every other command uses `--key value` flags.
+    if cmd == "analyze" || cmd == "profile" {
+        let result = if cmd == "analyze" {
+            cmd_analyze(&args[1..])
+        } else {
+            cmd_profile(&args[1..])
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -156,6 +156,21 @@ impl SearchBuilder {
         self
     }
 
+    /// Switch CUPTI-style phase profiling on or off. Profiling implies
+    /// tracing (phase spans ride the same event buffer), so enabling it
+    /// on a builder without a recorder turns one on; disabling it keeps
+    /// tracing as configured. When off (the default) the per-job hot
+    /// path stays allocation-free — phase hooks cost one relaxed atomic
+    /// load. The collected profile is read back through
+    /// [`SearchReport::profile`].
+    pub fn profile(mut self, on: bool) -> Self {
+        if on && !self.obs.is_enabled() {
+            self.obs = Obs::enabled();
+        }
+        self.obs.set_profiling(on);
+        self
+    }
+
     /// Inject an explicit fault plan (worker crashes, device failures,
     /// stragglers). Faults change who computes what and when — never
     /// the hits, as long as one worker survives.

@@ -25,7 +25,9 @@ pub struct ProgressReporter {
 impl ProgressReporter {
     /// Start reporting from `obs`'s registry every `interval`. The
     /// thread is a no-op when observability is disabled — the registry
-    /// snapshot is empty and no lines are printed.
+    /// snapshot is empty and no lines are printed. Progress is an
+    /// amenity: if the thread cannot be spawned (resource exhaustion),
+    /// the search proceeds without it instead of aborting.
     pub fn start(obs: &Obs, interval: Duration) -> ProgressReporter {
         let metrics = obs.metrics();
         let stop = Arc::new(AtomicBool::new(false));
@@ -33,11 +35,9 @@ impl ProgressReporter {
         let handle = std::thread::Builder::new()
             .name("swdual-progress".into())
             .spawn(move || run(metrics, interval, stop_flag))
-            .expect("spawn progress thread");
-        ProgressReporter {
-            stop,
-            handle: Some(handle),
-        }
+            .map_err(|e| eprintln!("progress: disabled ({e})"))
+            .ok();
+        ProgressReporter { stop, handle }
     }
 
     /// Stop the reporter and wait for its thread to exit. Prints one
@@ -75,15 +75,27 @@ fn run(metrics: Metrics, interval: Duration, stop: Arc<AtomicBool>) {
         elapsed += slice;
         if elapsed >= interval {
             elapsed = Duration::ZERO;
-            if let Some(line) = render_line(&metrics.snapshot()) {
+            if let Some(line) = render_tick(&metrics) {
                 eprintln!("{line}");
             }
         }
     }
     // Final line: the run just ended, show where it landed.
-    if let Some(line) = render_line(&metrics.snapshot()) {
+    if let Some(line) = render_tick(&metrics) {
         eprintln!("{line}");
     }
+}
+
+/// Snapshot and render one tick. A panic while rendering (a torn
+/// gauge, quantile math on a snapshot mid-update) must not kill the
+/// reporter thread — the tick is skipped and the next one retries.
+fn render_tick(metrics: &Metrics) -> Option<String> {
+    catch_tick(|| render_line(&metrics.snapshot()))
+}
+
+/// Run one tick's renderer, turning a panic into a skipped tick.
+fn catch_tick(render: impl FnOnce() -> Option<String>) -> Option<String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(render)).unwrap_or(None)
 }
 
 /// Format one progress line from a registry snapshot, or `None` when
@@ -147,5 +159,20 @@ mod tests {
     fn disabled_obs_reporter_is_a_no_op() {
         let reporter = ProgressReporter::start(&Obs::disabled(), Duration::from_millis(1));
         reporter.finish();
+    }
+
+    #[test]
+    fn panicking_tick_is_skipped_not_fatal() {
+        // A renderer that panics must degrade to "no line this tick";
+        // the reporter thread then simply retries on the next tick.
+        let silenced = std::panic::catch_unwind(|| {
+            assert_eq!(catch_tick(|| panic!("torn snapshot")), None);
+        });
+        assert!(silenced.is_ok(), "catch_tick leaked the panic");
+        // And a healthy renderer still gets through unchanged.
+        assert_eq!(
+            catch_tick(|| Some("progress: ok".into())),
+            Some("progress: ok".to_string())
+        );
     }
 }

@@ -144,6 +144,19 @@ impl SearchReport {
         swdual_obs::analysis::analyze_obs(&self.obs)
     }
 
+    /// Fold the recorded events into the unified [`Profile`]: collapsed
+    /// stacks (worker task/phase frames, device kernel/transfer frames)
+    /// with dual wall/modelled weights, plus the per-device roofline
+    /// accumulators. Task-level stacks are available from any traced
+    /// run; phase-level frames appear when the search was built with
+    /// [`SearchBuilder::profile`](crate::SearchBuilder::profile)`(true)`.
+    /// Empty when tracing was off.
+    ///
+    /// [`Profile`]: swdual_obs::profile::Profile
+    pub fn profile(&self) -> swdual_obs::profile::Profile {
+        swdual_obs::profile::Profile::from_obs(&self.obs)
+    }
+
     /// Render the hit lists like a classic search tool report.
     pub fn render_hits(&self, per_query: usize) -> String {
         let mut out = String::new();
@@ -280,6 +293,77 @@ mod tests {
             .iter()
             .all(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")));
         assert!(r.journal().is_empty());
+    }
+
+    #[test]
+    fn profiled_report_reconciles_with_analysis() {
+        use swdual_obs::profile::ProfileClock;
+        let db = synthetic_database("db", 12, LengthModel::Fixed(60), 5);
+        let q = queries_from_database(&db, 2, 1, usize::MAX, &MutationProfile::homolog(), 6);
+        let r = SearchBuilder::new()
+            .database(db)
+            .queries(q)
+            .profile(true)
+            .run();
+        assert!(r.obs().is_profiling());
+        let profile = r.profile();
+        assert!(!profile.stacks.is_empty());
+        // Phase frames present: at least the DP inner loop on a CPU
+        // worker or kernel phases on the device.
+        assert!(profile
+            .stacks
+            .iter()
+            .any(|s| s.frames.iter().any(|f| f == "dp_inner" || f == "compute")));
+        // Per-worker root totals equal the auditor's busy times — the
+        // reconciliation the CI smoke test asserts end to end.
+        let audit = r.analysis();
+        for w in &audit.workers {
+            let root = format!("worker:{}", w.worker);
+            let wall = profile.root_total(&root, ProfileClock::Wall);
+            let modelled = profile.root_total(&root, ProfileClock::Modelled);
+            assert!(
+                (wall - w.busy_wall).abs() <= 1e-9 + 0.01 * w.busy_wall.abs(),
+                "worker {} wall {} vs audit {}",
+                w.worker,
+                wall,
+                w.busy_wall
+            );
+            assert!(
+                (modelled - w.busy_modelled).abs() <= 1e-9 + 0.01 * w.busy_modelled.abs(),
+                "worker {} modelled {} vs audit {}",
+                w.worker,
+                modelled,
+                w.busy_modelled
+            );
+        }
+        assert!((profile.modelled_makespan - audit.modelled_makespan).abs() < 1e-9);
+        // Exporters produce valid output over the same profile.
+        let folded = swdual_obs::export::flamegraph_folded(&profile, ProfileClock::Modelled);
+        assert!(folded.lines().count() > 0);
+        let speedscope = swdual_obs::export::speedscope_json(&profile);
+        serde_json::from_str::<serde_json::Value>(&speedscope).expect("speedscope parses");
+        // The roofline sees the GPU device and never prints NaN.
+        let roofline = profile.roofline();
+        assert!(!roofline.devices.is_empty());
+        let text = roofline.to_text();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn unprofiled_run_has_task_level_profile_only() {
+        let db = synthetic_database("db", 12, LengthModel::Fixed(60), 5);
+        let q = queries_from_database(&db, 2, 1, usize::MAX, &MutationProfile::homolog(), 6);
+        let r = SearchBuilder::new().database(db).queries(q).observe().run();
+        assert!(!r.obs().is_profiling());
+        let profile = r.profile();
+        assert!(!profile.stacks.is_empty(), "task stacks from tracing alone");
+        assert!(
+            profile
+                .stacks
+                .iter()
+                .all(|s| s.frames.iter().all(|f| f != "dp_inner")),
+            "no phase frames without profile(true)"
+        );
     }
 
     #[test]

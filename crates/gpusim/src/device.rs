@@ -273,9 +273,22 @@ impl GpuDevice {
 
     /// Route this device's kernel/transfer events to `obs` as spans on
     /// [`Track::Device`]`(device_id)`, in addition to the internal log.
+    /// Announces the spec (peak rate, PCIe bandwidth, launch latency)
+    /// as a `device_spec` instant so post-hoc profilers can draw the
+    /// roofline for this device from the journal alone.
     pub fn attach_obs(&mut self, obs: Obs, device_id: usize) {
         self.obs = obs;
         self.obs_device_id = device_id;
+        self.obs.instant(
+            Track::Device(device_id),
+            "device_spec",
+            &[
+                ("peak_gcups", self.spec.peak_gcups),
+                ("pcie_bytes_per_sec", self.spec.pcie_bytes_per_sec),
+                ("kernel_launch_latency", self.spec.kernel_launch_latency),
+                ("warp_size", self.spec.warp_size as f64),
+            ],
+        );
     }
 
     /// The device specification.
@@ -485,17 +498,67 @@ impl GpuDevice {
             start,
             seconds: kernel_seconds,
         });
+        let wall_dur = self.obs.now() - wall_start;
         self.obs.span(
             Track::Device(self.obs_device_id),
             "kernel",
             wall_start,
-            self.obs.now() - wall_start,
+            wall_dur,
             Some((start, kernel_seconds)),
             &[
                 ("useful_cells", useful as f64),
                 ("padded_cells", padded as f64),
+                ("query_len", query.len() as f64),
             ],
         );
+        if self.obs.is_profiling() {
+            // CUPTI-style phase attribution: the modelled kernel time
+            // splits into the fixed dispatch latency and the warp-padded
+            // compute that follows it; the measured wall time is carved
+            // up in the same proportions. These spans subdivide the
+            // `kernel` span above — they never advance the clock.
+            let launch = self.spec.kernel_launch_latency.min(kernel_seconds);
+            let compute = kernel_seconds - launch;
+            let launch_frac = if kernel_seconds > 0.0 {
+                launch / kernel_seconds
+            } else {
+                0.0
+            };
+            let track = Track::Device(self.obs_device_id);
+            self.obs.span(
+                track,
+                "kernel_launch",
+                wall_start,
+                wall_dur * launch_frac,
+                Some((start, launch)),
+                &[],
+            );
+            self.obs.span(
+                track,
+                "kernel_compute",
+                wall_start + wall_dur * launch_frac,
+                wall_dur * (1.0 - launch_frac),
+                Some((start + launch, compute)),
+                &[],
+            );
+            // Score readback. The simulator models it as overlapped
+            // async readback from pinned memory, so it is recorded for
+            // the roofline's byte accounting but does NOT advance the
+            // device clock — profiling must never perturb the modelled
+            // timing the scheduler's bounds are checked against.
+            let d2h_bytes = 4.0 * scores.len() as f64;
+            self.obs.span(
+                track,
+                "d2h_transfer",
+                wall_start + wall_dur,
+                0.0,
+                Some((
+                    start + kernel_seconds,
+                    self.spec.transfer_time(d2h_bytes as u64),
+                )),
+                &[("bytes", d2h_bytes)],
+            );
+        }
         self.obs.counter("gpu_kernels", 1.0);
         self.obs.counter("gpu_useful_cells", useful as f64);
         self.busy_kernel += kernel_seconds;
@@ -674,6 +737,58 @@ mod tests {
         let result = dev.search(&[], &resident, &scheme());
         assert_eq!(result.scores, vec![0]);
         assert!((result.kernel_seconds - dev.spec().kernel_launch_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiling_emits_phase_spans_without_perturbing_the_clock() {
+        let database = db(&["MKVLATGGAR", "MKVL", "GGARMKVLATAAAA"]);
+        let query = Alphabet::Protein.encode(b"MKVLAT").unwrap();
+
+        let run = |profiling: bool| {
+            let obs = Obs::enabled();
+            obs.set_profiling(profiling);
+            let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+            dev.attach_obs(obs.clone(), 0);
+            let resident = dev.upload(&database, true).unwrap();
+            dev.search(&query, &resident, &ScoringScheme::protein_default());
+            (dev.clock(), obs.events())
+        };
+        let (clock_off, events_off) = run(false);
+        let (clock_on, events_on) = run(true);
+
+        // Profiling must not change the modelled timeline.
+        assert_eq!(clock_off, clock_on);
+
+        // Unprofiled runs carry no phase detail.
+        assert!(events_off.iter().all(|e| !e.is_profile_detail()));
+        // Profiled runs carry launch, compute and the overlapped D2H.
+        for name in ["kernel_launch", "kernel_compute", "d2h_transfer"] {
+            assert!(
+                events_on.iter().any(|e| e.name == name),
+                "missing {name} span"
+            );
+        }
+        // Launch + compute tile the kernel span exactly.
+        let virt = |name: &str| {
+            events_on
+                .iter()
+                .find(|e| e.name == name)
+                .and_then(|e| e.virt_dur)
+                .unwrap()
+        };
+        assert!((virt("kernel_launch") + virt("kernel_compute") - virt("kernel")).abs() < 1e-15);
+        // The spec instant announces the roofline parameters, and the
+        // kernel span names its query length.
+        let spec = events_on
+            .iter()
+            .find(|e| e.name == "device_spec")
+            .expect("device_spec instant");
+        assert!(spec.args.iter().any(|(k, _)| k == "peak_gcups"));
+        let kernel = events_on.iter().find(|e| e.name == "kernel").unwrap();
+        assert!(kernel
+            .args
+            .iter()
+            .any(|(k, v)| k == "query_len" && *v == query.len() as f64));
     }
 
     #[test]

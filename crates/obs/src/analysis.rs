@@ -267,11 +267,19 @@ pub fn parse_journal(journal: &str) -> Result<Vec<Event>, AnalysisError> {
             Some("instant") => EventKind::Instant,
             _ => return Err(malformed("missing or unknown \"kind\"")),
         };
-        let num = |key: &str| value.get(key).and_then(Value::as_f64);
+        // Non-finite numbers (hand-edited or truncated journals) are
+        // dropped rather than propagated, so downstream utilization /
+        // imbalance / quantile math never renders NaN or inf.
+        let num = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_f64)
+                .filter(|v| v.is_finite())
+        };
         let args = match value.get("args").and_then(Value::as_object) {
             Some(fields) => fields
                 .iter()
-                .filter_map(|(k, v)| v.as_f64().map(|v| (k.clone(), v)))
+                .filter_map(|(k, v)| v.as_f64().filter(|v| v.is_finite()).map(|v| (k.clone(), v)))
                 .collect(),
             None => Vec::new(),
         };
@@ -347,6 +355,12 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
     for event in events {
         match event.track {
             Track::Worker(w) if event.kind == EventKind::Span => {
+                // Profiling phase spans subdivide a task span that is
+                // itself in the journal; counting them again would
+                // inflate busy time and the latency quantiles.
+                if event.is_profile_detail() {
+                    continue;
+                }
                 let a = acc(&mut workers, w);
                 a.tasks += 1;
                 a.busy_wall += event.wall_dur;
@@ -881,6 +895,89 @@ mod tests {
         // Both renderings still work.
         assert!(r.to_json().contains("\"tasks\""));
         assert!(r.to_text().contains("run report"));
+    }
+
+    #[test]
+    fn header_only_journal_renders_without_nan_or_inf() {
+        // A run that recorded nothing but the schema header (e.g. obs
+        // enabled, zero tasks completed before a crash) must analyze
+        // to a quiet report, not NaN-ridden text.
+        let journal = format!("{{\"schema\":\"{JOURNAL_SCHEMA}\",\"events\":0}}\n");
+        let r = analyze_journal(&journal).expect("header-only journal analyzes");
+        assert_eq!(r.tasks, 0);
+        assert_eq!(r.workers.len(), 0);
+        assert_eq!(r.load_imbalance, 1.0);
+        let text = r.to_text();
+        assert!(
+            !text.contains("NaN") && !text.contains("inf"),
+            "text rendering leaked a non-finite number:\n{text}"
+        );
+        let json = r.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn zero_completed_tasks_with_registered_workers_stays_finite() {
+        // Workers registered but died before completing anything:
+        // utilization and MCUPS divide by zero-ish quantities.
+        let obs = Obs::enabled();
+        for w in 0..2 {
+            obs.instant(
+                Track::Master,
+                "worker_registered",
+                &[("worker", w as f64), ("is_gpu", 0.0)],
+            );
+        }
+        let r = analyze_obs(&obs);
+        assert_eq!(r.workers.len(), 2);
+        for w in &r.workers {
+            assert!(w.utilization_wall.is_finite());
+            assert!(w.utilization_modelled.is_finite());
+            assert!(w.mcups.is_finite());
+        }
+        let text = r.to_text();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn profiling_detail_spans_do_not_double_count_busy_time() {
+        let obs = Obs::enabled();
+        obs.span(
+            Track::Worker(0),
+            "task-0",
+            0.0,
+            1.0,
+            Some((0.0, 2.0)),
+            &[("task", 0.0)],
+        );
+        obs.span(
+            Track::Worker(0),
+            "phase_dp_inner",
+            0.0,
+            0.9,
+            Some((0.0, 1.8)),
+            &[("task", 0.0)],
+        );
+        let r = analyze_obs(&obs);
+        let w = &r.workers[0];
+        assert_eq!(w.tasks, 1, "phase span must not count as a job");
+        assert!((w.busy_wall - 1.0).abs() < 1e-12);
+        assert!((w.busy_modelled - 2.0).abs() < 1e-12);
+        assert_eq!(r.wall_latency.count, 1);
+    }
+
+    #[test]
+    fn non_finite_journal_numbers_are_dropped() {
+        let journal = format!(
+            "{{\"schema\":\"{JOURNAL_SCHEMA}\",\"events\":1}}\n\
+             {{\"track\":\"worker:0\",\"name\":\"task-0\",\"kind\":\"span\",\
+             \"wall_start\":0.0,\"wall_dur\":1e999,\"virt_start\":0.0,\"virt_dur\":2.0}}\n"
+        );
+        if let Ok(r) = analyze_journal(&journal) {
+            // 1e999 overflows to inf in the parser; it must not leak.
+            let text = r.to_text();
+            assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        }
     }
 
     #[test]

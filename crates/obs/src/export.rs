@@ -11,7 +11,14 @@
 //!   wall-clock spans, pid 2 holds modelled-clock *actual* execution,
 //!   pid 3 holds the *planned* schedule — so loading the file shows
 //!   plan vs reality side by side on the same modelled time axis.
+//! * [`flamegraph_folded`] — collapsed-stack text over a folded
+//!   [`Profile`], one `frame;frame;frame weight` line per stack, the
+//!   format `inferno-flamegraph` / `flamegraph.pl` consume.
+//! * [`speedscope_json`] — the <https://www.speedscope.app> file
+//!   format, carrying the wall and modelled clocks as two sampled
+//!   profiles over a shared frame table.
 
+use crate::profile::{Profile, ProfileClock};
 use crate::{Event, EventKind, Obs, Track};
 use serde::Value;
 
@@ -164,9 +171,11 @@ pub fn metrics_text(obs: &Obs) -> String {
     }
 
     // Busy seconds and span counts per track, on both clocks.
+    // Profiling detail spans subdivide coarser spans already counted,
+    // so they are excluded from the busy aggregates.
     let mut tracks: Vec<(Track, f64, f64, u64)> = Vec::new();
     for event in obs.events() {
-        if event.kind != EventKind::Span {
+        if event.kind != EventKind::Span || event.is_profile_detail() {
             continue;
         }
         let entry = match tracks.iter_mut().find(|(t, ..)| *t == event.track) {
@@ -448,6 +457,112 @@ pub fn chrome_trace(obs: &Obs) -> String {
     .expect("trace serialises")
 }
 
+/// Render a folded [`Profile`] as collapsed-stack flamegraph text on
+/// the chosen clock: one `root;child;leaf <µs>` line per stack, weights
+/// in integer microseconds (the unit `inferno-flamegraph` and
+/// `flamegraph.pl` default to). Stacks that round to zero are dropped.
+/// Lines are emitted in the profile's stable frame order, so output is
+/// deterministic for a given journal.
+pub fn flamegraph_folded(profile: &Profile, clock: ProfileClock) -> String {
+    let mut out = String::new();
+    for stack in &profile.stacks {
+        let weight = match clock {
+            ProfileClock::Wall => stack.wall,
+            ProfileClock::Modelled => stack.modelled,
+        };
+        let micros = (weight * 1e6).round() as u64;
+        if micros == 0 {
+            continue;
+        }
+        out.push_str(&stack.frames.join(";"));
+        out.push(' ');
+        out.push_str(&micros.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a folded [`Profile`] as speedscope JSON: a shared frame
+/// table plus two `sampled` profiles — "wall clock" and "modelled
+/// clock" — whose samples are the profile's stacks (root-first frame
+/// indices) and whose weights are self seconds. Open the file at
+/// <https://www.speedscope.app> and switch between the two clocks with
+/// the profile selector.
+pub fn speedscope_json(profile: &Profile) -> String {
+    // Shared frame table: dedup frame names, stable first-seen order.
+    let mut frames: Vec<String> = Vec::new();
+    let mut index_of = std::collections::BTreeMap::new();
+    for stack in &profile.stacks {
+        for frame in &stack.frames {
+            if !index_of.contains_key(frame) {
+                index_of.insert(frame.clone(), frames.len() as u64);
+                frames.push(frame.clone());
+            }
+        }
+    }
+    let frame_table = Value::Array(
+        frames
+            .iter()
+            .map(|name| Value::Object(vec![("name".to_string(), Value::Str(name.clone()))]))
+            .collect(),
+    );
+
+    let sampled = |name: &str, clock: ProfileClock| -> Value {
+        let mut samples: Vec<Value> = Vec::new();
+        let mut weights: Vec<Value> = Vec::new();
+        let mut total = 0.0;
+        for stack in &profile.stacks {
+            let weight = match clock {
+                ProfileClock::Wall => stack.wall,
+                ProfileClock::Modelled => stack.modelled,
+            };
+            if weight <= 0.0 {
+                continue;
+            }
+            samples.push(Value::Array(
+                stack
+                    .frames
+                    .iter()
+                    .map(|f| Value::UInt(index_of[f]))
+                    .collect(),
+            ));
+            weights.push(Value::Float(weight));
+            total += weight;
+        }
+        Value::Object(vec![
+            ("type".to_string(), Value::Str("sampled".to_string())),
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("unit".to_string(), Value::Str("seconds".to_string())),
+            ("startValue".to_string(), Value::Float(0.0)),
+            ("endValue".to_string(), Value::Float(total)),
+            ("samples".to_string(), Value::Array(samples)),
+            ("weights".to_string(), Value::Array(weights)),
+        ])
+    };
+
+    serde_json::to_string_pretty(&Value::Object(vec![
+        (
+            "$schema".to_string(),
+            Value::Str("https://www.speedscope.app/file-format-schema.json".to_string()),
+        ),
+        ("name".to_string(), Value::Str("swdual profile".to_string())),
+        ("exporter".to_string(), Value::Str("swdual".to_string())),
+        ("activeProfileIndex".to_string(), Value::UInt(0)),
+        (
+            "shared".to_string(),
+            Value::Object(vec![("frames".to_string(), frame_table)]),
+        ),
+        (
+            "profiles".to_string(),
+            Value::Array(vec![
+                sampled("wall clock", ProfileClock::Wall),
+                sampled("modelled clock", ProfileClock::Modelled),
+            ]),
+        ),
+    ]))
+    .expect("speedscope document serialises")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,5 +770,145 @@ mod tests {
         let journal = journal_jsonl(&obs);
         assert!(journal.contains("recovered:1"));
         assert!(journal.contains("\"faults\""));
+    }
+
+    /// A profiled run: task span with phase children on a worker plus
+    /// device kernel/transfer spans.
+    fn profiled_obs() -> Obs {
+        let obs = Obs::enabled();
+        obs.set_profiling(true);
+        obs.span(
+            Track::Worker(0),
+            "task-0",
+            0.0,
+            1.0,
+            Some((0.0, 2.0)),
+            &[("task", 0.0)],
+        );
+        obs.span(
+            Track::Worker(0),
+            "phase_profile_build",
+            0.0,
+            0.25,
+            Some((0.0, 0.5)),
+            &[("task", 0.0)],
+        );
+        obs.span(
+            Track::Worker(0),
+            "phase_dp_inner",
+            0.25,
+            0.7,
+            Some((0.5, 1.4)),
+            &[("task", 0.0)],
+        );
+        obs.span(
+            Track::Device(1),
+            "h2d_transfer",
+            0.0,
+            0.01,
+            Some((0.0, 0.5)),
+            &[("bytes", 1e6)],
+        );
+        obs.span(
+            Track::Device(1),
+            "kernel",
+            0.01,
+            0.02,
+            Some((0.5, 1.0)),
+            &[
+                ("useful_cells", 1e9),
+                ("padded_cells", 1.25e9),
+                ("query_len", 200.0),
+            ],
+        );
+        obs
+    }
+
+    #[test]
+    fn folded_stacks_are_semicolon_frames_and_integer_micros() {
+        let profile = Profile::from_obs(&profiled_obs());
+        let folded = flamegraph_folded(&profile, ProfileClock::Wall);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            let (stack, weight) = line.rsplit_once(' ').expect("stack <weight>");
+            assert!(!stack.is_empty());
+            let w: u64 = weight.parse().expect("integer microsecond weight");
+            assert!(w > 0, "zero-weight stacks must be dropped");
+        }
+        // The phase leaf carries its self time: 0.7 s = 700000 µs.
+        assert!(
+            lines.contains(&"worker:0;task-0;dp_inner 700000"),
+            "{folded}"
+        );
+        // Folded totals reconcile with the profile's root totals.
+        let worker_micros: u64 = lines
+            .iter()
+            .filter(|l| l.starts_with("worker:0"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        let expect = (profile.root_total("worker:0", ProfileClock::Wall) * 1e6).round() as u64;
+        assert!(worker_micros.abs_diff(expect) <= lines.len() as u64);
+        // The modelled clock is a different rendering of the same stacks.
+        let modelled = flamegraph_folded(&profile, ProfileClock::Modelled);
+        assert!(modelled.contains("worker:0;task-0;dp_inner 1400000"));
+        assert!(modelled.contains("device:1;kernel 1000000"));
+    }
+
+    #[test]
+    fn speedscope_document_parses_and_reconciles() {
+        let profile = Profile::from_obs(&profiled_obs());
+        let doc = speedscope_json(&profile);
+        let value: Value = serde_json::from_str(&doc).expect("speedscope JSON parses");
+        assert_eq!(
+            value.get("$schema").and_then(Value::as_str),
+            Some("https://www.speedscope.app/file-format-schema.json")
+        );
+        let frames = value
+            .get("shared")
+            .and_then(|s| s.get("frames"))
+            .and_then(Value::as_array)
+            .expect("shared.frames");
+        assert!(frames
+            .iter()
+            .all(|f| f.get("name").and_then(Value::as_str).is_some()));
+        let profiles = value
+            .get("profiles")
+            .and_then(Value::as_array)
+            .expect("profiles");
+        assert_eq!(profiles.len(), 2, "wall + modelled");
+        for p in profiles {
+            assert_eq!(p.get("type").and_then(Value::as_str), Some("sampled"));
+            assert_eq!(p.get("unit").and_then(Value::as_str), Some("seconds"));
+            let samples = p.get("samples").and_then(Value::as_array).unwrap();
+            let weights = p.get("weights").and_then(Value::as_array).unwrap();
+            assert_eq!(samples.len(), weights.len());
+            // Every sample indexes into the shared frame table.
+            for sample in samples {
+                for idx in sample.as_array().unwrap() {
+                    assert!((idx.as_u64().unwrap() as usize) < frames.len());
+                }
+            }
+            // endValue equals the sum of weights.
+            let total: f64 = weights.iter().filter_map(Value::as_f64).sum();
+            let end = p.get("endValue").and_then(Value::as_f64).unwrap();
+            assert!((total - end).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_profile_exports_are_valid() {
+        let profile = Profile::from_events(&[]);
+        assert!(flamegraph_folded(&profile, ProfileClock::Wall).is_empty());
+        let value: Value =
+            serde_json::from_str(&speedscope_json(&profile)).expect("empty speedscope parses");
+        let profiles = value.get("profiles").and_then(Value::as_array).unwrap();
+        assert_eq!(profiles.len(), 2);
+        for p in profiles {
+            assert_eq!(
+                p.get("samples").and_then(Value::as_array).map(Vec::len),
+                Some(0)
+            );
+        }
     }
 }

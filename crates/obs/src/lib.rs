@@ -23,9 +23,11 @@
 pub mod analysis;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 
 use metrics::Metrics;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -116,11 +118,32 @@ pub struct Event {
     pub args: Vec<(String, f64)>,
 }
 
+impl Event {
+    /// Whether this is a profiling *detail* span that subdivides time
+    /// already covered by a coarser span: worker `phase_*` spans live
+    /// inside their task span, `kernel_launch`/`kernel_compute` inside
+    /// the `kernel` span, and `d2h_transfer` is overlapped readback
+    /// that never advances the device clock. Busy-time folds (the
+    /// auditor, per-track metric aggregates) must skip these or the
+    /// same seconds are counted twice; the profiler is their consumer.
+    pub fn is_profile_detail(&self) -> bool {
+        self.name.starts_with("phase_")
+            || matches!(
+                self.name.as_str(),
+                "kernel_launch" | "kernel_compute" | "d2h_transfer"
+            )
+    }
+}
+
 struct Inner {
     origin: Instant,
     events: Mutex<Vec<Event>>,
     counters: Mutex<BTreeMap<String, f64>>,
     metrics: Metrics,
+    /// Whether CUPTI-style phase profiling is on. Tracing can run
+    /// without profiling; profiling implies tracing (the phase spans go
+    /// through the same event buffer).
+    profiling: AtomicBool,
 }
 
 /// Handle to a recorder; cheap to clone and share across threads.
@@ -137,14 +160,35 @@ impl Obs {
     }
 
     /// A live recorder; its wall clock starts now. Carries a live
-    /// [`Metrics`] registry reachable via [`Obs::metrics`].
+    /// [`Metrics`] registry reachable via [`Obs::metrics`]. Profiling
+    /// is off until [`Obs::set_profiling`] switches it on.
     pub fn enabled() -> Obs {
         Obs(Some(Arc::new(Inner {
             origin: Instant::now(),
             events: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
             metrics: Metrics::enabled(),
+            profiling: AtomicBool::new(false),
         })))
+    }
+
+    /// Switch phase profiling on or off. No-op on a disabled recorder
+    /// (a disabled recorder can never profile).
+    pub fn set_profiling(&self, on: bool) {
+        if let Some(inner) = &self.0 {
+            inner.profiling.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether instrumented code should record phase-level spans
+    /// (profile build / DP loop / kernel launch / compute / transfer).
+    /// Always false when the recorder is disabled; checking costs one
+    /// branch plus one relaxed atomic load — no locks, no allocation.
+    pub fn is_profiling(&self) -> bool {
+        match &self.0 {
+            Some(inner) => inner.profiling.load(Ordering::Relaxed),
+            None => false,
+        }
     }
 
     /// The live-metrics registry carried by this recorder. Disabled
@@ -399,6 +443,26 @@ mod tests {
     fn disabled_obs_has_disabled_metrics() {
         assert!(!Obs::disabled().metrics().is_enabled());
         assert!(Obs::enabled().metrics().is_enabled());
+    }
+
+    #[test]
+    fn profiling_flag_defaults_off_and_toggles() {
+        let obs = Obs::enabled();
+        assert!(!obs.is_profiling());
+        obs.set_profiling(true);
+        assert!(obs.is_profiling());
+        // Clones share the flag (same Arc'd inner).
+        let clone = obs.clone();
+        assert!(clone.is_profiling());
+        clone.set_profiling(false);
+        assert!(!obs.is_profiling());
+    }
+
+    #[test]
+    fn disabled_recorder_never_profiles() {
+        let obs = Obs::disabled();
+        obs.set_profiling(true);
+        assert!(!obs.is_profiling());
     }
 
     #[test]

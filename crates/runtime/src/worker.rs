@@ -19,7 +19,7 @@ use crate::messages::{FailureReason, Job, JobResult, WorkerFailure, WorkerMsg};
 use crossbeam::channel::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
-use swdual_align::engine::EngineKind;
+use swdual_align::engine::{EngineKind, PhaseTimings};
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::ScoringScheme;
 use swdual_gpusim::{DeviceSpec, GpuDevice};
@@ -136,6 +136,57 @@ fn record_job_span(
     metrics.counter("worker_cells", &labels, cells as f64);
     if wall_dur > 0.0 {
         metrics.gauge("worker_mcups", &labels, cells as f64 / wall_dur / 1e6);
+    }
+}
+
+/// Record the host phase spans of one CPU job (profile build, DP inner
+/// loop, traceback) under its task span.
+///
+/// Attribution rules: phase spans tile the job sequentially on both
+/// clocks. Wall durations are the measured [`PhaseTimings`]; modelled
+/// durations split the job's modelled time in the same proportions as
+/// the measured wall phases (the rate model prices whole tasks, not
+/// phases). When the job ran too fast to measure (wall total ≈ 0),
+/// everything modelled is attributed to the DP inner loop.
+#[allow(clippy::too_many_arguments)]
+fn record_phase_spans(
+    obs: &Obs,
+    worker_id: usize,
+    task_id: usize,
+    wall_start: f64,
+    virt_start: f64,
+    modelled: f64,
+    timings: &PhaseTimings,
+) {
+    let wall_total = timings.total();
+    let phases = [
+        ("phase_profile_build", timings.profile_build),
+        ("phase_dp_inner", timings.dp_inner),
+        ("phase_traceback", timings.traceback),
+    ];
+    let mut wall_at = wall_start;
+    let mut virt_at = virt_start;
+    for (name, wall_dur) in phases {
+        let virt_dur = if wall_total > 0.0 {
+            modelled * wall_dur / wall_total
+        } else if name == "phase_dp_inner" {
+            modelled
+        } else {
+            0.0
+        };
+        if wall_dur <= 0.0 && virt_dur <= 0.0 {
+            continue;
+        }
+        obs.span(
+            Track::Worker(worker_id),
+            name,
+            wall_at,
+            wall_dur,
+            Some((virt_at, virt_dur)),
+            &[("task", task_id as f64)],
+        );
+        wall_at += wall_dur;
+        virt_at += virt_dur;
     }
 }
 
@@ -270,7 +321,19 @@ pub fn worker_loop(
                     .expect("query index in range");
                 let wall_start = ctx.obs.now();
                 let start = Instant::now();
-                let scores = engine.score_many(query.codes(), &db_refs, &ctx.scheme);
+                // The profiled path measures per-phase wall time; the
+                // plain path stays exactly as cheap as before. Both
+                // produce identical scores.
+                let (scores, timings) = if ctx.obs.is_profiling() {
+                    let (scores, timings) =
+                        engine.score_many_phased(query.codes(), &db_refs, &ctx.scheme);
+                    (scores, Some(timings))
+                } else {
+                    (
+                        engine.score_many(query.codes(), &db_refs, &ctx.scheme),
+                        None,
+                    )
+                };
                 let wall = start.elapsed().as_secs_f64();
                 let cells = query.len() as u64 * ctx.database.total_residues();
                 let modelled = model.task_seconds(query.len(), ctx.database.total_residues())
@@ -285,6 +348,17 @@ pub fn worker_loop(
                     modelled,
                     cells,
                 );
+                if let Some(timings) = &timings {
+                    record_phase_spans(
+                        &ctx.obs,
+                        ctx.worker_id,
+                        job.task_id,
+                        wall_start,
+                        virt_clock,
+                        modelled,
+                        timings,
+                    );
+                }
                 virt_clock += modelled;
                 jobs_done += 1;
                 let send = results.send(WorkerMsg::Completed(JobResult {
@@ -607,6 +681,81 @@ mod tests {
                 other => panic!("expected completion, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn profiled_cpu_worker_emits_phase_spans_that_tile_the_task() {
+        let (job_tx, job_rx) = channel::unbounded();
+        let (res_tx, res_rx) = channel::unbounded();
+        let obs = Obs::enabled();
+        obs.set_profiling(true);
+        let ctx = WorkerContext {
+            worker_id: 0,
+            database: Arc::new(tiny_db()),
+            queries: Arc::new(tiny_queries()),
+            scheme: ScoringScheme::protein_default(),
+            obs: obs.clone(),
+            fault: None,
+        };
+        job_tx
+            .send(Job {
+                task_id: 0,
+                query_index: 0,
+            })
+            .unwrap();
+        drop(job_tx);
+        worker_loop(
+            WorkerSpec::Cpu {
+                engine: EngineKind::Striped,
+            },
+            ctx,
+            job_rx,
+            res_tx,
+        );
+        let results: Vec<WorkerMsg> = res_rx.iter().collect();
+        assert_eq!(results.len(), 1);
+
+        let events = obs.events();
+        let task = events.iter().find(|e| e.name == "task-0").expect("task");
+        let phases: Vec<_> = events.iter().filter(|e| e.is_profile_detail()).collect();
+        assert!(!phases.is_empty(), "profiling on must emit phase spans");
+        assert!(phases.iter().any(|e| e.name == "phase_dp_inner"));
+        // Phase modelled durations tile the task's modelled time.
+        let phase_virt: f64 = phases.iter().filter_map(|e| e.virt_dur).sum();
+        assert!(
+            (phase_virt - task.virt_dur.unwrap()).abs() <= 1e-9 * task.virt_dur.unwrap(),
+            "phases {phase_virt} vs task {:?}",
+            task.virt_dur
+        );
+        // And each phase names its task.
+        for p in &phases {
+            assert!(p.args.iter().any(|(k, v)| k == "task" && *v == 0.0));
+        }
+    }
+
+    #[test]
+    fn unprofiled_worker_emits_no_phase_spans() {
+        let (job_tx, job_rx) = channel::unbounded();
+        let (res_tx, res_rx) = channel::unbounded();
+        let obs = Obs::enabled(); // tracing on, profiling off
+        let ctx = WorkerContext {
+            worker_id: 0,
+            database: Arc::new(tiny_db()),
+            queries: Arc::new(tiny_queries()),
+            scheme: ScoringScheme::protein_default(),
+            obs: obs.clone(),
+            fault: None,
+        };
+        job_tx
+            .send(Job {
+                task_id: 0,
+                query_index: 0,
+            })
+            .unwrap();
+        drop(job_tx);
+        worker_loop(WorkerSpec::cpu_default(), ctx, job_rx, res_tx);
+        let _ = res_rx.iter().count();
+        assert!(obs.events().iter().all(|e| !e.is_profile_detail()));
     }
 
     #[test]
