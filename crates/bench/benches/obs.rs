@@ -12,12 +12,18 @@
 //! over a small database chunk) with the profiler off and on, and
 //! records the wall-time overhead ratio to `BENCH_profile.json` — the
 //! `--profile` acceptance budget is ≤ 2% over an unprofiled job.
+//!
+//! Every full run also appends one stamped entry per bench to the
+//! `BENCH_trend.json` ledger at the workspace root, which
+//! `swdual diff --bench` compares (last two entries per bench) and can
+//! gate on.
 
 use std::time::Instant;
 use swdual_align::engine::{AlignEngine, PhaseTimings, StripedEngine};
 use swdual_bio::ScoringScheme;
 use swdual_datagen::{synthetic_database, LengthModel};
 use swdual_obs::metrics::Metrics;
+use swdual_obs::trend::{TrendEntry, TrendLedger};
 use swdual_obs::{Obs, Track};
 
 /// Mirror of the worker's per-job instrumentation sequence (span +
@@ -285,5 +291,26 @@ fn main() {
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // Append both benches to the trend ledger for `swdual diff --bench`.
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let trend_path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_trend.json"
+    ));
+    for (bench_name, metrics) in [
+        ("obs_overhead", &results),
+        ("profile_overhead", &profile_results),
+    ] {
+        let pairs: Vec<(&str, f64)> = metrics.iter().map(|(n, v)| (*n, *v)).collect();
+        let entry = TrendEntry::new(bench_name, stamp, "ns_per_op", &pairs);
+        match TrendLedger::append_to_file(trend_path, entry) {
+            Ok(()) => println!("appended {bench_name} to {}", trend_path.display()),
+            Err(e) => eprintln!("could not append to {}: {e}", trend_path.display()),
+        }
     }
 }

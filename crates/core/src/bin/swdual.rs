@@ -10,9 +10,13 @@
 //!                 [--journal-out EVENTS.jsonl] [--progress] [--profile]
 //!                 [--fault-plan SPEC | --fault-seed N]
 //!                 [--job-timeout-slack F] [--min-job-timeout-ms MS]
-//! swdual analyze  EVENTS.jsonl [--json|--text]
+//! swdual analyze  EVENTS.jsonl [--json|--text] [-o FILE]
 //! swdual profile  EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json]
-//!                 [--roofline] [--json]
+//!                 [--roofline] [--json] [-o FILE]
+//! swdual diff     BASE.jsonl HEAD.jsonl [--profile] [--json|--text]
+//!                 [--threshold PCT] [--fail-on-regression] [--exact-only]
+//!                 [-o FILE]
+//! swdual diff     --bench [LEDGER.json] [--bench-name NAME] ...
 //! swdual convert  --input DB.fasta --output DB.sqb
 //! swdual generate --sequences N --mean-len L --output DB.fasta [--seed S]
 //! swdual info     --db DB.(fasta|sqb)
@@ -51,9 +55,13 @@ USAGE:
                   [--journal-out EVENTS.jsonl] [--progress] [--profile]
                   [--fault-plan SPEC | --fault-seed N]
                   [--job-timeout-slack F] [--min-job-timeout-ms MS]
-  swdual analyze  EVENTS.jsonl [--json|--text]
+  swdual analyze  EVENTS.jsonl [--json|--text] [-o FILE]
   swdual profile  EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json]
-                  [--roofline] [--json]
+                  [--roofline] [--json] [-o FILE]
+  swdual diff     BASE.jsonl HEAD.jsonl [--profile] [--json|--text]
+                  [--threshold PCT] [--fail-on-regression] [--exact-only]
+                  [-o FILE]
+  swdual diff     --bench [LEDGER.json] [--bench-name NAME] ...
   swdual convert  --input FILE.fasta --output FILE.sqb
   swdual generate --sequences N --mean-len L --output FILE [--seed S]
   swdual info     --db FILE
@@ -71,6 +79,19 @@ speedscope.app document with one profile per clock, and `--roofline`
 (the default) prints the per-device roofline report — achieved vs
 attainable GCUPS and a transfer- vs compute-bound verdict per
 query-length bucket.
+
+`swdual diff` compares two journals (base, then head): makespans on
+both clocks, the λ/2λ bound margin, per-worker utilization, latency
+quantiles, throughput and fault counts — each delta classified
+IMPROVED / REGRESSED / neutral. Modelled-clock metrics are judged
+exactly; wall-clock metrics get `--threshold PCT` slack (default 5%);
+histogram quantiles additionally honor the one-bucket relative error.
+`--profile` folds in per-phase self-times, per-device busy time and
+roofline-verdict flips. `--fail-on-regression` exits non-zero when
+anything regressed (`--exact-only` restricts the gate to the
+deterministic modelled-clock lane, the CI setting). `--bench` diffs
+the last two entries per bench in the `BENCH_trend.json` ledger
+instead of journals.
 
 Fault injection (deterministic; hits are identical to a fault-free run
 as long as one worker survives):
@@ -274,19 +295,42 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `swdual analyze EVENTS.jsonl [--json|--text]` — audit a recorded
-/// journal against the scheduler's promises. Takes one positional
-/// path, so it parses its own arguments.
+/// Deliver a rendered report: to `out` when given, stdout otherwise.
+fn emit(rendered: &str, out: Option<&str>, what: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, format!("{rendered}\n")).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("{what}: wrote report to {path}");
+        }
+        None => outln!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `swdual analyze EVENTS.jsonl [--json|--text] [-o FILE]` — audit a
+/// recorded journal against the scheduler's promises. Takes one
+/// positional path, so it parses its own arguments.
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let mut path: Option<&str> = None;
     let mut json = false;
     let mut text = false;
-    for arg in args {
-        match arg.as_str() {
+    let mut out: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--json" => json = true,
             "--text" => text = true,
-            other if other.starts_with("--") => {
-                return Err(format!("unknown analyze flag {other:?} (--json|--text)"))
+            "-o" | "--out" => {
+                out = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| format!("flag {} needs a value", args[i]))?,
+                );
+                i += 1;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!(
+                    "unknown analyze flag {other:?} (--json|--text|-o FILE)"
+                ))
             }
             other => {
                 if path.is_some() {
@@ -295,24 +339,25 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
                 path = Some(other);
             }
         }
+        i += 1;
     }
-    let path = path.ok_or("usage: swdual analyze EVENTS.jsonl [--json|--text]")?;
+    let path = path.ok_or("usage: swdual analyze EVENTS.jsonl [--json|--text] [-o FILE]")?;
     if json && text {
         return Err("--json and --text are mutually exclusive".into());
     }
     let contents = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let report =
         swdual_obs::analysis::analyze_journal(&contents).map_err(|e| format!("{path}: {e}"))?;
-    if json {
-        outln!("{}", report.to_json());
+    let rendered = if json {
+        report.to_json()
     } else {
-        outln!("{}", report.to_text());
-    }
-    Ok(())
+        report.to_text()
+    };
+    emit(&rendered, out, "analyze")
 }
 
 /// `swdual profile EVENTS.jsonl [--flame OUT] [--speedscope OUT]
-/// [--roofline] [--json]` — fold a journal into flamegraph /
+/// [--roofline] [--json] [-o FILE]` — fold a journal into flamegraph /
 /// speedscope / roofline views. Takes one positional path, so it
 /// parses its own arguments (like `analyze`).
 fn cmd_profile(args: &[String]) -> Result<(), String> {
@@ -321,26 +366,28 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let mut speedscope: Option<&str> = None;
     let mut roofline = false;
     let mut json = false;
+    let mut out: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--roofline" => roofline = true,
             "--json" => json = true,
-            "--flame" | "--speedscope" => {
+            "--flame" | "--speedscope" | "-o" | "--out" => {
                 let key = args[i].clone();
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("flag {key} needs a value"))?;
-                if key == "--flame" {
-                    flame = Some(value);
-                } else {
-                    speedscope = Some(value);
+                match key.as_str() {
+                    "--flame" => flame = Some(value),
+                    "--speedscope" => speedscope = Some(value),
+                    _ => out = Some(value),
                 }
                 i += 1;
             }
-            other if other.starts_with("--") => {
+            other if other.starts_with('-') => {
                 return Err(format!(
-                    "unknown profile flag {other:?} (--flame|--speedscope|--roofline|--json)"
+                    "unknown profile flag {other:?} \
+                     (--flame|--speedscope|--roofline|--json|-o FILE)"
                 ))
             }
             other => {
@@ -354,7 +401,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     let path = path.ok_or(
         "usage: swdual profile EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json] \
-         [--roofline] [--json]",
+         [--roofline] [--json] [-o FILE]",
     )?;
     let contents = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let events =
@@ -375,15 +422,134 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     // The roofline report is the default view when no export was
     // requested, and can always be asked for explicitly.
-    if roofline || json || (flame.is_none() && speedscope.is_none()) {
+    if roofline || json || out.is_some() || (flame.is_none() && speedscope.is_none()) {
         let report = profile.roofline();
-        if json {
-            outln!("{}", report.to_json());
+        let rendered = if json {
+            report.to_json()
         } else {
-            outln!("{}", report.to_text());
-        }
+            report.to_text()
+        };
+        emit(&rendered, out, "profile")?;
     }
     Ok(())
+}
+
+/// `swdual diff BASE.jsonl HEAD.jsonl [...]` / `swdual diff --bench
+/// [LEDGER.json]` — compare two runs (or the last two entries of each
+/// bench in the trend ledger) and optionally gate on regressions.
+/// Returns the process exit code so `--fail-on-regression` can fail
+/// the build after still printing the full report.
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut bench = false;
+    let mut bench_name: Option<&str> = None;
+    let mut profile = false;
+    let mut json = false;
+    let mut text = false;
+    let mut out: Option<&str> = None;
+    let mut fail_on_regression = false;
+    let mut exact_only = false;
+    let mut threshold: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => bench = true,
+            "--profile" => profile = true,
+            "--json" => json = true,
+            "--text" => text = true,
+            "--fail-on-regression" => fail_on_regression = true,
+            "--exact-only" => exact_only = true,
+            "--bench-name" | "--threshold" | "-o" | "--out" => {
+                let key = args[i].clone();
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag {key} needs a value"))?;
+                match key.as_str() {
+                    "--bench-name" => bench_name = Some(value.as_str()),
+                    "--threshold" => {
+                        threshold = Some(
+                            value
+                                .parse()
+                                .map_err(|_| "--threshold must be a percentage")?,
+                        )
+                    }
+                    _ => out = Some(value.as_str()),
+                }
+                i += 1;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!(
+                    "unknown diff flag {other:?} (--bench|--bench-name NAME|--profile|\
+                     --json|--text|--threshold PCT|--fail-on-regression|--exact-only|-o FILE)"
+                ))
+            }
+            other => paths.push(other),
+        }
+        i += 1;
+    }
+    if json && text {
+        return Err("--json and --text are mutually exclusive".into());
+    }
+    let mut opts = swdual_obs::diff::DiffOptions {
+        include_profile: profile,
+        ..Default::default()
+    };
+    if let Some(pct) = threshold {
+        if !(0.0..=100.0).contains(&pct) {
+            return Err("--threshold must be a percentage in [0, 100]".into());
+        }
+        opts.wall_tolerance = pct / 100.0;
+    }
+    let report = if bench {
+        if paths.len() > 1 {
+            return Err("diff --bench takes at most one ledger path".into());
+        }
+        let ledger_path = paths.first().copied().unwrap_or("BENCH_trend.json");
+        let ledger = swdual_obs::trend::TrendLedger::load(std::path::Path::new(ledger_path))?;
+        swdual_obs::trend::diff_trend(&ledger, bench_name, &opts)?
+    } else {
+        if bench_name.is_some() {
+            return Err("--bench-name only applies with --bench".into());
+        }
+        let (base_path, head_path) = match paths.as_slice() {
+            [base, head] => (*base, *head),
+            _ => {
+                return Err(
+                    "usage: swdual diff BASE.jsonl HEAD.jsonl [--profile] [--json|--text] \
+                     [--threshold PCT] [--fail-on-regression] [--exact-only] [-o FILE]"
+                        .into(),
+                )
+            }
+        };
+        let base = std::fs::read_to_string(base_path).map_err(|e| format!("{base_path}: {e}"))?;
+        let head = std::fs::read_to_string(head_path).map_err(|e| format!("{head_path}: {e}"))?;
+        swdual_obs::diff::diff_journals(&base, &head, &opts)
+            .map_err(|e| format!("{base_path} vs {head_path}: {e}"))?
+    };
+    let rendered = if json {
+        report.to_json()
+    } else {
+        report.to_text()
+    };
+    emit(&rendered, out, "diff")?;
+    if fail_on_regression {
+        let regressed = report.regressions(exact_only);
+        if !regressed.is_empty() {
+            eprintln!(
+                "diff: FAIL — {} regressed metric(s): {}",
+                regressed.len(),
+                regressed.join(", ")
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        let lane = if exact_only {
+            "modelled-clock lane clean"
+        } else {
+            "no regressions"
+        };
+        eprintln!("diff: PASS — {lane}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_convert(flags: HashMap<String, String>) -> Result<(), String> {
@@ -458,16 +624,18 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    // `analyze` and `profile` take a positional journal path and parse
-    // their own arguments; every other command uses `--key value` flags.
-    if cmd == "analyze" || cmd == "profile" {
-        let result = if cmd == "analyze" {
-            cmd_analyze(&args[1..])
-        } else {
-            cmd_profile(&args[1..])
+    // `analyze`, `profile` and `diff` take positional journal paths and
+    // parse their own arguments; every other command uses `--key value`
+    // flags. `diff` picks its own exit code so `--fail-on-regression`
+    // can fail the build after printing the report.
+    if cmd == "analyze" || cmd == "profile" || cmd == "diff" {
+        let result = match cmd.as_str() {
+            "analyze" => cmd_analyze(&args[1..]).map(|()| ExitCode::SUCCESS),
+            "profile" => cmd_profile(&args[1..]).map(|()| ExitCode::SUCCESS),
+            _ => cmd_diff(&args[1..]),
         };
         return match result {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

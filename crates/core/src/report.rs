@@ -157,6 +157,21 @@ impl SearchReport {
         swdual_obs::profile::Profile::from_obs(&self.obs)
     }
 
+    /// Compare this run against a baseline run: every audited metric
+    /// (makespans on both clocks, bound margin, per-worker utilization,
+    /// latency quantiles, throughput, fault counts) plus the profile
+    /// fold (per-phase self-times, per-device busy time, roofline
+    /// verdict flips) classified IMPROVED / REGRESSED / neutral under
+    /// the default tolerances. `self` is the head, `baseline` the base:
+    /// a positive delta means this run's value is higher.
+    pub fn diff(&self, baseline: &SearchReport) -> swdual_obs::diff::DiffReport {
+        let opts = swdual_obs::diff::DiffOptions {
+            include_profile: true,
+            ..Default::default()
+        };
+        swdual_obs::diff::diff_obs(baseline.obs(), &self.obs, &opts)
+    }
+
     /// Render the hit lists like a classic search tool report.
     pub fn render_hits(&self, per_query: usize) -> String {
         let mut out = String::new();

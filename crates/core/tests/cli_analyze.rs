@@ -103,6 +103,48 @@ fn analyze_reports_the_two_lambda_bound_from_a_search_journal() {
 }
 
 #[test]
+fn analyze_dash_o_writes_the_report_to_a_file() {
+    let dir = work_dir("outfile");
+    let db = dir.join("db.fasta");
+    let journal = dir.join("events.jsonl");
+    let out_path = dir.join("report.json");
+    generate_db(&db);
+    let search = swdual()
+        .arg("search")
+        .arg("--db")
+        .arg(&db)
+        .arg("--queries")
+        .arg(&db)
+        .args(["--cpus", "1", "--gpus", "1", "--top", "3"])
+        .arg("--journal-out")
+        .arg(&journal)
+        .output()
+        .expect("run swdual search");
+    assert!(search.status.success(), "search failed: {search:?}");
+
+    let out = swdual()
+        .arg("analyze")
+        .arg(&journal)
+        .arg("--json")
+        .arg("-o")
+        .arg(&out_path)
+        .output()
+        .expect("run swdual analyze -o");
+    assert!(out.status.success(), "analyze failed: {out:?}");
+    assert!(
+        out.stdout.is_empty(),
+        "-o must redirect the report off stdout"
+    );
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap())
+            .expect("written report parses");
+    assert_eq!(
+        report.get("schema").and_then(|v| v.as_str()),
+        Some("swdual-journal/1")
+    );
+}
+
+#[test]
 fn analyze_rejects_incompatible_journals() {
     let dir = work_dir("reject");
 

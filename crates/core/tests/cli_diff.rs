@@ -1,0 +1,274 @@
+//! End-to-end `swdual diff` smoke: a run diffed against itself is
+//! all-NEUTRAL and exits zero; a faulted run of the same seed flags
+//! the fault counts and the makespan; the `--fail-on-regression
+//! --exact-only` gate fires on a run whose modelled clock was slowed
+//! (a straggler) and names the regressed modelled metrics; `-o`
+//! redirects the report to a file; `--bench` diffs the trend ledger.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn swdual() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swdual"))
+}
+
+fn work_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swdual_cli_diff_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate_db(db: &Path) {
+    let out = swdual()
+        .args([
+            "generate",
+            "--sequences",
+            "24",
+            "--mean-len",
+            "80",
+            "--seed",
+            "3",
+        ])
+        .arg("--output")
+        .arg(db)
+        .output()
+        .expect("run swdual generate");
+    assert!(out.status.success(), "generate failed: {out:?}");
+}
+
+/// Run a search over `db` (also used as the queries) recording a
+/// journal, optionally under a fault plan.
+fn record_journal(db: &Path, journal: &Path, fault_plan: Option<&str>) {
+    let mut cmd = swdual();
+    cmd.arg("search")
+        .arg("--db")
+        .arg(db)
+        .arg("--queries")
+        .arg(db)
+        .args(["--cpus", "2", "--gpus", "1", "--top", "3"])
+        .arg("--journal-out")
+        .arg(journal)
+        .arg("--profile");
+    if let Some(plan) = fault_plan {
+        cmd.args(["--fault-plan", plan]);
+    }
+    let out = cmd.output().expect("run swdual search");
+    assert!(out.status.success(), "search failed: {out:?}");
+}
+
+fn metric<'a>(report: &'a serde_json::Value, name: &str) -> Option<&'a serde_json::Value> {
+    report
+        .get("metrics")?
+        .as_array()?
+        .iter()
+        .find(|m| m.get("name").and_then(|n| n.as_str()) == Some(name))
+}
+
+#[test]
+fn diffing_a_run_against_itself_is_all_neutral_and_exits_zero() {
+    let dir = work_dir("identity");
+    let db = dir.join("db.fasta");
+    let journal = dir.join("run.jsonl");
+    generate_db(&db);
+    record_journal(&db, &journal, None);
+
+    let out = swdual()
+        .arg("diff")
+        .arg(&journal)
+        .arg(&journal)
+        .args(["--profile", "--fail-on-regression"])
+        .output()
+        .expect("run swdual diff");
+    assert!(out.status.success(), "self-diff must exit zero: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("NEUTRAL"), "{text}");
+    assert!(text.contains("0 improved · 0 regressed"), "{text}");
+
+    // And the machine view: every delta is exactly zero.
+    let json = swdual()
+        .arg("diff")
+        .arg(&journal)
+        .arg(&journal)
+        .args(["--profile", "--json"])
+        .output()
+        .expect("run swdual diff --json");
+    assert!(json.status.success());
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(json.stdout).unwrap()).unwrap();
+    let metrics = report.get("metrics").unwrap().as_array().unwrap();
+    assert!(!metrics.is_empty());
+    for m in metrics {
+        assert_eq!(
+            m.get("class").and_then(|c| c.as_str()),
+            Some("Neutral"),
+            "{m:?}"
+        );
+        assert_eq!(m.get("delta").and_then(|d| d.as_f64()), Some(0.0), "{m:?}");
+    }
+}
+
+#[test]
+fn faulted_run_diff_flags_fault_counts_and_makespan() {
+    let dir = work_dir("faults");
+    let db = dir.join("db.fasta");
+    let base = dir.join("base.jsonl");
+    let head = dir.join("crashed.jsonl");
+    generate_db(&db);
+    record_journal(&db, &base, None);
+    // Worker 1 crashes on its first job: same inputs, same seed, but
+    // the run now carries fault events and redispatched work.
+    record_journal(&db, &head, Some("1:crash@0"));
+
+    let json = swdual()
+        .arg("diff")
+        .arg(&base)
+        .arg(&head)
+        .arg("--json")
+        .output()
+        .expect("run swdual diff --json");
+    assert!(json.status.success());
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(json.stdout).unwrap()).unwrap();
+
+    let total = metric(&report, "fault.total").expect("fault.total metric");
+    assert_eq!(
+        total.get("class").and_then(|c| c.as_str()),
+        Some("Regressed")
+    );
+    assert!(total.get("delta").and_then(|d| d.as_f64()).unwrap() >= 1.0);
+    let crash = metric(&report, "fault.worker_crash").expect("fault.worker_crash metric");
+    assert_eq!(
+        crash.get("class").and_then(|c| c.as_str()),
+        Some("Regressed")
+    );
+    let makespan = metric(&report, "makespan.modelled").expect("makespan.modelled metric");
+    assert_ne!(
+        makespan.get("class").and_then(|c| c.as_str()),
+        Some("Neutral"),
+        "redispatching a crashed worker's tasks must move the modelled makespan: {makespan:?}"
+    );
+
+    // The exact-only gate fires and names the fault counters.
+    let gate = swdual()
+        .arg("diff")
+        .arg(&base)
+        .arg(&head)
+        .args(["--fail-on-regression", "--exact-only"])
+        .output()
+        .expect("run swdual diff gate");
+    assert!(!gate.status.success(), "gate must fail on a faulted run");
+    let err = String::from_utf8(gate.stderr).unwrap();
+    assert!(err.contains("FAIL"), "{err}");
+    assert!(err.contains("fault."), "{err}");
+}
+
+#[test]
+fn straggled_run_fails_the_exact_only_gate_naming_modelled_metrics() {
+    let dir = work_dir("straggle");
+    let db = dir.join("db.fasta");
+    let base = dir.join("base.jsonl");
+    let head = dir.join("straggled.jsonl");
+    generate_db(&db);
+    record_journal(&db, &base, None);
+    // Worker 0's modelled seconds are multiplied by 3 (an artificially
+    // slowed estimator); wall time barely moves, the modelled clock
+    // regresses deterministically.
+    record_journal(&db, &head, Some("0:straggle@0x3"));
+
+    let gate = swdual()
+        .arg("diff")
+        .arg(&base)
+        .arg(&head)
+        .args(["--fail-on-regression", "--exact-only"])
+        .output()
+        .expect("run swdual diff gate");
+    assert!(
+        !gate.status.success(),
+        "exact-only gate must fail on a straggled run: {gate:?}"
+    );
+    let err = String::from_utf8(gate.stderr).unwrap();
+    assert!(err.contains("FAIL"), "{err}");
+    assert!(
+        err.contains("modelled"),
+        "the regressed modelled-clock metrics must be named: {err}"
+    );
+    let text = String::from_utf8(gate.stdout).unwrap();
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("modelled"), "{text}");
+}
+
+#[test]
+fn dash_o_writes_the_report_to_a_file() {
+    let dir = work_dir("outfile");
+    let db = dir.join("db.fasta");
+    let journal = dir.join("run.jsonl");
+    let out_path = dir.join("diff.txt");
+    generate_db(&db);
+    record_journal(&db, &journal, None);
+
+    let out = swdual()
+        .arg("diff")
+        .arg(&journal)
+        .arg(&journal)
+        .arg("-o")
+        .arg(&out_path)
+        .output()
+        .expect("run swdual diff -o");
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        out.stdout.is_empty(),
+        "-o must redirect the report off stdout"
+    );
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert!(written.contains("run diff"), "{written}");
+    assert!(written.contains("NEUTRAL"), "{written}");
+}
+
+#[test]
+fn bench_mode_gates_on_the_trend_ledger() {
+    let dir = work_dir("bench");
+    let ledger = dir.join("BENCH_trend.json");
+    std::fs::write(
+        &ledger,
+        r#"{
+  "schema": "swdual-trend/1",
+  "entries": [
+    {
+      "bench": "obs_overhead",
+      "unix_seconds": 1.0,
+      "unit": "ns_per_op",
+      "metrics": [{"name": "per_job_enabled", "value": 700.0}]
+    },
+    {
+      "bench": "obs_overhead",
+      "unix_seconds": 2.0,
+      "unit": "ns_per_op",
+      "metrics": [{"name": "per_job_enabled", "value": 900.0}]
+    }
+  ]
+}"#,
+    )
+    .unwrap();
+
+    // +28.6% is outside the default 5% wall tolerance: the gate fires.
+    let gate = swdual()
+        .arg("diff")
+        .arg("--bench")
+        .arg(&ledger)
+        .arg("--fail-on-regression")
+        .output()
+        .expect("run swdual diff --bench");
+    assert!(!gate.status.success(), "{gate:?}");
+    let err = String::from_utf8(gate.stderr).unwrap();
+    assert!(err.contains("obs_overhead.per_job_enabled"), "{err}");
+
+    // ...but is inside an explicit 50% threshold.
+    let relaxed = swdual()
+        .arg("diff")
+        .arg("--bench")
+        .arg(&ledger)
+        .args(["--fail-on-regression", "--threshold", "50"])
+        .output()
+        .expect("run swdual diff --bench --threshold");
+    assert!(relaxed.status.success(), "{relaxed:?}");
+}

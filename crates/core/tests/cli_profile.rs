@@ -258,6 +258,30 @@ fn profile_json_emits_a_machine_readable_roofline() {
 }
 
 #[test]
+fn profile_dash_o_writes_the_roofline_to_a_file() {
+    let dir = work_dir("outfile");
+    let db = dir.join("db.fasta");
+    let journal = dir.join("events.jsonl");
+    let out_path = dir.join("roofline.txt");
+    generate_db(&db);
+    profiled_search(&db, &journal, None);
+    let out = swdual()
+        .arg("profile")
+        .arg(journal)
+        .arg("-o")
+        .arg(&out_path)
+        .output()
+        .expect("run swdual profile -o");
+    assert!(out.status.success(), "profile failed: {out:?}");
+    assert!(
+        out.stdout.is_empty(),
+        "-o must redirect the report off stdout"
+    );
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert!(written.contains("roofline report"), "{written}");
+}
+
+#[test]
 fn profile_rejects_bad_arguments() {
     let out = swdual()
         .arg("profile")

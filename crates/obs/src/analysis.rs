@@ -20,54 +20,13 @@
 //! instead of garbage output.
 
 use crate::{Event, EventKind, Obs, Track};
-use serde::{Serialize, Value};
+use serde::Serialize;
 use std::collections::BTreeMap;
 
-/// Schema tag of journals this auditor understands.
-pub const JOURNAL_SCHEMA: &str = "swdual-journal/1";
-
-/// Why a journal could not be analyzed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AnalysisError {
-    /// The journal has no lines at all.
-    EmptyJournal,
-    /// The first line is not a schema header.
-    MissingHeader,
-    /// The header names a schema this auditor does not understand.
-    SchemaMismatch {
-        /// The schema tag the journal declared.
-        found: String,
-    },
-    /// An event line failed to parse.
-    Malformed {
-        /// 1-based line number in the journal.
-        line: usize,
-        /// What was wrong with it.
-        reason: String,
-    },
-}
-
-impl std::fmt::Display for AnalysisError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AnalysisError::EmptyJournal => write!(f, "journal is empty"),
-            AnalysisError::MissingHeader => write!(
-                f,
-                "journal has no schema header (expected a first line like \
-                 {{\"schema\":\"{JOURNAL_SCHEMA}\"}}); is this a {JOURNAL_SCHEMA} journal?"
-            ),
-            AnalysisError::SchemaMismatch { found } => write!(
-                f,
-                "journal schema \"{found}\" is not supported (this build reads {JOURNAL_SCHEMA})"
-            ),
-            AnalysisError::Malformed { line, reason } => {
-                write!(f, "journal line {line}: {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for AnalysisError {}
+// The schema tag, the header check and the line parser live in
+// [`crate::journal`], shared with the profiler and the differ; the
+// historical `analysis::` names keep working.
+pub use crate::journal::{parse_journal, JournalError as AnalysisError, JOURNAL_SCHEMA};
 
 /// One worker's share of the run.
 #[derive(Debug, Clone, Serialize)]
@@ -224,77 +183,6 @@ pub fn analyze_obs(obs: &Obs) -> RunReport {
 pub fn analyze_journal(journal: &str) -> Result<RunReport, AnalysisError> {
     let events = parse_journal(journal)?;
     Ok(analyze_events(&events))
-}
-
-/// Parse a journal back into events, validating the schema header.
-pub fn parse_journal(journal: &str) -> Result<Vec<Event>, AnalysisError> {
-    let mut lines = journal.lines().enumerate();
-    let (_, header) = lines.next().ok_or(AnalysisError::EmptyJournal)?;
-    let header: Value = serde_json::from_str(header).map_err(|_| AnalysisError::MissingHeader)?;
-    let schema = header
-        .get("schema")
-        .and_then(Value::as_str)
-        .ok_or(AnalysisError::MissingHeader)?;
-    if schema != JOURNAL_SCHEMA {
-        return Err(AnalysisError::SchemaMismatch {
-            found: schema.to_string(),
-        });
-    }
-
-    let mut events = Vec::new();
-    for (idx, line) in lines {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let malformed = |reason: &str| AnalysisError::Malformed {
-            line: idx + 1,
-            reason: reason.to_string(),
-        };
-        let value: Value = serde_json::from_str(line).map_err(|_| malformed("not valid JSON"))?;
-        let track_label = value
-            .get("track")
-            .and_then(Value::as_str)
-            .ok_or_else(|| malformed("missing \"track\""))?;
-        let track = Track::from_label(track_label)
-            .ok_or_else(|| malformed(&format!("unknown track \"{track_label}\"")))?;
-        let name = value
-            .get("name")
-            .and_then(Value::as_str)
-            .ok_or_else(|| malformed("missing \"name\""))?
-            .to_string();
-        let kind = match value.get("kind").and_then(Value::as_str) {
-            Some("span") => EventKind::Span,
-            Some("instant") => EventKind::Instant,
-            _ => return Err(malformed("missing or unknown \"kind\"")),
-        };
-        // Non-finite numbers (hand-edited or truncated journals) are
-        // dropped rather than propagated, so downstream utilization /
-        // imbalance / quantile math never renders NaN or inf.
-        let num = |key: &str| {
-            value
-                .get(key)
-                .and_then(Value::as_f64)
-                .filter(|v| v.is_finite())
-        };
-        let args = match value.get("args").and_then(Value::as_object) {
-            Some(fields) => fields
-                .iter()
-                .filter_map(|(k, v)| v.as_f64().filter(|v| v.is_finite()).map(|v| (k.clone(), v)))
-                .collect(),
-            None => Vec::new(),
-        };
-        events.push(Event {
-            track,
-            name,
-            kind,
-            wall_start: num("wall_start").unwrap_or(0.0),
-            wall_dur: num("wall_dur").unwrap_or(0.0),
-            virt_start: num("virt_start"),
-            virt_dur: num("virt_dur"),
-            args,
-        });
-    }
-    Ok(events)
 }
 
 /// The fold itself: one pass over events, then derived quantities.
@@ -847,8 +735,9 @@ mod tests {
     fn wrong_schema_is_rejected_with_its_name() {
         let journal = "{\"schema\":\"swdual-journal/99\",\"events\":0}\n";
         match analyze_journal(journal).unwrap_err() {
-            AnalysisError::SchemaMismatch { found } => {
+            AnalysisError::SchemaMismatch { found, expected } => {
                 assert_eq!(found, "swdual-journal/99");
+                assert_eq!(expected, JOURNAL_SCHEMA);
             }
             other => panic!("expected schema mismatch, got {other:?}"),
         }

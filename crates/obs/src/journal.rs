@@ -1,0 +1,188 @@
+//! Journal parsing shared by every journal consumer.
+//!
+//! `swdual analyze`, `swdual profile` and `swdual diff` all read the
+//! same JSON-lines format: a `{"schema":"swdual-journal/1",...}` header
+//! line followed by one event object per line. This module owns the
+//! schema tag, the header check and the line parser so the three
+//! consumers cannot drift apart on what a valid journal is.
+
+use crate::{Event, EventKind, Track};
+use serde::Value;
+
+/// Schema tag of journals this build reads and writes.
+pub const JOURNAL_SCHEMA: &str = "swdual-journal/1";
+
+/// Why a journal could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The journal has no lines at all.
+    EmptyJournal,
+    /// The first line is not a schema header.
+    MissingHeader,
+    /// The header names a schema this build does not understand.
+    SchemaMismatch {
+        /// The schema tag the journal declared.
+        found: String,
+        /// The schema tag this build reads ([`JOURNAL_SCHEMA`]).
+        expected: String,
+    },
+    /// An event line failed to parse.
+    Malformed {
+        /// 1-based line number in the journal.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::EmptyJournal => write!(f, "journal is empty"),
+            JournalError::MissingHeader => write!(
+                f,
+                "journal has no schema header (expected a first line like \
+                 {{\"schema\":\"{JOURNAL_SCHEMA}\"}}); is this a {JOURNAL_SCHEMA} journal?"
+            ),
+            JournalError::SchemaMismatch { found, expected } => write!(
+                f,
+                "journal schema \"{found}\" is not supported (this build reads \"{expected}\")"
+            ),
+            JournalError::Malformed { line, reason } => {
+                write!(f, "journal line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Validate a journal's first line as a [`JOURNAL_SCHEMA`] header.
+pub fn validate_header(first_line: &str) -> Result<(), JournalError> {
+    let header: Value =
+        serde_json::from_str(first_line).map_err(|_| JournalError::MissingHeader)?;
+    let schema = header
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or(JournalError::MissingHeader)?;
+    if schema != JOURNAL_SCHEMA {
+        return Err(JournalError::SchemaMismatch {
+            found: schema.to_string(),
+            expected: JOURNAL_SCHEMA.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Parse a journal back into events, validating the schema header.
+pub fn parse_journal(journal: &str) -> Result<Vec<Event>, JournalError> {
+    let mut lines = journal.lines().enumerate();
+    let (_, header) = lines.next().ok_or(JournalError::EmptyJournal)?;
+    validate_header(header)?;
+
+    let mut events = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let malformed = |reason: &str| JournalError::Malformed {
+            line: idx + 1,
+            reason: reason.to_string(),
+        };
+        let value: Value = serde_json::from_str(line).map_err(|_| malformed("not valid JSON"))?;
+        let track_label = value
+            .get("track")
+            .and_then(Value::as_str)
+            .ok_or_else(|| malformed("missing \"track\""))?;
+        let track = Track::from_label(track_label)
+            .ok_or_else(|| malformed(&format!("unknown track \"{track_label}\"")))?;
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| malformed("missing \"name\""))?
+            .to_string();
+        let kind = match value.get("kind").and_then(Value::as_str) {
+            Some("span") => EventKind::Span,
+            Some("instant") => EventKind::Instant,
+            _ => return Err(malformed("missing or unknown \"kind\"")),
+        };
+        // Non-finite numbers (hand-edited or truncated journals) are
+        // dropped rather than propagated, so downstream utilization /
+        // imbalance / quantile math never renders NaN or inf.
+        let num = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_f64)
+                .filter(|v| v.is_finite())
+        };
+        let args = match value.get("args").and_then(Value::as_object) {
+            Some(fields) => fields
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().filter(|v| v.is_finite()).map(|v| (k.clone(), v)))
+                .collect(),
+            None => Vec::new(),
+        };
+        events.push(Event {
+            track,
+            name,
+            kind,
+            wall_start: num("wall_start").unwrap_or(0.0),
+            wall_dur: num("wall_dur").unwrap_or(0.0),
+            virt_start: num("virt_start"),
+            virt_dur: num("virt_dur"),
+            args,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_validation_accepts_the_current_schema() {
+        assert!(
+            validate_header(&format!("{{\"schema\":\"{JOURNAL_SCHEMA}\",\"events\":3}}")).is_ok()
+        );
+    }
+
+    #[test]
+    fn header_validation_rejects_non_headers() {
+        assert_eq!(
+            validate_header("not json").unwrap_err(),
+            JournalError::MissingHeader
+        );
+        assert_eq!(
+            validate_header("{\"events\":3}").unwrap_err(),
+            JournalError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn version_mismatch_names_both_versions() {
+        // Every consumer (analyze/profile/diff) funnels through this
+        // helper, so the message must carry both the found and the
+        // supported tag — this is the regression test for that contract.
+        let err = validate_header("{\"schema\":\"swdual-journal/99\"}").unwrap_err();
+        assert_eq!(
+            err,
+            JournalError::SchemaMismatch {
+                found: "swdual-journal/99".to_string(),
+                expected: JOURNAL_SCHEMA.to_string(),
+            }
+        );
+        let text = err.to_string();
+        assert!(text.contains("swdual-journal/99"), "{text}");
+        assert!(text.contains(JOURNAL_SCHEMA), "{text}");
+    }
+
+    #[test]
+    fn parse_rejects_empty_and_headerless_journals() {
+        assert_eq!(parse_journal("").unwrap_err(), JournalError::EmptyJournal);
+        assert_eq!(
+            parse_journal("{\"no\":\"header\"}\n").unwrap_err(),
+            JournalError::MissingHeader
+        );
+    }
+}

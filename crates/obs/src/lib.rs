@@ -21,9 +21,12 @@
 //! per-worker execution.
 
 pub mod analysis;
+pub mod diff;
 pub mod export;
+pub mod journal;
 pub mod metrics;
 pub mod profile;
+pub mod trend;
 
 use metrics::Metrics;
 use std::collections::BTreeMap;

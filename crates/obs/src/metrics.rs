@@ -104,6 +104,15 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Zero in place, keeping the bucket allocation for reuse.
+    fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
 }
 
 /// Bucket index for a value: 0 holds everything at or below
@@ -134,6 +143,11 @@ struct Shard {
 struct RegistryInner {
     shards: Vec<Mutex<Shard>>,
     gauge_seq: AtomicU64,
+    /// Persistent merge buffers for [`Metrics::snapshot`]: the maps
+    /// (and every histogram's 256-bucket vec) are zeroed and reused
+    /// across calls instead of reallocated, which is what makes
+    /// polling snapshots (the `--progress` loop) cheap.
+    scratch: Mutex<Shard>,
 }
 
 /// Handle to the sharded registry; cheap to clone. The default handle
@@ -158,7 +172,10 @@ impl Metrics {
         Metrics {
             inner: Some(Arc::new(RegistryInner {
                 shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-                gauge_seq: AtomicU64::new(0),
+                // Sequences start at 1 so a zeroed scratch gauge (seq 0)
+                // can never shadow a real shard write during the merge.
+                gauge_seq: AtomicU64::new(1),
+                scratch: Mutex::new(Shard::default()),
             })),
             shard: 0,
         }
@@ -218,18 +235,39 @@ impl Metrics {
             .record(value);
     }
 
-    /// Merge every shard into a consistent point-in-time view.
+    /// Merge every shard into a consistent point-in-time view. The
+    /// merge runs in persistent scratch buffers (series keys, bucket
+    /// vecs) that are zeroed and reused across calls — series are never
+    /// removed from a shard, so a scratch key is always re-merged and
+    /// can never go stale.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let Some(inner) = &self.inner else {
             return MetricsSnapshot::default();
         };
-        let mut counters: BTreeMap<MetricKey, f64> = BTreeMap::new();
-        let mut gauges: BTreeMap<MetricKey, (u64, f64)> = BTreeMap::new();
-        let mut histograms: BTreeMap<MetricKey, Histogram> = BTreeMap::new();
+        let mut scratch = inner.scratch.lock().expect("metrics scratch lock");
+        let Shard {
+            counters,
+            gauges,
+            histograms,
+        } = &mut *scratch;
+        for value in counters.values_mut() {
+            *value = 0.0;
+        }
+        for (seq, _) in gauges.values_mut() {
+            *seq = 0; // live writes carry seq ≥ 1 and always win
+        }
+        for histogram in histograms.values_mut() {
+            histogram.reset();
+        }
         for shard in &inner.shards {
             let shard = shard.lock().expect("metrics shard lock");
             for (key, value) in &shard.counters {
-                *counters.entry(key.clone()).or_insert(0.0) += value;
+                match counters.get_mut(key) {
+                    Some(existing) => *existing += value,
+                    None => {
+                        counters.insert(key.clone(), *value);
+                    }
+                }
             }
             for (key, (seq, value)) in &shard.gauges {
                 match gauges.get_mut(key) {
@@ -241,17 +279,19 @@ impl Metrics {
                 }
             }
             for (key, histogram) in &shard.histograms {
-                histograms
-                    .entry(key.clone())
-                    .or_insert_with(Histogram::new)
-                    .merge_from(histogram);
+                match histograms.get_mut(key) {
+                    Some(existing) => existing.merge_from(histogram),
+                    None => {
+                        histograms.insert(key.clone(), histogram.clone());
+                    }
+                }
             }
         }
         MetricsSnapshot {
-            counters: counters.into_iter().collect(),
-            gauges: gauges.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+            counters: counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: gauges.iter().map(|(k, (_, v))| (k.clone(), *v)).collect(),
             histograms: histograms
-                .into_iter()
+                .iter()
                 .map(|(k, h)| {
                     let snap = HistogramSnapshot {
                         count: h.count,
@@ -266,7 +306,7 @@ impl Metrics {
                             .map(|(i, c)| (bucket_upper(i), *c))
                             .collect(),
                     };
-                    (k, snap)
+                    (k.clone(), snap)
                 })
                 .collect(),
         }
