@@ -1,0 +1,319 @@
+//! Runtime kernel dispatch: detect the host's vector ISA once, then
+//! route every striped score through the fastest bit-exact backend.
+//!
+//! The ladder, fastest first:
+//!
+//! | backend   | ISA        | byte kernel      | word kernel      |
+//! |-----------|------------|------------------|------------------|
+//! | `avx2`    | x86-64 AVX2| 32 × u8 (256-bit)| 16 × i16 (256-bit)|
+//! | `neon`    | aarch64    | 16 × u8          | 8 × i16          |
+//! | `portable`| `std::simd`| 16 × u8          | 8 × i16          |
+//! | `scalar`  | any        | 16 × u8 arrays   | 8 × i16 arrays   |
+//!
+//! `scalar` is the autovectorized lane-array code in [`crate::striped`] /
+//! [`crate::striped8`] — always available, and the oracle the property
+//! tests pin every other backend against. `portable` needs the
+//! `portable-simd` cargo feature (nightly). Detection runs once per
+//! process ([`Backend::active`], a `OnceLock`); the env var
+//! `SWDUAL_KERNEL_BACKEND=scalar|avx2|neon|portable` overrides it, which
+//! CI uses to force the fallback path on hosts that would dispatch wide.
+//!
+//! All backends return bit-identical `Option<i32>` results: the striped
+//! interleave changes which DP cells share a register, never the
+//! per-cell arithmetic, and the saturation guards compare the same final
+//! maximum against the same limit.
+
+use crate::profile::StripedProfile;
+use crate::striped8::ByteProfile;
+use crate::wide::{ByteProfileW, StripedProfileW};
+use std::sync::OnceLock;
+use swdual_bio::matrix::Matrix;
+use swdual_bio::ScoringScheme;
+
+/// A vector instruction set the striped kernels can run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable saturating lane arrays (always available; the oracle).
+    Scalar,
+    /// 256-bit AVX2 intrinsics (x86-64, runtime-detected).
+    Avx2,
+    /// 128-bit NEON intrinsics (aarch64 baseline).
+    Neon,
+    /// `std::simd` (`portable-simd` feature, nightly toolchains).
+    Portable,
+}
+
+impl Backend {
+    /// Stable display name (the `SWDUAL_KERNEL_BACKEND` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+            Backend::Portable => "portable",
+        }
+    }
+
+    /// Parse a backend name (the env-var grammar).
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "avx2" => Some(Backend::Avx2),
+            "neon" => Some(Backend::Neon),
+            "portable" => Some(Backend::Portable),
+            _ => None,
+        }
+    }
+
+    /// Is this backend usable on the running host?
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+            Backend::Neon => cfg!(target_arch = "aarch64"),
+            Backend::Portable => cfg!(feature = "portable-simd"),
+        }
+    }
+
+    /// Every backend usable on this host, fastest first, `Scalar` last.
+    pub fn available() -> Vec<Backend> {
+        [
+            Backend::Avx2,
+            Backend::Neon,
+            Backend::Portable,
+            Backend::Scalar,
+        ]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+    }
+
+    /// Resolve the backend an override string (usually the
+    /// `SWDUAL_KERNEL_BACKEND` env var) and the host support pick.
+    /// Unknown or unavailable overrides fall back to detection rather
+    /// than erroring: a forced-ISA crash would be strictly worse than a
+    /// slower exact answer.
+    pub fn resolve(overridden: Option<&str>) -> Backend {
+        if let Some(name) = overridden {
+            if let Some(b) = Backend::from_name(name) {
+                if b.is_available() {
+                    return b;
+                }
+            }
+        }
+        Backend::available()[0]
+    }
+
+    /// The process-wide active backend: env override if valid, else the
+    /// fastest ISA the host supports. Resolved once, then cached.
+    pub fn active() -> Backend {
+        static ACTIVE: OnceLock<Backend> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            Backend::resolve(std::env::var("SWDUAL_KERNEL_BACKEND").ok().as_deref())
+        })
+    }
+
+    /// Does this backend score through the wide (256-bit) profile
+    /// layouts instead of the narrow 128-bit ones?
+    pub fn wants_wide_profiles(self) -> bool {
+        matches!(self, Backend::Avx2)
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The profile bundle one backend scores a query with: the narrow
+/// layouts always (they are the 16-bit/byte inputs of the scalar, NEON
+/// and portable backends *and* the escalation oracle), the wide layouts
+/// only when the backend consumes them. `byte` layouts are `None` when
+/// the matrix cannot be biased into a byte — every subject then starts
+/// at the 16-bit tier.
+#[derive(Debug, Clone)]
+pub struct QueryProfiles {
+    /// Backend these profiles were built for.
+    pub backend: Backend,
+    /// The query itself (the scalar-fallback tier and cache-key
+    /// verification both need the original residues).
+    pub query: Vec<u8>,
+    /// Narrow 8-lane 16-bit striped profile.
+    pub striped: StripedProfile,
+    /// Narrow 16-lane biased byte profile.
+    pub byte: Option<ByteProfile>,
+    /// Wide 16-lane 16-bit profile (AVX2 backends only).
+    pub wide16: Option<StripedProfileW>,
+    /// Wide 32-lane byte profile (AVX2 backends only).
+    pub wide8: Option<ByteProfileW>,
+}
+
+impl QueryProfiles {
+    /// Build every layout the active backend needs.
+    pub fn build(query: &[u8], matrix: &Matrix) -> QueryProfiles {
+        QueryProfiles::build_for(Backend::active(), query, matrix)
+    }
+
+    /// Build for an explicit backend (tests and benches iterate these).
+    pub fn build_for(backend: Backend, query: &[u8], matrix: &Matrix) -> QueryProfiles {
+        let (wide16, wide8) = if backend.wants_wide_profiles() {
+            (
+                Some(StripedProfileW::build(query, matrix)),
+                ByteProfileW::build(query, matrix),
+            )
+        } else {
+            (None, None)
+        };
+        QueryProfiles {
+            backend,
+            query: query.to_vec(),
+            striped: StripedProfile::build(query, matrix),
+            byte: ByteProfile::build(query, matrix),
+            wide16,
+            wide8,
+        }
+    }
+
+    /// Approximate heap footprint in bytes (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        let per_pos = 2 * self.striped.alphabet_size; // i16 per residue row
+        let narrow = self.striped.query_len.max(1) * per_pos * 2; // 16-bit + byte
+        let wide = if self.wide16.is_some() { narrow } else { 0 };
+        self.query.len() + narrow + wide
+    }
+
+    /// Byte-tier score via this bundle's backend. `None` = the byte
+    /// range is unusable (unbiasable matrix or saturation): escalate.
+    #[inline]
+    pub fn score8(&self, subject: &[u8], scheme: &ScoringScheme) -> Option<i32> {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                let p = self.wide8.as_ref()?;
+                // Safety: Avx2 is only selectable when detected.
+                unsafe { crate::simd_avx2::striped8_score_profile_avx2(p, subject, scheme) }
+            }
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => {
+                let p = self.byte.as_ref()?;
+                // Safety: NEON is baseline on aarch64.
+                unsafe { crate::simd_neon::striped8_score_profile_neon(p, subject, scheme) }
+            }
+            #[cfg(feature = "portable-simd")]
+            Backend::Portable => {
+                let p = self.byte.as_ref()?;
+                crate::simd_portable::striped8_score_profile_portable(p, subject, scheme)
+            }
+            _ => {
+                let p = self.byte.as_ref()?;
+                crate::striped8::striped8_score_profile(p, subject, scheme)
+            }
+        }
+    }
+
+    /// 16-bit-tier score via this bundle's backend. `None` = possible
+    /// `i16` saturation: escalate to the scalar kernel.
+    #[inline]
+    pub fn score16(&self, subject: &[u8], scheme: &ScoringScheme) -> Option<i32> {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                let p = self.wide16.as_ref()?;
+                // Safety: Avx2 is only selectable when detected.
+                unsafe { crate::simd_avx2::striped_score_profile_avx2(p, subject, scheme) }
+            }
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => {
+                // Safety: NEON is baseline on aarch64.
+                unsafe {
+                    crate::simd_neon::striped_score_profile_neon(&self.striped, subject, scheme)
+                }
+            }
+            #[cfg(feature = "portable-simd")]
+            Backend::Portable => {
+                crate::simd_portable::striped_score_profile_portable(&self.striped, subject, scheme)
+            }
+            _ => crate::striped::striped_score_profile(&self.striped, subject, scheme),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::gotoh_score;
+    use swdual_bio::Alphabet;
+
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_last() {
+        let avail = Backend::available();
+        assert!(!avail.is_empty());
+        assert_eq!(*avail.last().unwrap(), Backend::Scalar);
+        assert!(avail.iter().all(|b| b.is_available()));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in [
+            Backend::Scalar,
+            Backend::Avx2,
+            Backend::Neon,
+            Backend::Portable,
+        ] {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+            assert_eq!(Backend::from_name(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(Backend::from_name("sse9"), None);
+    }
+
+    #[test]
+    fn resolve_honours_valid_overrides_and_ignores_bad_ones() {
+        assert_eq!(Backend::resolve(Some("scalar")), Backend::Scalar);
+        // Unknown or unavailable names fall back to detection.
+        let detected = Backend::resolve(None);
+        assert_eq!(Backend::resolve(Some("not-an-isa")), detected);
+        assert!(detected.is_available());
+    }
+
+    #[test]
+    fn every_available_backend_scores_exactly() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEE");
+        let s = prot(b"MKWVTFISLLLLFSSAYSRGVFRRDTHKSEIAHRFKDLGEE");
+        let want = gotoh_score(&q, &s, &scheme);
+        for backend in Backend::available() {
+            let p = QueryProfiles::build_for(backend, &q, &scheme.matrix);
+            assert_eq!(p.score8(&s, &scheme), Some(want), "byte tier on {backend}");
+            assert_eq!(p.score16(&s, &scheme), Some(want), "word tier on {backend}");
+        }
+    }
+
+    #[test]
+    fn wide_profiles_only_built_when_wanted() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKVLAT");
+        let scalar = QueryProfiles::build_for(Backend::Scalar, &q, &scheme.matrix);
+        assert!(scalar.wide16.is_none() && scalar.wide8.is_none());
+        assert!(scalar.byte.is_some());
+        assert!(scalar.approx_bytes() > 0);
+        if Backend::Avx2.is_available() {
+            let wide = QueryProfiles::build_for(Backend::Avx2, &q, &scheme.matrix);
+            assert!(wide.wide16.is_some() && wide.wide8.is_some());
+        }
+    }
+
+    #[test]
+    fn active_backend_is_stable_and_available() {
+        let a = Backend::active();
+        assert!(a.is_available());
+        assert_eq!(a, Backend::active());
+    }
+}

@@ -6,10 +6,12 @@
 //! or against a whole subject list; [`EngineKind`] selects the kernel
 //! dynamically (the runtime configures workers from it).
 
+use crate::dispatch::QueryProfiles;
 use crate::interseq;
-use crate::profile::StripedProfile;
+use crate::profile_cache::ProfileCache;
 use crate::scalar::gotoh_score;
 use crate::striped;
+use crate::tiered::{tiered_score, TierStats};
 use crate::wavefront::{self, WavefrontConfig};
 use swdual_bio::ScoringScheme;
 
@@ -125,6 +127,27 @@ pub trait AlignEngine: Send + Sync {
             },
         )
     }
+
+    /// Like [`AlignEngine::score_many_phased`], but profile setup may be
+    /// served from `cache` and the per-tier resolution counts are
+    /// returned. Engines without cacheable setup (or without a tier
+    /// ladder) delegate to the phased path and report every subject as
+    /// scalar-resolved. Scores MUST equal `score_many`'s.
+    fn score_many_cached(
+        &self,
+        query: &[u8],
+        subjects: &[&[u8]],
+        scheme: &ScoringScheme,
+        _cache: Option<&ProfileCache>,
+    ) -> (Vec<i32>, PhaseTimings, TierStats) {
+        let (scores, timings) = self.score_many_phased(query, subjects, scheme);
+        let stats = TierStats {
+            subjects: subjects.len() as u64,
+            escalated_scalar: subjects.len() as u64,
+            ..TierStats::default()
+        };
+        (scores, timings, stats)
+    }
 }
 
 /// Scalar Gotoh engine.
@@ -139,9 +162,12 @@ impl AlignEngine for ScalarEngine {
     }
 }
 
-/// Farrar striped engine with automatic scalar fallback; reuses the
-/// striped profile across the subjects of one `score_many` call, like
-/// the original STRIPED does for a database pass.
+/// Farrar striped engine, scoring through the runtime-dispatched SIMD
+/// backends and the SWIPE-style tier ladder: saturated byte lanes
+/// first, 16-bit lanes on saturation, scalar Gotoh last. Profiles are
+/// built once per `score_many` batch — or once per *process* when a
+/// [`ProfileCache`] is passed to
+/// [`AlignEngine::score_many_cached`].
 pub struct StripedEngine;
 
 impl AlignEngine for StripedEngine {
@@ -152,13 +178,11 @@ impl AlignEngine for StripedEngine {
         striped::striped_score_exact(query, subject, scheme)
     }
     fn score_many(&self, query: &[u8], subjects: &[&[u8]], scheme: &ScoringScheme) -> Vec<i32> {
-        let profile = StripedProfile::build(query, &scheme.matrix);
+        let profiles = QueryProfiles::build(query, &scheme.matrix);
+        let mut stats = TierStats::default();
         subjects
             .iter()
-            .map(|s| {
-                striped::striped_score_profile(&profile, s, scheme)
-                    .unwrap_or_else(|| gotoh_score(query, s, scheme))
-            })
+            .map(|s| tiered_score(&profiles, s, scheme, &mut stats))
             .collect()
     }
     fn score_many_phased(
@@ -167,18 +191,30 @@ impl AlignEngine for StripedEngine {
         subjects: &[&[u8]],
         scheme: &ScoringScheme,
     ) -> (Vec<i32>, PhaseTimings) {
-        // Same computation as `score_many`, with the profile-build
-        // stage timed separately from the per-subject DP loop.
+        let (scores, timings, _) = self.score_many_cached(query, subjects, scheme, None);
+        (scores, timings)
+    }
+    fn score_many_cached(
+        &self,
+        query: &[u8],
+        subjects: &[&[u8]],
+        scheme: &ScoringScheme,
+        cache: Option<&ProfileCache>,
+    ) -> (Vec<i32>, PhaseTimings, TierStats) {
+        // Same computation as `score_many`, with the profile stage (a
+        // cache lookup on a warm cache) timed separately from the
+        // per-subject tier ladder.
         let start = std::time::Instant::now();
-        let profile = StripedProfile::build(query, &scheme.matrix);
+        let profiles = match cache {
+            Some(cache) => cache.get_or_build(query, &scheme.matrix),
+            None => std::sync::Arc::new(QueryProfiles::build(query, &scheme.matrix)),
+        };
         let profile_build = start.elapsed().as_secs_f64();
         let start = std::time::Instant::now();
+        let mut stats = TierStats::default();
         let scores = subjects
             .iter()
-            .map(|s| {
-                striped::striped_score_profile(&profile, s, scheme)
-                    .unwrap_or_else(|| gotoh_score(query, s, scheme))
-            })
+            .map(|s| tiered_score(&profiles, s, scheme, &mut stats))
             .collect();
         (
             scores,
@@ -187,6 +223,7 @@ impl AlignEngine for StripedEngine {
                 dp_inner: start.elapsed().as_secs_f64(),
                 traceback: 0.0,
             },
+            stats,
         )
     }
 }
@@ -289,6 +326,42 @@ mod tests {
         // profile-build phase; the default lumps everything in dp_inner.
         let (_, scalar) = ScalarEngine.score_many_phased(&q, &refs, &scheme);
         assert_eq!(scalar.profile_build, 0.0);
+    }
+
+    #[test]
+    fn cached_scoring_matches_and_hits_on_reuse() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKWVTFISLLFLFSSAYSRGVFRR");
+        let subs = subjects();
+        let refs: Vec<&[u8]> = subs.iter().map(|s| s.as_slice()).collect();
+        let cache = ProfileCache::default();
+        let engine = StripedEngine;
+        let plain = engine.score_many(&q, &refs, &scheme);
+        let (first, _, stats) = engine.score_many_cached(&q, &refs, &scheme, Some(&cache));
+        assert_eq!(first, plain);
+        assert_eq!(stats.subjects, refs.len() as u64);
+        assert_eq!(
+            stats.byte_resolved + stats.escalated_16 + stats.escalated_scalar,
+            stats.subjects
+        );
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // A second job with the same query reuses the profiles.
+        let (second, timings, _) = engine.score_many_cached(&q, &refs, &scheme, Some(&cache));
+        assert_eq!(second, plain);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(timings.profile_build >= 0.0);
+    }
+
+    #[test]
+    fn default_cached_path_reports_scalar_resolution() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKVLAT");
+        let subs = subjects();
+        let refs: Vec<&[u8]> = subs.iter().map(|s| s.as_slice()).collect();
+        let (scores, _, stats) = ScalarEngine.score_many_cached(&q, &refs, &scheme, None);
+        assert_eq!(scores, ScalarEngine.score_many(&q, &refs, &scheme));
+        assert_eq!(stats.subjects, refs.len() as u64);
+        assert_eq!(stats.escalated_scalar, refs.len() as u64);
     }
 
     #[test]

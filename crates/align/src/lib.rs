@@ -30,20 +30,38 @@
 //! vectorised kernels use narrower saturating lanes internally and fall
 //! back to the scalar kernel when a score would overflow the lane type —
 //! exactly how SWIPE and STRIPED handle the same problem.
+//!
+//! On top of the kernels sits a runtime [`dispatch`] layer (detect the
+//! host ISA once, route through AVX2 / NEON / `std::simd` / scalar
+//! backends), a [`profile_cache`] that reuses built query profiles
+//! across jobs, and the [`tiered`] SWIPE-style pipeline (byte lanes →
+//! 16-bit lanes → scalar) that is the default database scoring path.
+
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod alignment;
 pub mod banded;
+pub mod dispatch;
 pub mod engine;
 pub mod interseq;
 pub mod linspace;
 pub mod par_search;
 pub mod profile;
+pub mod profile_cache;
 pub mod scalar;
+pub mod simd_avx2;
+pub mod simd_neon;
+pub mod simd_portable;
 pub mod striped;
 pub mod striped8;
+pub mod tiered;
 pub mod traceback;
 pub mod wavefront;
+pub mod wide;
 
 pub use alignment::{AlignOp, Alignment};
+pub use dispatch::{Backend, QueryProfiles};
 pub use engine::{AlignEngine, EngineKind, PhaseTimings};
+pub use profile_cache::ProfileCache;
 pub use scalar::{gotoh_score, sw_linear_score};
+pub use tiered::{tiered_score, TierStats};

@@ -1,0 +1,361 @@
+//! AVX2 intrinsic backends for the striped kernels (x86-64 only).
+//!
+//! These are the same Farrar recurrences as [`crate::striped`] and
+//! [`crate::striped8`], hand-lowered to 256-bit AVX2: 32 unsigned byte
+//! lanes or 16 signed word lanes per instruction, saturated adds/subs
+//! (`vpaddsw`/`vpaddusb` family), and a `vpmovmskb` test for the lazy-F
+//! exit instead of a scalar lane scan. The striped interleave crosses
+//! the 128-bit lane boundary, so the one-element shift uses the
+//! `vperm2i128` + `vpalignr` idiom.
+//!
+//! Safety: every `unsafe` kernel is `#[target_feature(enable = "avx2")]`
+//! and only reachable through [`crate::dispatch`], which verifies AVX2
+//! with `is_x86_feature_detected!` before handing these functions out.
+//! Saturation guards are the same formulas as the portable kernels, so
+//! all backends return bit-identical `Option<i32>` results (the
+//! property tests pin this).
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::wide::{ByteProfileW, StripedProfileW};
+use std::arch::x86_64::*;
+use swdual_bio::ScoringScheme;
+
+/// "No gap state" sentinel, as in the portable 16-bit kernel.
+const NEG: i16 = i16::MIN / 2;
+
+/// Shift all 32 byte lanes up by one (lane `l` receives lane `l-1`),
+/// inserting 0 into lane 0 — `_mm_slli_si128(v, 1)` extended across the
+/// 128-bit boundary.
+#[inline(always)]
+unsafe fn shift1_u8(a: __m256i) -> __m256i {
+    // [0, a_low]: the low 128 get zeroed, the high 128 get a's low half.
+    let carry = _mm256_permute2x128_si256(a, a, 0x08);
+    _mm256_alignr_epi8(a, carry, 15)
+}
+
+/// Shift all 16 word lanes up by one, inserting `FILL` into lane 0.
+#[inline(always)]
+unsafe fn shift1_i16<const FILL: i16>(a: __m256i) -> __m256i {
+    let carry = _mm256_permute2x128_si256(a, a, 0x08);
+    let shifted = _mm256_alignr_epi8(a, carry, 14);
+    if FILL == 0 {
+        shifted // the carry half is zeroed, lane 0 is already 0
+    } else {
+        _mm256_insert_epi16::<0>(shifted, FILL)
+    }
+}
+
+/// Horizontal max of 32 unsigned byte lanes.
+#[inline(always)]
+unsafe fn hmax_u8(a: __m256i) -> u8 {
+    let mut buf = [0u8; 32];
+    _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, a);
+    buf.iter().copied().max().unwrap_or(0)
+}
+
+/// Horizontal max of 16 signed word lanes.
+#[inline(always)]
+unsafe fn hmax_i16(a: __m256i) -> i16 {
+    let mut buf = [0i16; 16];
+    _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, a);
+    buf.iter().copied().max().unwrap_or(i16::MIN)
+}
+
+/// AVX2 byte kernel over the wide profile. Same contract as
+/// [`crate::striped8::striped8_score_profile`]: `None` means the score
+/// came too close to the byte ceiling to trust — escalate to 16-bit.
+///
+/// # Safety
+/// Requires AVX2 (checked by the dispatcher).
+#[target_feature(enable = "avx2")]
+pub unsafe fn striped8_score_profile_avx2(
+    profile: &ByteProfileW,
+    subject: &[u8],
+    scheme: &ScoringScheme,
+) -> Option<i32> {
+    if profile.query_len == 0 || subject.is_empty() {
+        return Some(0);
+    }
+    debug_assert!(profile.alphabet_size == scheme.matrix.size());
+    let seg = profile.segments;
+    let open = (scheme.gap_open + scheme.gap_extend).min(255) as u8;
+    let ext = scheme.gap_extend.min(255) as u8;
+
+    let zero = _mm256_setzero_si256();
+    let vopen = _mm256_set1_epi8(open as i8);
+    let vext = _mm256_set1_epi8(ext as i8);
+    let vbias = _mm256_set1_epi8(profile.bias as i8);
+
+    let mut h_store: Vec<__m256i> = vec![zero; seg];
+    let mut h_load: Vec<__m256i> = vec![zero; seg];
+    let mut e: Vec<__m256i> = vec![zero; seg];
+    let mut vmax_acc = zero;
+
+    for &s in subject {
+        let prof = profile.row(s);
+        let mut vf = zero;
+        let mut vh = shift1_u8(h_store[seg - 1]);
+        std::mem::swap(&mut h_store, &mut h_load);
+
+        for v in 0..seg {
+            let pv = _mm256_loadu_si256(prof[v].as_ptr() as *const __m256i);
+            // H = max(diag + score, E, F); unsigned floor is the 0 clamp.
+            vh = _mm256_subs_epu8(_mm256_adds_epu8(vh, pv), vbias);
+            vh = _mm256_max_epu8(vh, e[v]);
+            vh = _mm256_max_epu8(vh, vf);
+            vmax_acc = _mm256_max_epu8(vmax_acc, vh);
+            h_store[v] = vh;
+
+            let h_open = _mm256_subs_epu8(vh, vopen);
+            e[v] = _mm256_max_epu8(_mm256_subs_epu8(e[v], vext), h_open);
+            vf = _mm256_max_epu8(_mm256_subs_epu8(vf, vext), h_open);
+            vh = h_load[v];
+        }
+
+        // Lazy-F with a movemask exit: vf <= H - open in every lane
+        // (unsigned: max(vf, t) == t) means no further improvement.
+        let mut v = 0usize;
+        vf = shift1_u8(vf);
+        loop {
+            let threshold = _mm256_subs_epu8(h_store[v], vopen);
+            let le = _mm256_cmpeq_epi8(_mm256_max_epu8(vf, threshold), threshold);
+            if _mm256_movemask_epi8(le) == -1i32 {
+                break;
+            }
+            h_store[v] = _mm256_max_epu8(h_store[v], vf);
+            let h_open = _mm256_subs_epu8(h_store[v], vopen);
+            e[v] = _mm256_max_epu8(e[v], h_open);
+            vf = _mm256_subs_epu8(vf, vext);
+            v += 1;
+            if v >= seg {
+                v = 0;
+                vf = shift1_u8(vf);
+            }
+        }
+    }
+
+    let best = hmax_u8(vmax_acc);
+    // Identical guard to the portable byte kernel.
+    let limit = 255u16 - (scheme.matrix.max_score().max(0) as u16 + profile.bias as u16);
+    if best as u16 >= limit {
+        None
+    } else {
+        Some(best as i32)
+    }
+}
+
+/// AVX2 16-bit kernel over the wide profile. Same contract as
+/// [`crate::striped::striped_score_profile`]: `None` means possible
+/// `i16` saturation — recompute with the scalar kernel.
+///
+/// # Safety
+/// Requires AVX2 (checked by the dispatcher).
+#[target_feature(enable = "avx2")]
+pub unsafe fn striped_score_profile_avx2(
+    profile: &StripedProfileW,
+    subject: &[u8],
+    scheme: &ScoringScheme,
+) -> Option<i32> {
+    if profile.query_len == 0 || subject.is_empty() {
+        return Some(0);
+    }
+    debug_assert!(profile.alphabet_size == scheme.matrix.size());
+    let seg = profile.segments;
+    let open = (scheme.gap_open + scheme.gap_extend) as i16;
+    let ext = scheme.gap_extend as i16;
+
+    let zero = _mm256_setzero_si256();
+    let vneg = _mm256_set1_epi16(NEG);
+    let vopen = _mm256_set1_epi16(open);
+    let vext = _mm256_set1_epi16(ext);
+
+    let mut h_store: Vec<__m256i> = vec![zero; seg];
+    let mut h_load: Vec<__m256i> = vec![zero; seg];
+    let mut e: Vec<__m256i> = vec![vneg; seg];
+    let mut vmax_acc = zero;
+
+    for &s in subject {
+        let prof = profile.row(s);
+        let mut vf = vneg;
+        let mut vh = shift1_i16::<0>(h_store[seg - 1]);
+        std::mem::swap(&mut h_store, &mut h_load);
+
+        for v in 0..seg {
+            let pv = _mm256_loadu_si256(prof[v].as_ptr() as *const __m256i);
+            vh = _mm256_adds_epi16(vh, pv);
+            vh = _mm256_max_epi16(vh, e[v]);
+            vh = _mm256_max_epi16(vh, vf);
+            vh = _mm256_max_epi16(vh, zero);
+            vmax_acc = _mm256_max_epi16(vmax_acc, vh);
+            h_store[v] = vh;
+
+            let h_open = _mm256_subs_epi16(vh, vopen);
+            e[v] = _mm256_max_epi16(_mm256_subs_epi16(e[v], vext), h_open);
+            vf = _mm256_max_epi16(_mm256_subs_epi16(vf, vext), h_open);
+            vh = h_load[v];
+        }
+
+        // Lazy-F, with the E refresh the portable kernel documents.
+        let mut v = 0usize;
+        vf = shift1_i16::<NEG>(vf);
+        loop {
+            let threshold = _mm256_subs_epi16(h_store[v], vopen);
+            let gt = _mm256_cmpgt_epi16(vf, threshold);
+            if _mm256_movemask_epi8(gt) == 0 {
+                break;
+            }
+            h_store[v] = _mm256_max_epi16(h_store[v], vf);
+            let h_open = _mm256_subs_epi16(h_store[v], vopen);
+            e[v] = _mm256_max_epi16(e[v], h_open);
+            vf = _mm256_subs_epi16(vf, vext);
+            v += 1;
+            if v >= seg {
+                v = 0;
+                vf = shift1_i16::<NEG>(vf);
+            }
+        }
+    }
+
+    let best = hmax_i16(vmax_acc);
+    let limit = i16::MAX - scheme.matrix.max_score() as i16;
+    if best >= limit {
+        None
+    } else {
+        Some(best as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::gotoh_score;
+    use swdual_bio::{Alphabet, Matrix};
+
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 20) as u8
+            })
+            .collect()
+    }
+
+    fn avx2() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    #[test]
+    fn byte_kernel_agrees_with_scalar_reference() {
+        if !avx2() {
+            return;
+        }
+        let scheme = ScoringScheme::protein_default();
+        for seed in 1..16u64 {
+            let q = pseudo_random(20 + (seed as usize * 29) % 180, seed);
+            let s = pseudo_random(15 + (seed as usize * 41) % 220, seed + 100);
+            let p = ByteProfileW::build(&q, &scheme.matrix).unwrap();
+            let got = unsafe { striped8_score_profile_avx2(&p, &s, &scheme) };
+            assert_eq!(
+                got,
+                crate::striped8::striped8_score(&q, &s, &scheme),
+                "seed {seed}"
+            );
+            if let Some(score) = got {
+                assert_eq!(score, gotoh_score(&q, &s, &scheme), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_kernel_agrees_with_scalar_reference() {
+        if !avx2() {
+            return;
+        }
+        let scheme = ScoringScheme::protein_default();
+        for seed in 1..16u64 {
+            let q = pseudo_random(20 + (seed as usize * 37) % 300, seed);
+            let s = pseudo_random(15 + (seed as usize * 53) % 300, seed + 7);
+            let p = StripedProfileW::build(&q, &scheme.matrix);
+            let got = unsafe { striped_score_profile_avx2(&p, &s, &scheme) };
+            assert_eq!(got, crate::striped::striped_score(&q, &s, &scheme));
+            assert_eq!(got, Some(gotoh_score(&q, &s, &scheme)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn short_queries_exercise_padding_lanes() {
+        if !avx2() {
+            return;
+        }
+        let scheme = ScoringScheme::protein_default();
+        let s = prot(b"MKVLATGGARNDCEQWYHPST");
+        for q in [&b"M"[..], b"MKV", b"MKVLATGGARNDCEQ"] {
+            let q = prot(q);
+            let p8 = ByteProfileW::build(&q, &scheme.matrix).unwrap();
+            let p16 = StripedProfileW::build(&q, &scheme.matrix);
+            let want = gotoh_score(&q, &s, &scheme);
+            assert_eq!(
+                unsafe { striped8_score_profile_avx2(&p8, &s, &scheme) },
+                Some(want)
+            );
+            assert_eq!(
+                unsafe { striped_score_profile_avx2(&p16, &s, &scheme) },
+                Some(want)
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_guards_match_portable_kernels() {
+        if !avx2() {
+            return;
+        }
+        let scheme = ScoringScheme::protein_default();
+        // 60 Ws saturate the byte kernel, 3000 saturate the word kernel;
+        // the wide backends must report None on exactly the same inputs.
+        let w60 = vec![Alphabet::Protein.encode_byte(b'W').unwrap(); 60];
+        let p8 = ByteProfileW::build(&w60, &scheme.matrix).unwrap();
+        assert_eq!(
+            unsafe { striped8_score_profile_avx2(&p8, &w60, &scheme) },
+            None
+        );
+        let w3000 = vec![Alphabet::Protein.encode_byte(b'W').unwrap(); 3000];
+        let p16 = StripedProfileW::build(&w3000, &scheme.matrix);
+        assert_eq!(
+            unsafe { striped_score_profile_avx2(&p16, &w3000, &scheme) },
+            None
+        );
+    }
+
+    #[test]
+    fn lazy_f_crosses_the_mm128_boundary() {
+        if !avx2() {
+            return;
+        }
+        // Tiny gap penalties force F to propagate across many lanes,
+        // including the vperm2i128 carry path.
+        let m = Matrix::match_mismatch(Alphabet::Dna, 5, -1);
+        let scheme = ScoringScheme::new(m, 0, 0);
+        let q: Vec<u8> = (0..96).map(|i| (i % 4) as u8).collect();
+        let s: Vec<u8> = (0..4).map(|i| (i % 4) as u8).collect();
+        let want = gotoh_score(&q, &s, &scheme);
+        let p8 = ByteProfileW::build(&q, &scheme.matrix).unwrap();
+        let p16 = StripedProfileW::build(&q, &scheme.matrix);
+        assert_eq!(
+            unsafe { striped8_score_profile_avx2(&p8, &s, &scheme) },
+            Some(want)
+        );
+        assert_eq!(
+            unsafe { striped_score_profile_avx2(&p16, &s, &scheme) },
+            Some(want)
+        );
+    }
+}

@@ -174,7 +174,24 @@ pub fn striped_score(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> Op
 /// Striped score with automatic scalar fallback on 16-bit overflow —
 /// always exact.
 pub fn striped_score_exact(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
-    striped_score(query, subject, scheme).unwrap_or_else(|| gotoh_score(query, subject, scheme))
+    let profile = StripedProfile::build(query, &scheme.matrix);
+    striped_score_exact_profile(&profile, query, subject, scheme)
+}
+
+/// Exact striped score from a prebuilt (possibly cached) profile:
+/// 16-bit kernel first, scalar recompute on overflow. Callers holding a
+/// profile — the tiered pipeline, the profile cache, a database pass —
+/// use this to avoid the per-call build that [`striped_score_exact`]
+/// pays. `query` must be the sequence `profile` was built from.
+pub fn striped_score_exact_profile(
+    profile: &StripedProfile,
+    query: &[u8],
+    subject: &[u8],
+    scheme: &ScoringScheme,
+) -> i32 {
+    debug_assert_eq!(profile.query_len, query.len());
+    striped_score_profile(profile, subject, scheme)
+        .unwrap_or_else(|| gotoh_score(query, subject, scheme))
 }
 
 #[cfg(test)]

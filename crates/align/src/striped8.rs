@@ -14,9 +14,8 @@
 //! `E`/`F` gap states at zero is sound: a negative gap state can never
 //! beat the fresh-start 0 that the clamp grants anyway.
 
-use crate::profile::LANES;
-use crate::scalar::gotoh_score;
-use crate::striped::striped_score;
+use crate::profile::{StripedProfile, LANES};
+use crate::striped::striped_score_exact_profile;
 use swdual_bio::matrix::Matrix;
 use swdual_bio::ScoringScheme;
 
@@ -83,6 +82,7 @@ fn hmax(a: V8) -> u8 {
 /// Striped byte-layout query profile: biased unsigned scores,
 /// position `v + l·segments` in lane `l` of vector `v`; padding lanes
 /// hold 0 (the most negative biased value), so they can never grow.
+#[derive(Debug, Clone)]
 pub struct ByteProfile {
     /// Query length before padding.
     pub query_len: usize,
@@ -133,8 +133,9 @@ impl ByteProfile {
         })
     }
 
+    /// The `segments` vectors of residue `r`'s profile row.
     #[inline]
-    fn row(&self, r: u8) -> &[V8] {
+    pub fn row(&self, r: u8) -> &[V8] {
         &self.scores[r as usize * self.segments..(r as usize + 1) * self.segments]
     }
 }
@@ -214,20 +215,47 @@ pub fn striped8_score(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> O
 }
 
 /// The full dual-precision pipeline: byte kernel, then 16-bit striped,
-/// then scalar `i32`. Always exact.
+/// then scalar `i32`. Always exact. Each profile is built at most once
+/// per call; callers that score many subjects should build (or cache)
+/// the profiles themselves and use [`striped8_score_exact_profiles`] —
+/// or the tiered pipeline in [`crate::tiered`], which also dispatches
+/// to the SIMD backends.
 pub fn striped8_score_exact(query: &[u8], subject: &[u8], scheme: &ScoringScheme) -> i32 {
-    if let Some(s) = striped8_score(query, subject, scheme) {
+    let byte = ByteProfile::build(query, &scheme.matrix);
+    if let Some(s) = byte
+        .as_ref()
+        .and_then(|p| striped8_score_profile(p, subject, scheme))
+    {
         return s;
     }
-    if let Some(s) = striped_score(query, subject, scheme) {
+    // Escalation: build the 16-bit profile only when actually needed.
+    let word = StripedProfile::build(query, &scheme.matrix);
+    striped_score_exact_profile(&word, query, subject, scheme)
+}
+
+/// The dual-precision pipeline over prebuilt (possibly cached)
+/// profiles: the byte kernel when `byte` is available, the 16-bit
+/// kernel on saturation, scalar last. The escalated rescore reuses
+/// `word` instead of rebuilding it — this is the per-subject step of a
+/// cached database pass. `query` must be the sequence both profiles
+/// were built from.
+pub fn striped8_score_exact_profiles(
+    byte: Option<&ByteProfile>,
+    word: &StripedProfile,
+    query: &[u8],
+    subject: &[u8],
+    scheme: &ScoringScheme,
+) -> i32 {
+    if let Some(s) = byte.and_then(|p| striped8_score_profile(p, subject, scheme)) {
         return s;
     }
-    gotoh_score(query, subject, scheme)
+    striped_score_exact_profile(word, query, subject, scheme)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scalar::gotoh_score;
     use swdual_bio::Alphabet;
 
     fn prot(t: &[u8]) -> Vec<u8> {
@@ -291,6 +319,43 @@ mod tests {
         // Score 11*19 = 209 < limit = 255 - (11 + 4) = 240: exact.
         let q = vec![Alphabet::Protein.encode_byte(b'W').unwrap(); 19];
         assert_eq!(striped8_score(&q, &q, &scheme), Some(209));
+    }
+
+    #[test]
+    fn saturation_guard_fires_one_step_before_lanes_clamp() {
+        // BLOSUM62 + default gaps: bias = 4, max = 11, so the guard
+        // limit is 255 − (11 + 4) = 240. A best score of 242 has NOT
+        // clamped (< 255) but one more match could have saturated a
+        // lane mid-run, so the kernel must refuse it; 231 is the last
+        // trustworthy rung of the ladder (the next W adds 11).
+        let scheme = ScoringScheme::protein_default();
+        let w = Alphabet::Protein.encode_byte(b'W').unwrap();
+        let q21 = vec![w; 21]; // 21·11 = 231 < 240: exact
+        assert_eq!(striped8_score(&q21, &q21, &scheme), Some(231));
+        let q22 = vec![w; 22]; // 22·11 = 242 ∈ [240, 255): refuse
+        assert_eq!(
+            striped8_score(&q22, &q22, &scheme),
+            None,
+            "a not-yet-clamped best past the limit must still escalate"
+        );
+        // And the escalated pipeline recovers the exact score.
+        assert_eq!(striped8_score_exact(&q22, &q22, &scheme), 242);
+    }
+
+    #[test]
+    fn exact_profiles_variant_reuses_prebuilt_profiles() {
+        let scheme = ScoringScheme::protein_default();
+        let w = Alphabet::Protein.encode_byte(b'W').unwrap();
+        for len in [10usize, 22, 60, 3000] {
+            let q = vec![w; len];
+            let byte = ByteProfile::build(&q, &scheme.matrix);
+            let word = StripedProfile::build(&q, &scheme.matrix);
+            assert_eq!(
+                striped8_score_exact_profiles(byte.as_ref(), &word, &q, &q, &scheme),
+                striped8_score_exact(&q, &q, &scheme),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! SWIPE-style tiered scoring pipeline: byte lanes first, 16-bit lanes
+//! on saturation, scalar `i32` Gotoh as the last resort.
+//!
+//! SWIPE [9] scores every subject with saturated byte arithmetic and
+//! only re-scores the (rare, high-scoring) sequences whose score could
+//! have clamped. The byte kernel does twice the cells per vector of the
+//! 16-bit kernel, and for a typical database >99% of subjects resolve
+//! in bytes, so the pipeline's throughput is essentially byte-kernel
+//! throughput with an escalation tax proportional to the hit rate.
+//!
+//! Every tier scores through the same [`QueryProfiles`] bundle, so the
+//! per-query profile work is paid once (and, with
+//! [`crate::profile_cache::ProfileCache`], once per *process* rather
+//! than once per job). [`TierStats`] counts how many subjects each tier
+//! resolved; the runtime workers export those counts to `obs::metrics`
+//! so a schedule report can show the escalation rate.
+
+use crate::dispatch::QueryProfiles;
+use crate::scalar::gotoh_score;
+use swdual_bio::ScoringScheme;
+
+/// Where each subject of a batch was resolved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Subjects scored in total.
+    pub subjects: u64,
+    /// Resolved by the saturated byte kernel.
+    pub byte_resolved: u64,
+    /// Escalated to (and resolved by) the 16-bit kernel.
+    pub escalated_16: u64,
+    /// Escalated all the way to the scalar `i32` kernel.
+    pub escalated_scalar: u64,
+}
+
+impl TierStats {
+    /// Merge another batch's counts into this one.
+    pub fn merge(&mut self, other: &TierStats) {
+        self.subjects += other.subjects;
+        self.byte_resolved += other.byte_resolved;
+        self.escalated_16 += other.escalated_16;
+        self.escalated_scalar += other.escalated_scalar;
+    }
+}
+
+/// Score one subject through the tier ladder. Always returns the exact
+/// Gotoh local-alignment score; `stats` records which tier resolved it.
+#[inline]
+pub fn tiered_score(
+    profiles: &QueryProfiles,
+    subject: &[u8],
+    scheme: &ScoringScheme,
+    stats: &mut TierStats,
+) -> i32 {
+    stats.subjects += 1;
+    if let Some(score) = profiles.score8(subject, scheme) {
+        stats.byte_resolved += 1;
+        return score;
+    }
+    if let Some(score) = profiles.score16(subject, scheme) {
+        stats.escalated_16 += 1;
+        return score;
+    }
+    stats.escalated_scalar += 1;
+    gotoh_score(&profiles.query, subject, scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::Backend;
+    use swdual_bio::{Alphabet, Matrix};
+
+    fn prot(t: &[u8]) -> Vec<u8> {
+        Alphabet::Protein.encode(t).unwrap()
+    }
+
+    #[test]
+    fn typical_subjects_resolve_in_bytes() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"MKWVTFISLLFLFSSAYSRGVFRR");
+        let s = prot(b"MKWVTFISLLLLFSSAYSRGVFRR");
+        let p = QueryProfiles::build(&q, &scheme.matrix);
+        let mut stats = TierStats::default();
+        let got = tiered_score(&p, &s, &scheme, &mut stats);
+        assert_eq!(got, gotoh_score(&q, &s, &scheme));
+        assert_eq!(stats.subjects, 1);
+        assert_eq!(stats.byte_resolved, 1);
+        assert_eq!(stats.escalated_16, 0);
+        assert_eq!(stats.escalated_scalar, 0);
+    }
+
+    #[test]
+    fn saturating_identity_escalates_to_16_bit() {
+        // 400 identical W's: score 400·11 = 4400 overflows a byte but
+        // not an i16, so exactly one escalation to the 16-bit tier.
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(&vec![b'W'; 400]);
+        let p = QueryProfiles::build(&q, &scheme.matrix);
+        let mut stats = TierStats::default();
+        let got = tiered_score(&p, &q, &scheme, &mut stats);
+        assert_eq!(got, 4400);
+        assert_eq!(stats.escalated_16, 1);
+        assert_eq!(stats.escalated_scalar, 0);
+    }
+
+    #[test]
+    fn i16_saturation_falls_through_to_scalar() {
+        // 3100 W's: 34_100 > i16::MAX, so both vector tiers bail and the
+        // scalar kernel answers.
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(&vec![b'W'; 3100]);
+        let p = QueryProfiles::build(&q, &scheme.matrix);
+        let mut stats = TierStats::default();
+        let got = tiered_score(&p, &q, &scheme, &mut stats);
+        assert_eq!(got, 3100 * 11);
+        assert_eq!(stats.escalated_scalar, 1);
+        assert_eq!(stats.byte_resolved, 0);
+        assert_eq!(stats.escalated_16, 0);
+    }
+
+    #[test]
+    fn unbiasable_matrix_starts_at_16_bit_tier() {
+        // A matrix with |min| > 120 cannot build a byte profile at all;
+        // the ladder must start at the 16-bit tier, not crash.
+        let m = Matrix::match_mismatch(Alphabet::Dna, 5, -200);
+        let scheme = ScoringScheme::new(m, 10, 2);
+        let q: Vec<u8> = vec![0, 1, 2, 3, 0, 1, 2, 3];
+        let p = QueryProfiles::build(&q, &scheme.matrix);
+        assert!(p.byte.is_none());
+        let mut stats = TierStats::default();
+        let got = tiered_score(&p, &q, &scheme, &mut stats);
+        assert_eq!(got, gotoh_score(&q, &q, &scheme));
+        assert_eq!(stats.escalated_16, 1);
+    }
+
+    #[test]
+    fn stats_merge_adds_counts() {
+        let mut a = TierStats {
+            subjects: 3,
+            byte_resolved: 2,
+            escalated_16: 1,
+            escalated_scalar: 0,
+        };
+        let b = TierStats {
+            subjects: 2,
+            byte_resolved: 1,
+            escalated_16: 0,
+            escalated_scalar: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.subjects, 5);
+        assert_eq!(a.byte_resolved, 3);
+        assert_eq!(a.escalated_16, 1);
+        assert_eq!(a.escalated_scalar, 1);
+    }
+
+    #[test]
+    fn tier_ladder_is_exact_on_every_backend() {
+        let scheme = ScoringScheme::protein_default();
+        let q = prot(b"GATTACAWWLKMQRST");
+        let subjects = [
+            prot(b"GATTACAWWLKMQRST"),
+            prot(b"TTTTTTTT"),
+            prot(&vec![b'W'; 300]),
+        ];
+        for backend in Backend::available() {
+            let p = QueryProfiles::build_for(backend, &q, &scheme.matrix);
+            let mut stats = TierStats::default();
+            for s in &subjects {
+                assert_eq!(
+                    tiered_score(&p, s, &scheme, &mut stats),
+                    gotoh_score(&q, s, &scheme),
+                    "backend {backend}"
+                );
+            }
+            assert_eq!(stats.subjects, subjects.len() as u64);
+        }
+    }
+}

@@ -5,10 +5,12 @@
 
 use proptest::prelude::*;
 use swdual_align::banded::{banded_gotoh_score, bandwidth_for};
+use swdual_align::dispatch::{Backend, QueryProfiles};
 use swdual_align::engine::EngineKind;
 use swdual_align::interseq::interseq_batch_exact;
 use swdual_align::scalar::{gotoh_score, sw_linear_score};
 use swdual_align::striped::striped_score_exact;
+use swdual_align::tiered::{tiered_score, TierStats};
 use swdual_align::traceback::{self, Mode};
 use swdual_align::wavefront::{wavefront_score, WavefrontConfig};
 use swdual_bio::{Alphabet, Matrix, ScoringScheme};
@@ -16,6 +18,11 @@ use swdual_bio::{Alphabet, Matrix, ScoringScheme};
 /// Random protein residues (codes 0..20, the unambiguous amino acids).
 fn residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(0u8..20, 0..max_len)
+}
+
+/// Random DNA residues (codes 0..4).
+fn dna_residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..4, 0..max_len)
 }
 
 /// Random scoring scheme: random match/mismatch matrix and random gap
@@ -29,6 +36,16 @@ fn scheme() -> impl Strategy<Value = ScoringScheme> {
 /// Random *biological* scheme: BLOSUM62 with random affine penalties.
 fn blosum_scheme() -> impl Strategy<Value = ScoringScheme> {
     (1i32..16, 1i32..5).prop_map(|(gs, ge)| ScoringScheme::new(Matrix::blosum62().clone(), gs, ge))
+}
+
+/// Adversarial high-score schemes: match rewards spanning the byte
+/// profile's bias-rejection boundary (|min| or max past 120, spread
+/// past 250), so some draws force the 16-bit tier from the start while
+/// others saturate bytes mid-run.
+fn adversarial_scheme() -> impl Strategy<Value = ScoringScheme> {
+    (60i32..160, -160i32..-60, 0i32..14, 0i32..6).prop_map(|(ma, mi, gs, ge)| {
+        ScoringScheme::new(Matrix::match_mismatch(Alphabet::Dna, ma, mi), gs, ge)
+    })
 }
 
 proptest! {
@@ -249,5 +266,93 @@ proptest! {
         let mut s_ext = s.clone();
         s_ext.extend_from_slice(&extra);
         prop_assert!(gotoh_score(&q, &s_ext, &sch) >= base);
+    }
+
+    // ---- dispatched-backend bit-exactness -------------------------------
+    //
+    // Every SIMD backend reachable on this host must return results that
+    // are bit-identical to the scalar lane-array oracle on BOTH kernel
+    // tiers, including the `None` saturation signal — an AVX2 build that
+    // escalates on different subjects than the scalar build would make
+    // results host-dependent.
+
+    #[test]
+    fn backends_bit_exact_on_protein(
+        q in residues(120),
+        s in residues(160),
+        sch in scheme(),
+    ) {
+        let oracle = QueryProfiles::build_for(Backend::Scalar, &q, &sch.matrix);
+        let want8 = oracle.score8(&s, &sch);
+        let want16 = oracle.score16(&s, &sch);
+        // The oracle's word tier itself must match the Gotoh reference
+        // whenever it does not saturate.
+        if let Some(w) = want16 {
+            prop_assert_eq!(w, gotoh_score(&q, &s, &sch));
+        }
+        for backend in Backend::available() {
+            let p = QueryProfiles::build_for(backend, &q, &sch.matrix);
+            prop_assert_eq!(p.score8(&s, &sch), want8, "byte tier, backend {}", backend);
+            prop_assert_eq!(p.score16(&s, &sch), want16, "word tier, backend {}", backend);
+        }
+    }
+
+    #[test]
+    fn backends_bit_exact_on_blosum(
+        q in residues(120),
+        s in residues(160),
+        sch in blosum_scheme(),
+    ) {
+        let oracle = QueryProfiles::build_for(Backend::Scalar, &q, &sch.matrix);
+        let want8 = oracle.score8(&s, &sch);
+        let want16 = oracle.score16(&s, &sch);
+        for backend in Backend::available() {
+            let p = QueryProfiles::build_for(backend, &q, &sch.matrix);
+            prop_assert_eq!(p.score8(&s, &sch), want8, "byte tier, backend {}", backend);
+            prop_assert_eq!(p.score16(&s, &sch), want16, "word tier, backend {}", backend);
+        }
+    }
+
+    #[test]
+    fn backends_bit_exact_on_adversarial_dna(
+        q in dna_residues(100),
+        s in dna_residues(140),
+        sch in adversarial_scheme(),
+    ) {
+        // High-magnitude scores: byte profiles are often rejected
+        // outright and 16-bit saturation is reachable; the saturation
+        // *signal* must also agree across backends.
+        let oracle = QueryProfiles::build_for(Backend::Scalar, &q, &sch.matrix);
+        let want8 = oracle.score8(&s, &sch);
+        let want16 = oracle.score16(&s, &sch);
+        for backend in Backend::available() {
+            let p = QueryProfiles::build_for(backend, &q, &sch.matrix);
+            prop_assert_eq!(p.score8(&s, &sch), want8, "byte tier, backend {}", backend);
+            prop_assert_eq!(p.score16(&s, &sch), want16, "word tier, backend {}", backend);
+        }
+    }
+
+    #[test]
+    fn tiered_pipeline_exact_on_every_backend(
+        q in residues(90),
+        subjects in prop::collection::vec(residues(120), 0..6),
+        sch in blosum_scheme(),
+    ) {
+        for backend in Backend::available() {
+            let p = QueryProfiles::build_for(backend, &q, &sch.matrix);
+            let mut stats = TierStats::default();
+            for s in &subjects {
+                prop_assert_eq!(
+                    tiered_score(&p, s, &sch, &mut stats),
+                    gotoh_score(&q, s, &sch),
+                    "backend {}", backend
+                );
+            }
+            prop_assert_eq!(stats.subjects, subjects.len() as u64);
+            prop_assert_eq!(
+                stats.byte_resolved + stats.escalated_16 + stats.escalated_scalar,
+                stats.subjects
+            );
+        }
     }
 }

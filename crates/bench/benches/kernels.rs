@@ -1,136 +1,268 @@
-//! Criterion micro-benchmarks of the alignment kernels: real GCUPS of
-//! each engine on this host (the per-worker rates behind the paper's
-//! baselines).
+//! Kernel throughput: per-backend MCUPS of the striped byte and 16-bit
+//! kernels, the tiered pipeline, and the profile-cache amortization.
+//!
+//! For every SIMD backend reachable on this host (AVX2 / NEON /
+//! portable / scalar — see `swdual_align::dispatch`), a full run scores
+//! one 400-residue query against a 128 × ~300 protein database chunk
+//! through each kernel tier and reports million cell updates per second
+//! (MCUPS). The scalar lane-array backend is the baseline every other
+//! backend's speedup is stated against — the acceptance bar for the
+//! kernel sprint is ≥ 2× on the byte kernel for at least one dispatched
+//! backend.
+//!
+//! Outputs of a full run (`cargo bench -p swdual-bench --bench kernels`):
+//!
+//! * `BENCH_kernels.json` at the workspace root (or `$SWDUAL_BENCH_DIR`):
+//!   per-backend MCUPS, ns/cell, speedups vs scalar, cache timings.
+//! * One `kernels` entry appended to the `BENCH_trend.json` ledger
+//!   (ns/cell, lower is better) for `swdual diff --bench` to gate on.
+//!
+//! `cargo bench ... -- --test` is the CI smoke mode: it prints the
+//! active backend (`backend: avx2`), runs every backend once for
+//! correctness, and skips the timed passes and file writes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use swdual_align::engine::EngineKind;
-use swdual_align::linspace;
-use swdual_align::par_search::par_score_many;
-use swdual_align::profile::StripedProfile;
-use swdual_align::striped::striped_score_profile;
-use swdual_align::striped8::striped8_score_exact;
-use swdual_align::traceback;
+use std::time::Instant;
+use swdual_align::dispatch::{Backend, QueryProfiles};
+use swdual_align::profile_cache::ProfileCache;
+use swdual_align::scalar::gotoh_score;
+use swdual_align::tiered::{tiered_score, TierStats};
 use swdual_bio::ScoringScheme;
 use swdual_datagen::{synthetic_database, LengthModel};
+use swdual_obs::trend::{TrendEntry, TrendLedger};
 
-fn kernel_pairwise(c: &mut Criterion) {
+/// Median ns/op over `samples` timed batches of `iters` calls each.
+fn measure<F: FnMut()>(samples: usize, iters: usize, mut op: F) -> f64 {
+    op(); // warm-up
+    let mut nanos: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        nanos.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    nanos.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    nanos[nanos.len() / 2]
+}
+
+/// Per-backend timing results for one database pass (ns per pass).
+struct BackendResult {
+    backend: Backend,
+    striped8_ns: f64,
+    striped16_ns: f64,
+    tiered_ns: f64,
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+
+    // The line CI greps to assert which backend dispatched.
+    println!("backend: {}", Backend::active().name());
+    println!(
+        "available: {}",
+        Backend::available()
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
     let scheme = ScoringScheme::protein_default();
-    let db = synthetic_database("bench", 2, LengthModel::Fixed(400), 1);
-    let query = db.get(0).unwrap().codes().to_vec();
-    let subject = db.get(1).unwrap().codes().to_vec();
-    let cells = (query.len() * subject.len()) as u64;
+    let (n_subjects, subject_len, query_len) = if test_mode {
+        (8, 60, 80)
+    } else {
+        (128, 300, 400)
+    };
+    let db = synthetic_database("bench", n_subjects, LengthModel::Fixed(subject_len), 11);
+    let qset = synthetic_database("q", 1, LengthModel::Fixed(query_len), 12);
+    let query = qset.get(0).expect("query generated").codes().to_vec();
+    let subjects: Vec<&[u8]> = db.iter().map(|s| s.codes()).collect();
+    let cells: f64 = subjects
+        .iter()
+        .map(|s| (query.len() * s.len()) as f64)
+        .sum();
 
-    let mut group = c.benchmark_group("pairwise_400x400");
-    group.throughput(Throughput::Elements(cells));
-    for kind in EngineKind::ALL {
-        let engine = kind.build();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
-            b.iter(|| engine.score(&query, &subject, &scheme))
+    // Correctness first, always (smoke mode is exactly this): every
+    // backend must reproduce the scalar Gotoh scores through the tier
+    // ladder before we bother timing it.
+    let expected: Vec<i32> = subjects
+        .iter()
+        .map(|s| gotoh_score(&query, s, &scheme))
+        .collect();
+    for backend in Backend::available() {
+        let profiles = QueryProfiles::build_for(backend, &query, &scheme.matrix);
+        let mut stats = TierStats::default();
+        let got: Vec<i32> = subjects
+            .iter()
+            .map(|s| tiered_score(&profiles, s, &scheme, &mut stats))
+            .collect();
+        assert_eq!(got, expected, "backend {backend} diverged from scalar");
+        println!(
+            "check/{}  ok ({} subjects: {} byte, {} escalated-16, {} scalar)",
+            backend,
+            stats.subjects,
+            stats.byte_resolved,
+            stats.escalated_16,
+            stats.escalated_scalar
+        );
+    }
+
+    if test_mode {
+        // Smoke also covers the cache round trip.
+        let cache = ProfileCache::default();
+        cache.get_or_build(&query, &scheme.matrix);
+        cache.get_or_build(&query, &scheme.matrix);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        println!("smoke ok");
+        return;
+    }
+
+    let (samples, iters) = (15, 8);
+    let mcups = |ns: f64| cells / ns * 1e3; // cells per ns → MCUPS
+    let ns_per_cell = |ns: f64| ns / cells;
+
+    // ---- per-backend kernel passes ----
+    let mut results: Vec<BackendResult> = Vec::new();
+    for backend in Backend::available() {
+        let profiles = QueryProfiles::build_for(backend, &query, &scheme.matrix);
+
+        // Byte tier only. Unresolved (saturated) subjects re-run per
+        // pass too — on this workload none saturate, so this is the pure
+        // byte kernel.
+        let striped8_ns = measure(samples, iters, || {
+            for s in &subjects {
+                std::hint::black_box(profiles.score8(s, &scheme));
+            }
+        });
+        // 16-bit tier only.
+        let striped16_ns = measure(samples, iters, || {
+            for s in &subjects {
+                std::hint::black_box(profiles.score16(s, &scheme));
+            }
+        });
+        // The production path: byte → 16-bit → scalar ladder.
+        let tiered_ns = measure(samples, iters, || {
+            let mut stats = TierStats::default();
+            for s in &subjects {
+                std::hint::black_box(tiered_score(&profiles, s, &scheme, &mut stats));
+            }
+        });
+
+        println!(
+            "kernels/{}  striped8 {:8.1} MCUPS   striped16 {:8.1} MCUPS   tiered {:8.1} MCUPS",
+            backend,
+            mcups(striped8_ns),
+            mcups(striped16_ns),
+            mcups(tiered_ns),
+        );
+        results.push(BackendResult {
+            backend,
+            striped8_ns,
+            striped16_ns,
+            tiered_ns,
         });
     }
-    // The dual-precision byte pipeline (not an EngineKind: it composes
-    // the striped kernels).
-    group.bench_function("striped8", |b| {
-        b.iter(|| striped8_score_exact(&query, &subject, &scheme))
-    });
-    group.finish();
-}
 
-fn traceback_vs_linear_space(c: &mut Criterion) {
-    // Alignment reconstruction: full-matrix vs Myers-Miller.
-    let scheme = ScoringScheme::protein_default();
-    let db = synthetic_database("bench", 2, LengthModel::Fixed(800), 7);
-    let query = db.get(0).unwrap().codes().to_vec();
-    let subject = db.get(1).unwrap().codes().to_vec();
-    let mut group = c.benchmark_group("traceback_800x800");
-    group.sample_size(10);
-    group.bench_function("full_matrix_local", |b| {
-        b.iter(|| traceback::local(&query, &subject, &scheme))
-    });
-    group.bench_function("linear_space_local", |b| {
-        b.iter(|| linspace::local_linear_space(&query, &subject, &scheme))
-    });
-    group.finish();
-}
+    let scalar = results
+        .iter()
+        .find(|r| r.backend == Backend::Scalar)
+        .expect("scalar backend always available");
+    let scalar8_ns = scalar.striped8_ns;
+    let scalar16_ns = scalar.striped16_ns;
 
-fn parallel_database_pass(c: &mut Criterion) {
-    // One query vs 256 subjects: serial engine pass vs rayon pass.
-    let scheme = ScoringScheme::protein_default();
-    let db = synthetic_database("bench", 256, LengthModel::Fixed(250), 11);
-    let qset = synthetic_database("q", 1, LengthModel::Fixed(400), 12);
-    let query = qset.get(0).unwrap().codes().to_vec();
-    let refs: Vec<&[u8]> = db.iter().map(|s| s.codes()).collect();
-    let cells: u64 = refs.iter().map(|s| (s.len() * query.len()) as u64).sum();
-    let mut group = c.benchmark_group("database_pass_256x250");
-    group.throughput(Throughput::Elements(cells));
-    group.sample_size(10);
-    let engine = EngineKind::InterSeq.build();
-    group.bench_function("serial_interseq", |b| {
-        b.iter(|| engine.score_many(&query, &refs, &scheme))
+    // ---- profile build vs cache lookup ----
+    let build_ns = measure(samples, 4, || {
+        std::hint::black_box(QueryProfiles::build(&query, &scheme.matrix));
     });
-    group.bench_function("rayon_interseq", |b| {
-        b.iter(|| par_score_many(&query, &refs, &scheme, EngineKind::InterSeq))
+    let cache = ProfileCache::default();
+    cache.get_or_build(&query, &scheme.matrix); // warm
+    let lookup_ns = measure(samples, 100, || {
+        std::hint::black_box(cache.get_or_build(&query, &scheme.matrix));
     });
-    group.finish();
-}
+    println!(
+        "profile_cache/build {build_ns:.0} ns   cached_lookup {lookup_ns:.0} ns   amortization {:.0}x",
+        if lookup_ns > 0.0 { build_ns / lookup_ns } else { 0.0 }
+    );
 
-fn kernel_database_pass(c: &mut Criterion) {
-    let scheme = ScoringScheme::protein_default();
-    let db = synthetic_database("bench", 128, LengthModel::Fixed(300), 2);
-    let query = synthetic_database("q", 1, LengthModel::Fixed(500), 3);
-    let query = query.get(0).unwrap().codes().to_vec();
-    let refs: Vec<&[u8]> = db.iter().map(|s| s.codes()).collect();
-    let cells: u64 = refs.iter().map(|s| (s.len() * query.len()) as u64).sum();
-
-    let mut group = c.benchmark_group("database_128x300");
-    group.throughput(Throughput::Elements(cells));
-    group.sample_size(10);
-    for kind in EngineKind::ALL {
-        let engine = kind.build();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
-            b.iter(|| engine.score_many(&query, &refs, &scheme))
-        });
+    // ---- BENCH_kernels.json ----
+    let out_dir = std::env::var("SWDUAL_BENCH_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string());
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n  \"unit\": \"mcups\",\n");
+    json.push_str(&format!(
+        "  \"host_backend\": \"{}\",\n",
+        Backend::active().name()
+    ));
+    json.push_str(&format!(
+        "  \"workload\": {{ \"query_len\": {}, \"subjects\": {}, \"subject_len\": {}, \"cells\": {} }},\n",
+        query.len(),
+        subjects.len(),
+        subject_len,
+        cells as u64
+    ));
+    json.push_str("  \"backends\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"striped8_mcups\": {:.1}, \"striped16_mcups\": {:.1}, \"tiered_mcups\": {:.1}, \"striped8_ns_per_cell\": {:.4}, \"striped16_ns_per_cell\": {:.4} }}{}\n",
+            r.backend,
+            mcups(r.striped8_ns),
+            mcups(r.striped16_ns),
+            mcups(r.tiered_ns),
+            ns_per_cell(r.striped8_ns),
+            ns_per_cell(r.striped16_ns),
+            comma
+        ));
     }
-    group.finish();
+    json.push_str("  },\n");
+    json.push_str("  \"speedup_vs_scalar\": {\n");
+    let dispatched: Vec<&BackendResult> = results
+        .iter()
+        .filter(|r| r.backend != Backend::Scalar)
+        .collect();
+    for (i, r) in dispatched.iter().enumerate() {
+        let comma = if i + 1 < dispatched.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"striped8\": {:.2}, \"striped16\": {:.2} }}{}\n",
+            r.backend,
+            scalar8_ns / r.striped8_ns,
+            scalar16_ns / r.striped16_ns,
+            comma
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"profile_cache\": {{ \"build_ns\": {build_ns:.0}, \"cached_lookup_ns\": {lookup_ns:.0} }},\n"
+    ));
+    json.push_str("  \"acceptance_striped8_speedup_floor\": 2.0\n}\n");
+    let path = format!("{}/BENCH_kernels.json", out_dir.trim_end_matches('/'));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // ---- trend ledger (ns/cell: lower is better, the diff gate's
+    // polarity) ----
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let mut pairs: Vec<(String, f64)> = Vec::new();
+    for r in &results {
+        pairs.push((
+            format!("{}_striped8", r.backend),
+            ns_per_cell(r.striped8_ns),
+        ));
+        pairs.push((
+            format!("{}_striped16", r.backend),
+            ns_per_cell(r.striped16_ns),
+        ));
+        pairs.push((format!("{}_tiered", r.backend), ns_per_cell(r.tiered_ns)));
+    }
+    let pair_refs: Vec<(&str, f64)> = pairs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let entry = TrendEntry::new("kernels", stamp, "ns_per_cell", &pair_refs);
+    let trend_path = format!("{}/BENCH_trend.json", out_dir.trim_end_matches('/'));
+    match TrendLedger::append_to_file(std::path::Path::new(&trend_path), entry) {
+        Ok(()) => println!("appended kernels to {trend_path}"),
+        Err(e) => eprintln!("could not append to {trend_path}: {e}"),
+    }
 }
-
-fn striped_profile_reuse(c: &mut Criterion) {
-    // The query-profile trick: rebuilding vs reusing per subject.
-    let scheme = ScoringScheme::protein_default();
-    let db = synthetic_database("bench", 32, LengthModel::Fixed(300), 4);
-    let query = synthetic_database("q", 1, LengthModel::Fixed(400), 5);
-    let query = query.get(0).unwrap().codes().to_vec();
-    let refs: Vec<&[u8]> = db.iter().map(|s| s.codes()).collect();
-
-    let mut group = c.benchmark_group("striped_profile");
-    group.sample_size(10);
-    group.bench_function("rebuild_per_subject", |b| {
-        b.iter(|| {
-            refs.iter()
-                .map(|s| {
-                    let p = StripedProfile::build(&query, &scheme.matrix);
-                    striped_score_profile(&p, s, &scheme).unwrap_or(0)
-                })
-                .sum::<i32>()
-        })
-    });
-    group.bench_function("reuse_across_subjects", |b| {
-        let p = StripedProfile::build(&query, &scheme.matrix);
-        b.iter(|| {
-            refs.iter()
-                .map(|s| striped_score_profile(&p, s, &scheme).unwrap_or(0))
-                .sum::<i32>()
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    kernel_pairwise,
-    kernel_database_pass,
-    striped_profile_reuse,
-    traceback_vs_linear_space,
-    parallel_database_pass
-);
-criterion_main!(benches);

@@ -20,6 +20,7 @@ use crossbeam::channel::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 use swdual_align::engine::{EngineKind, PhaseTimings};
+use swdual_align::{ProfileCache, TierStats};
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::ScoringScheme;
 use swdual_gpusim::{DeviceSpec, GpuDevice};
@@ -41,10 +42,13 @@ pub enum WorkerSpec {
 }
 
 impl WorkerSpec {
-    /// The paper's CPU worker: the SWIPE (inter-sequence SIMD) kernel.
+    /// The paper's CPU worker: a SWIPE-class vector kernel. Since the
+    /// kernel-dispatch sprint this is the striped engine's tiered
+    /// pipeline (byte lanes → 16-bit lanes → scalar) on the fastest
+    /// SIMD backend the host supports.
     pub fn cpu_default() -> WorkerSpec {
         WorkerSpec::Cpu {
-            engine: EngineKind::InterSeq,
+            engine: EngineKind::Striped,
         }
     }
 
@@ -190,6 +194,28 @@ fn record_phase_spans(
     }
 }
 
+/// Export one job's tier-resolution counts and the profile-cache state
+/// to the live metrics registry (no-op when tracing is disabled).
+fn record_kernel_metrics(obs: &Obs, worker_id: usize, stats: &TierStats, cache: &ProfileCache) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let metrics = obs.metrics().for_shard(worker_id);
+    let worker = worker_id.to_string();
+    let labels = [("worker", worker.as_str())];
+    metrics.counter("kernel_subjects", &labels, stats.subjects as f64);
+    metrics.counter("kernel_byte_resolved", &labels, stats.byte_resolved as f64);
+    metrics.counter("kernel_escalated_16", &labels, stats.escalated_16 as f64);
+    metrics.counter(
+        "kernel_escalated_scalar",
+        &labels,
+        stats.escalated_scalar as f64,
+    );
+    // Cumulative gauges: the cache counts since worker start.
+    metrics.gauge("profile_cache_hits", &labels, cache.hits() as f64);
+    metrics.gauge("profile_cache_misses", &labels, cache.misses() as f64);
+}
+
 /// The crash/straggler knobs a worker consults per job, pre-split from
 /// the fault enum so the healthy path pays a single `None` check.
 struct FaultKnobs {
@@ -310,6 +336,10 @@ pub fn worker_loop(
             let engine = engine.build();
             let db_refs: Vec<&[u8]> = ctx.database.iter().map(|s| s.codes()).collect();
             let model = WorkerRateModel::cpu_swipe();
+            // Per-worker profile cache: jobs that share a query (chunked
+            // databases, repeated searches) reuse the built profiles, so
+            // profile_build collapses to a lookup after the first job.
+            let profile_cache = ProfileCache::default();
             let mut virt_clock = 0.0;
             for job in jobs.iter() {
                 if !knobs.pre_job(jobs_done, job, ctx.worker_id, &ctx.obs, &results) {
@@ -321,19 +351,17 @@ pub fn worker_loop(
                     .expect("query index in range");
                 let wall_start = ctx.obs.now();
                 let start = Instant::now();
-                // The profiled path measures per-phase wall time; the
-                // plain path stays exactly as cheap as before. Both
-                // produce identical scores.
-                let (scores, timings) = if ctx.obs.is_profiling() {
-                    let (scores, timings) =
-                        engine.score_many_phased(query.codes(), &db_refs, &ctx.scheme);
-                    (scores, Some(timings))
-                } else {
-                    (
-                        engine.score_many(query.codes(), &db_refs, &ctx.scheme),
-                        None,
-                    )
-                };
+                // The cached path is the default: it serves profiles
+                // from the per-worker cache and reports phase timings
+                // plus tier-resolution counts at the cost of two clock
+                // reads per job. Scores are identical to `score_many`.
+                let (scores, timings, tier_stats) = engine.score_many_cached(
+                    query.codes(),
+                    &db_refs,
+                    &ctx.scheme,
+                    Some(&profile_cache),
+                );
+                let timings = ctx.obs.is_profiling().then_some(timings);
                 let wall = start.elapsed().as_secs_f64();
                 let cells = query.len() as u64 * ctx.database.total_residues();
                 let modelled = model.task_seconds(query.len(), ctx.database.total_residues())
@@ -359,6 +387,7 @@ pub fn worker_loop(
                         timings,
                     );
                 }
+                record_kernel_metrics(&ctx.obs, ctx.worker_id, &tier_stats, &profile_cache);
                 virt_clock += modelled;
                 jobs_done += 1;
                 let send = results.send(WorkerMsg::Completed(JobResult {
@@ -756,6 +785,63 @@ mod tests {
         worker_loop(WorkerSpec::cpu_default(), ctx, job_rx, res_tx);
         let _ = res_rx.iter().count();
         assert!(obs.events().iter().all(|e| !e.is_profile_detail()));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_profile_cache_and_export_tier_metrics() {
+        let (job_tx, job_rx) = channel::unbounded();
+        let (res_tx, res_rx) = channel::unbounded();
+        let obs = Obs::enabled();
+        let ctx = WorkerContext {
+            worker_id: 7,
+            database: Arc::new(tiny_db()),
+            queries: Arc::new(tiny_queries()),
+            scheme: ScoringScheme::protein_default(),
+            obs: obs.clone(),
+            fault: None,
+        };
+        // Three jobs, two of them for the same query: the second and
+        // third lookups of query 0's profiles must be cache hits.
+        for (task_id, query_index) in [(0, 0), (1, 0), (2, 0)] {
+            job_tx
+                .send(Job {
+                    task_id,
+                    query_index,
+                })
+                .unwrap();
+        }
+        drop(job_tx);
+        worker_loop(WorkerSpec::cpu_default(), ctx, job_rx, res_tx);
+        let results: Vec<WorkerMsg> = res_rx.iter().collect();
+        assert_eq!(results.len(), 3);
+        for m in &results {
+            match m {
+                WorkerMsg::Completed(r) => assert_eq!(r.scores, expected_scores(0)),
+                other => panic!("expected completion, got {other:?}"),
+            }
+        }
+        let snap = obs.metrics().snapshot();
+        let labels = [("worker", "7")];
+        let subjects = snap.counter_value("kernel_subjects", &labels).unwrap();
+        assert_eq!(subjects, (3 * tiny_db().len()) as f64);
+        let byte = snap
+            .counter_value("kernel_byte_resolved", &labels)
+            .unwrap_or(0.0);
+        let esc16 = snap
+            .counter_value("kernel_escalated_16", &labels)
+            .unwrap_or(0.0);
+        let scalar = snap
+            .counter_value("kernel_escalated_scalar", &labels)
+            .unwrap_or(0.0);
+        assert_eq!(byte + esc16 + scalar, subjects, "tiers partition subjects");
+        assert!(
+            snap.gauge_value("profile_cache_hits", &labels).unwrap() >= 2.0,
+            "jobs 2 and 3 reuse job 1's profiles"
+        );
+        assert_eq!(
+            snap.gauge_value("profile_cache_misses", &labels).unwrap(),
+            1.0
+        );
     }
 
     #[test]
