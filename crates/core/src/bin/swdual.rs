@@ -4,7 +4,10 @@
 //!
 //! ```text
 //! swdual search   --db DB.(fasta|sqb) --queries Q.fasta
-//!                 [--cpus N] [--gpus N] [--policy dual|dual-dp|self]
+//!                 [--cpus N] [--gpus N] [--device-class SPEC]
+//!                 [--prior-scale W:F[,W:F...]]
+//!                 [--reopt] [--reopt-threshold F] [--reopt-min-remaining N]
+//!                 [--policy dual|dual-dp|self]
 //!                 [--top K] [--gap-open N] [--gap-extend N] [--evalues]
 //!                 [--trace-out TRACE.json] [--metrics-out METRICS.prom]
 //!                 [--journal-out EVENTS.jsonl] [--progress] [--profile]
@@ -29,7 +32,8 @@ use swdual_bio::stats::LengthStats;
 use swdual_bio::{fasta, sqb, Alphabet, Matrix, ScoringScheme, SequenceSet};
 use swdual_core::{ProgressReporter, SearchBuilder};
 use swdual_datagen::{synthetic_database, LengthModel};
-use swdual_runtime::{AllocationPolicy, FaultPlan, WorkerSpec};
+use swdual_gpusim::DeviceClass;
+use swdual_runtime::{AllocationPolicy, FaultPlan, ReoptConfig, WorkerSpec};
 use swdual_sched::dual::KnapsackMethod;
 use swdual_sched::knapsack::DpConfig;
 
@@ -49,6 +53,8 @@ fn usage() -> &'static str {
 
 USAGE:
   swdual search   --db FILE --queries FILE [--cpus N] [--gpus N]
+                  [--device-class SPEC] [--prior-scale W:F[,W:F...]]
+                  [--reopt] [--reopt-threshold F] [--reopt-min-remaining N]
                   [--policy dual|dual-dp|self] [--top K]
                   [--gap-open N] [--gap-extend N] [--evalues]
                   [--trace-out TRACE.json] [--metrics-out METRICS.prom]
@@ -93,6 +99,24 @@ deterministic modelled-clock lane, the CI setting). `--bench` diffs
 the last two entries per bench in the `BENCH_trend.json` ledger
 instead of journals.
 
+Device zoo (simulated accelerator classes; scores never change):
+  --device-class SPEC  GPU worker device class(es): a name (c2050 | phi
+                       | knl | bioseal), a comma list (one GPU per
+                       entry), or \"mixed\" (one of each class). A single
+                       name is replicated across --gpus workers.
+  --prior-scale W:F    skew worker W's *declared* rate model by factor
+                       F (comma-separable) — deliberate miscalibration
+                       for re-optimization experiments.
+
+Online re-optimization (off by default; hits never change):
+  --reopt                   enable re-planning of undispatched tasks
+                            when observed per-worker slowdown skew
+                            exceeds the threshold
+  --reopt-threshold F       skew ratio that triggers a re-plan
+                            (default 1.5; implies --reopt)
+  --reopt-min-remaining N   minimum undispatched tasks worth
+                            re-planning (default 2; implies --reopt)
+
 Fault injection (deterministic; hits are identical to a fault-free run
 as long as one worker survives):
   --fault-plan SPEC    explicit plan, e.g. \"1:crash@2,2:device@0\"
@@ -110,7 +134,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
         // Boolean flags.
-        if matches!(key, "evalues" | "progress" | "json" | "text" | "profile") {
+        if matches!(
+            key,
+            "evalues" | "progress" | "json" | "text" | "profile" | "reopt"
+        ) {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -158,6 +185,30 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
         "self" => AllocationPolicy::SelfScheduling,
         other => return Err(format!("unknown policy {other:?} (dual|dual-dp|self)")),
     };
+    // Device zoo: which class each simulated GPU worker belongs to.
+    let gpu_classes: Vec<DeviceClass> = match flags.get("device-class").map(String::as_str) {
+        None => vec![DeviceClass::C2050; gpus],
+        Some("mixed") => DeviceClass::ALL.to_vec(),
+        Some(spec) => {
+            let list: Vec<DeviceClass> = spec
+                .split(',')
+                .map(|s| s.trim().parse())
+                .collect::<Result<_, _>>()?;
+            if list.len() == 1 {
+                vec![list[0]; gpus.max(1)]
+            } else {
+                if flags.contains_key("gpus") && gpus != list.len() {
+                    return Err(format!(
+                        "--gpus {} conflicts with the {}-entry --device-class list",
+                        gpus,
+                        list.len()
+                    ));
+                }
+                list
+            }
+        }
+    };
+    let gpus = gpu_classes.len();
     if cpus + gpus == 0 {
         return Err("need at least one worker (--cpus/--gpus)".into());
     }
@@ -165,19 +216,48 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     let database = load_set(db_path)?;
     let queries = load_set(q_path)?;
     let db_residues = database.total_residues();
+    let zoo_label = if gpus == 0 {
+        "none".to_string()
+    } else {
+        gpu_classes
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    };
     eprintln!(
-        "database: {} sequences / {} residues; queries: {}; workers: {cpus} CPU + {gpus} GPU(sim)",
+        "database: {} sequences / {} residues; queries: {}; workers: {cpus} CPU + {gpus} GPU(sim: {zoo_label})",
         database.len(),
         db_residues,
         queries.len()
     );
 
     let mut workers = Vec::new();
-    for _ in 0..gpus {
-        workers.push(WorkerSpec::gpu_default());
+    for &class in &gpu_classes {
+        workers.push(WorkerSpec::device_class(class));
     }
     for _ in 0..cpus {
         workers.push(WorkerSpec::cpu_default());
+    }
+    if let Some(spec) = flags.get("prior-scale") {
+        for part in spec.split(',') {
+            let (w, f) = part
+                .split_once(':')
+                .ok_or_else(|| format!("--prior-scale entry {part:?} is not W:F"))?;
+            let w: usize = w
+                .trim()
+                .parse()
+                .map_err(|_| format!("--prior-scale worker {w:?}"))?;
+            let f: f64 = f
+                .trim()
+                .parse()
+                .map_err(|_| format!("--prior-scale factor {f:?}"))?;
+            let spec = workers
+                .get_mut(w)
+                .ok_or_else(|| format!("--prior-scale worker {w} out of range"))?;
+            *spec = spec.clone().with_prior_scale(f);
+            eprintln!("prior: worker {w} declared rate model skewed x{f}");
+        }
     }
     let scheme = ScoringScheme::new(Matrix::blosum62().clone(), gap_open, gap_extend);
     let query_lens: Vec<usize> = queries.iter().map(|s| s.len()).collect();
@@ -231,6 +311,27 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     if let Some(ms) = flags.get("min-job-timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| "--min-job-timeout-ms")?;
         builder = builder.min_job_timeout(std::time::Duration::from_millis(ms));
+    }
+    if flags.contains_key("reopt")
+        || flags.contains_key("reopt-threshold")
+        || flags.contains_key("reopt-min-remaining")
+    {
+        let mut reopt = ReoptConfig::enabled();
+        if let Some(v) = flags.get("reopt-threshold") {
+            reopt.threshold = v
+                .parse::<f64>()
+                .ok()
+                .filter(|t| *t >= 1.0)
+                .ok_or("--reopt-threshold must be a number >= 1")?;
+        }
+        if let Some(v) = flags.get("reopt-min-remaining") {
+            reopt.min_remaining = v.parse().map_err(|_| "--reopt-min-remaining")?;
+        }
+        eprintln!(
+            "reopt: on (threshold x{}, min remaining {})",
+            reopt.threshold, reopt.min_remaining
+        );
+        builder = builder.reopt(reopt);
     }
     let reporter =
         progress.then(|| ProgressReporter::start(&obs, std::time::Duration::from_millis(250)));

@@ -5,9 +5,11 @@ use swdual_bio::error::BioError;
 use swdual_bio::fasta::ResiduePolicy;
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::{Alphabet, ScoringScheme};
+use swdual_gpusim::DeviceClass;
 use swdual_obs::Obs;
 use swdual_runtime::{
-    try_run_search, AllocationPolicy, FaultPlan, RuntimeConfig, SearchError, WorkerSpec,
+    try_run_search, AllocationPolicy, FaultPlan, ReoptConfig, RuntimeConfig, SearchError,
+    WorkerSpec,
 };
 use swdual_sched::dual::KnapsackMethod;
 
@@ -24,6 +26,7 @@ pub struct SearchBuilder {
     faults: FaultPlan,
     job_timeout_slack: Option<f64>,
     min_job_timeout: Option<std::time::Duration>,
+    reopt: Option<ReoptConfig>,
 }
 
 impl Default for SearchBuilder {
@@ -48,6 +51,7 @@ impl SearchBuilder {
             faults: FaultPlan::none(),
             job_timeout_slack: None,
             min_job_timeout: None,
+            reopt: None,
         }
     }
 
@@ -122,6 +126,45 @@ impl SearchBuilder {
             workers.push(WorkerSpec::cpu_default());
         }
         self.workers = workers;
+        self
+    }
+
+    /// Device-zoo pool: `cpus` CPU workers plus one GPU worker per
+    /// entry of `classes` (see [`DeviceClass`]). GPU workers come
+    /// first, matching [`SearchBuilder::hybrid_workers`].
+    pub fn zoo_workers(mut self, cpus: usize, classes: &[DeviceClass]) -> Self {
+        let mut workers = Vec::with_capacity(cpus + classes.len());
+        for &class in classes {
+            workers.push(WorkerSpec::device_class(class));
+        }
+        for _ in 0..cpus {
+            workers.push(WorkerSpec::cpu_default());
+        }
+        self.workers = workers;
+        self
+    }
+
+    /// Skew the *declared* rate model of specific workers by
+    /// `(worker index, factor)` — a deliberate miscalibration for
+    /// re-optimization experiments. The workers' true speed is
+    /// untouched; only the estimates the planner consumes are wrong.
+    /// Out-of-range indices are ignored. Configure the worker pool
+    /// first.
+    pub fn prior_scales(mut self, scales: &[(usize, f64)]) -> Self {
+        for &(w, s) in scales {
+            if let Some(spec) = self.workers.get_mut(w) {
+                *spec = spec.clone().with_prior_scale(s);
+            }
+        }
+        self
+    }
+
+    /// Configure online re-optimization (off by default). See
+    /// [`ReoptConfig`]: when observed per-worker slowdown skew exceeds
+    /// the threshold, the master re-plans undispatched tasks on the
+    /// re-calibrated platform.
+    pub fn reopt(mut self, reopt: ReoptConfig) -> Self {
+        self.reopt = Some(reopt);
         self
     }
 
@@ -220,6 +263,9 @@ impl SearchBuilder {
         }
         if let Some(floor) = self.min_job_timeout {
             config.min_job_timeout = floor;
+        }
+        if let Some(reopt) = self.reopt {
+            config.reopt = reopt;
         }
         (database, queries, self.workers, config)
     }
@@ -336,6 +382,38 @@ mod tests {
         let tasks =
             |r: &SearchReport| -> Vec<usize> { r.worker_stats().iter().map(|s| s.tasks).collect() };
         assert_eq!(tasks(&a), tasks(&b));
+    }
+
+    #[test]
+    fn zoo_workers_and_reopt_through_builder() {
+        let (db, q) = demo_sets();
+        let baseline = SearchBuilder::new()
+            .database(db.clone())
+            .queries(q.clone())
+            .hybrid_workers(1, 1)
+            .run();
+        for class in DeviceClass::ALL {
+            let report = SearchBuilder::new()
+                .database(db.clone())
+                .queries(q.clone())
+                .zoo_workers(1, &[class])
+                .run();
+            assert_eq!(
+                report.hits(),
+                baseline.hits(),
+                "{class}: scores are device-independent"
+            );
+        }
+        // Mixed zoo + re-opt + deliberate miscalibration still returns
+        // identical hits.
+        let mixed = SearchBuilder::new()
+            .database(db)
+            .queries(q)
+            .zoo_workers(2, &[DeviceClass::Knl, DeviceClass::Bioseal])
+            .prior_scales(&[(2, 2.0)])
+            .reopt(ReoptConfig::enabled())
+            .run();
+        assert_eq!(mixed.hits(), baseline.hits());
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod memory;
 pub mod spec;
 
 pub use device::{DeviceEvent, DeviceFault, DeviceStats, GpuDevice, KernelResult};
-pub use spec::DeviceSpec;
+pub use spec::{DeviceClass, DeviceSpec};

@@ -59,6 +59,76 @@ impl DeviceSpec {
         }
     }
 
+    /// A Xeon-Phi-style many-core accelerator (SWAPHI-class, 5110P-like).
+    ///
+    /// Calibration: SWAPHI reports up to ~58.8 GCUPS on one 5110P for
+    /// long queries; a single-board offload configuration comparable to
+    /// the C2050 setup sustains less once PCIe staging and ring-bus
+    /// contention are charged. We model a 38.5 GCUPS kernel peak with a
+    /// half-length of 150 — many-core SW saturates faster than Fermi
+    /// CUDA kernels because each 512-bit vector unit is filled by one
+    /// query row rather than an inter-task thread block.
+    pub fn xeon_phi() -> DeviceSpec {
+        DeviceSpec {
+            name: "Xeon Phi 5110P (simulated)".into(),
+            sm_count: 60,
+            cores_per_sm: 4, // 4 hardware threads per in-order core
+            clock_ghz: 1.053,
+            warp_size: 16, // 512-bit vector / 32-bit lanes
+            global_memory: 8 * 1024 * 1024 * 1024,
+            pcie_bytes_per_sec: 6.2e9,
+            kernel_launch_latency: 1.5e-4, // offload-region setup, not a CUDA launch
+            peak_gcups: 38.5,
+            query_half_length: 150.0,
+        }
+    }
+
+    /// A KNL-style self-hosted AVX-512 many-core (Rucci et al. class).
+    ///
+    /// Self-hosted: the "device" is the host, so there is no PCIe
+    /// staging in the real system — we keep a very high nominal link
+    /// rate so modelled transfers are negligible rather than zero.
+    /// AVX-512 SW implementations on KNL reach ~70–80 GCUPS and are
+    /// nearly length-flat (striped SIMD saturates at tens of residues),
+    /// hence the small half-length.
+    pub fn knl() -> DeviceSpec {
+        DeviceSpec {
+            name: "Xeon Phi 7250 KNL (simulated)".into(),
+            sm_count: 64,
+            cores_per_sm: 4,
+            clock_ghz: 1.3,
+            warp_size: 32,                          // 512-bit vector / 16-bit lanes
+            global_memory: 16 * 1024 * 1024 * 1024, // MCDRAM
+            pcie_bytes_per_sec: 80.0e9,             // on-package: effectively no staging
+            kernel_launch_latency: 2.0e-6,
+            peak_gcups: 76.0,
+            query_half_length: 35.0,
+        }
+    }
+
+    /// A BioSEAL-style associative processing-in-memory accelerator.
+    ///
+    /// The acceleration curve is qualitatively different from every
+    /// SIMT/SIMD device: the associative array scores all database rows
+    /// in lock-step, so throughput is essentially flat in query length
+    /// (half-length 8) and very high (hundreds of GCUPS), but each task
+    /// pays a larger fixed reconfiguration/setup cost than a kernel
+    /// launch.
+    pub fn bioseal() -> DeviceSpec {
+        DeviceSpec {
+            name: "BioSEAL associative PIM (simulated)".into(),
+            sm_count: 512, // associative array banks
+            cores_per_sm: 256,
+            clock_ghz: 0.5,
+            warp_size: 128,
+            global_memory: 32 * 1024 * 1024 * 1024,
+            pcie_bytes_per_sec: 25.0e9,
+            kernel_launch_latency: 8.0e-4, // per-task microcode reconfiguration
+            peak_gcups: 255.0,
+            query_half_length: 8.0,
+        }
+    }
+
     /// A deliberately small device for tests: tiny memory, low rate, so
     /// capacity and chunking paths are exercised cheaply.
     pub fn toy(memory_bytes: u64) -> DeviceSpec {
@@ -100,6 +170,125 @@ impl DeviceSpec {
     }
 }
 
+/// Named calibrated accelerator classes — the device zoo.
+///
+/// Each class carries both a kernel-level [`DeviceSpec`] (what the
+/// simulator executes with) and an *end-to-end estimator curve* (what
+/// the scheduler predicts with), mirroring the C2050 split between
+/// `DeviceSpec::tesla_c2050()` (kernel peak 27.5) and the runtime
+/// estimator's 32.9 GCUPS end-to-end calibration. The curves are
+/// deliberately shaped differently per class: that diversity in
+/// acceleration ratio over query length is what the cross-zoo property
+/// suite exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Fermi-class CUDA board — the paper's own accelerator.
+    C2050,
+    /// Xeon-Phi-style offload many-core (SWAPHI).
+    Phi,
+    /// KNL-style self-hosted AVX-512 many-core (Rucci et al.).
+    Knl,
+    /// BioSEAL-style associative in-memory accelerator.
+    Bioseal,
+}
+
+impl DeviceClass {
+    /// Every member of the zoo, in canonical order.
+    pub const ALL: [DeviceClass; 4] = [
+        DeviceClass::C2050,
+        DeviceClass::Phi,
+        DeviceClass::Knl,
+        DeviceClass::Bioseal,
+    ];
+
+    /// Short CLI/journal name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceClass::C2050 => "c2050",
+            DeviceClass::Phi => "phi",
+            DeviceClass::Knl => "knl",
+            DeviceClass::Bioseal => "bioseal",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`DeviceClass::name`]).
+    pub fn parse(s: &str) -> Option<DeviceClass> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "c2050" | "tesla" => Some(DeviceClass::C2050),
+            "phi" | "xeon-phi" => Some(DeviceClass::Phi),
+            "knl" => Some(DeviceClass::Knl),
+            "bioseal" => Some(DeviceClass::Bioseal),
+            _ => None,
+        }
+    }
+
+    /// The kernel-level device description the simulator runs with.
+    pub fn spec(&self) -> DeviceSpec {
+        match self {
+            DeviceClass::C2050 => DeviceSpec::tesla_c2050(),
+            DeviceClass::Phi => DeviceSpec::xeon_phi(),
+            DeviceClass::Knl => DeviceSpec::knl(),
+            DeviceClass::Bioseal => DeviceSpec::bioseal(),
+        }
+    }
+
+    /// Recover the class of a spec produced by [`DeviceClass::spec`]
+    /// (by name — specs are the source of truth for everything else).
+    pub fn of_spec(spec: &DeviceSpec) -> Option<DeviceClass> {
+        DeviceClass::ALL
+            .iter()
+            .copied()
+            .find(|c| c.spec().name == spec.name)
+    }
+
+    /// End-to-end estimator curve `(peak_gcups, half_length,
+    /// per_task_overhead_seconds)` — the numbers the scheduler's rate
+    /// model should use for this class. For the C2050 these are exactly
+    /// the PR-0 `gpu_tesla()` calibration (32.9 / 280 / 1.8), so
+    /// existing runs stay bit-identical; the other classes scale the
+    /// kernel peak by the same end-to-end/kernel ratio the C2050
+    /// calibration implies (32.9 / 27.5 ≈ 1.196) and keep each class's
+    /// own saturation shape.
+    pub fn estimator_curve(&self) -> (f64, f64, f64) {
+        match self {
+            DeviceClass::C2050 => (32.9, 280.0, 1.8),
+            DeviceClass::Phi => (46.0, 150.0, 1.8),
+            DeviceClass::Knl => (91.0, 35.0, 1.8),
+            DeviceClass::Bioseal => (305.0, 8.0, 2.4),
+        }
+    }
+
+    /// One-line human description for `--help` and docs.
+    pub fn description(&self) -> &'static str {
+        match self {
+            DeviceClass::C2050 => "Fermi-class CUDA board (paper baseline)",
+            DeviceClass::Phi => "Xeon-Phi-style offload many-core (SWAPHI)",
+            DeviceClass::Knl => "KNL-style self-hosted AVX-512 (Rucci et al.)",
+            DeviceClass::Bioseal => "BioSEAL-style associative in-memory accelerator",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DeviceClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DeviceClass::parse(s).ok_or_else(|| {
+            let names: Vec<&str> = DeviceClass::ALL.iter().map(|c| c.name()).collect();
+            format!(
+                "unknown device class '{s}' (expected one of: {})",
+                names.join(", ")
+            )
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +325,68 @@ mod tests {
             (sustained - 24.8).abs() < 0.5,
             "sustained {sustained} GCUPS vs paper-derived 24.8"
         );
+    }
+
+    #[test]
+    fn zoo_names_round_trip() {
+        for class in DeviceClass::ALL {
+            assert_eq!(DeviceClass::parse(class.name()), Some(class));
+            assert_eq!(class.name().parse::<DeviceClass>().ok(), Some(class));
+            assert_eq!(DeviceClass::of_spec(&class.spec()), Some(class));
+        }
+        assert_eq!(DeviceClass::parse("warp-drive"), None);
+        assert!("warp-drive".parse::<DeviceClass>().is_err());
+        assert_eq!(DeviceClass::of_spec(&DeviceSpec::toy(1 << 20)), None);
+    }
+
+    #[test]
+    fn zoo_c2050_is_the_paper_device() {
+        assert_eq!(DeviceClass::C2050.spec(), DeviceSpec::tesla_c2050());
+        assert_eq!(DeviceClass::C2050.estimator_curve(), (32.9, 280.0, 1.8));
+    }
+
+    #[test]
+    fn zoo_curves_are_distinct_shapes() {
+        // Acceleration curves must genuinely differ: ordering by
+        // effective throughput changes with query length. At 64
+        // residues the near-flat devices (knl, bioseal) already run at
+        // most of peak while the C2050 is deep in its ramp.
+        let c2050 = DeviceClass::C2050.spec();
+        let knl = DeviceClass::Knl.spec();
+        let bioseal = DeviceClass::Bioseal.spec();
+        let frac = |d: &DeviceSpec, len: usize| d.effective_gcups(len) / d.peak_gcups;
+        assert!(frac(&knl, 64) > 0.6);
+        assert!(frac(&bioseal, 64) > 0.85);
+        assert!(frac(&c2050, 64) < 0.25);
+        // All half-lengths pairwise distinct — no two classes share a
+        // saturation shape.
+        let mut halves: Vec<f64> = DeviceClass::ALL
+            .iter()
+            .map(|c| c.spec().query_half_length)
+            .collect();
+        halves.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in halves.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn zoo_estimator_curves_exceed_kernel_ramp_sanely() {
+        // The estimator peak stays within a sane envelope of the kernel
+        // peak (end-to-end calibration absorbs host-side staging, so it
+        // may exceed the kernel number like the C2050's 32.9 vs 27.5,
+        // but not wildly).
+        for class in DeviceClass::ALL {
+            let (peak, half, overhead) = class.estimator_curve();
+            let spec = class.spec();
+            assert!(peak > 0.0 && half > 0.0 && overhead > 0.0);
+            let ratio = peak / spec.peak_gcups;
+            assert!(
+                (1.0..1.3).contains(&ratio),
+                "{}: estimator/kernel peak ratio {ratio}",
+                class.name()
+            );
+        }
     }
 
     #[test]

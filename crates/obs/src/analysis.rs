@@ -36,6 +36,11 @@ pub struct WorkerAudit {
     /// Whether it registered as a GPU worker (false when the journal
     /// has no registration events).
     pub is_gpu: bool,
+    /// Device class the master journaled for this worker (`c2050`,
+    /// `phi`, `knl`, `bioseal`, `custom` for an unrecognised GPU,
+    /// `cpu` for a host worker; empty when the journal predates class
+    /// tagging).
+    pub device_class: String,
     /// Jobs it completed.
     pub tasks: usize,
     /// Sum of job wall durations (seconds).
@@ -165,6 +170,9 @@ pub struct RunReport {
     pub gpu_ordering_quality: f64,
     /// Distinct tasks that appear on recovered (re-planned) tracks.
     pub moved_tasks: usize,
+    /// Online re-optimization rounds the master journaled
+    /// (`reopt_replan` events on the fault track).
+    pub reopt_replans: usize,
     /// Fault-track event counts by name.
     pub faults: Vec<FaultCount>,
 }
@@ -220,6 +228,7 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
     let mut planned_on_gpu: BTreeMap<i64, bool> = BTreeMap::new();
     let mut model: BTreeMap<i64, (f64, f64)> = BTreeMap::new(); // task → (p_cpu, p_gpu)
     let mut registered_gpu: BTreeMap<usize, bool> = BTreeMap::new();
+    let mut device_classes: BTreeMap<usize, String> = BTreeMap::new();
     let mut moved: Vec<i64> = Vec::new();
     let mut faults: BTreeMap<String, usize> = BTreeMap::new();
     let mut done_tasks: Vec<i64> = Vec::new();
@@ -306,6 +315,12 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
                     registered_gpu.insert(w as usize, arg(event, "is_gpu") == Some(1.0));
                 }
             }
+            Track::Master if event.name.starts_with("device_class:") => {
+                if let Some(w) = arg(event, "worker") {
+                    device_classes
+                        .insert(w as usize, event.name["device_class:".len()..].to_string());
+                }
+            }
             Track::Master if event.name == "task_model" => {
                 if let Some(t) = arg(event, "task") {
                     model.insert(
@@ -352,6 +367,7 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
         .map(|(&worker, a)| WorkerAudit {
             worker,
             is_gpu: a.is_gpu,
+            device_class: device_classes.get(&worker).cloned().unwrap_or_default(),
             tasks: a.tasks,
             busy_wall: a.busy_wall,
             busy_modelled: a.busy_modelled,
@@ -454,6 +470,7 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
         skew,
         gpu_ordering_quality,
         moved_tasks: moved.len(),
+        reopt_replans: faults.get("reopt_replan").copied().unwrap_or(0),
         faults: faults
             .into_iter()
             .map(|(name, count)| FaultCount { name, count })
@@ -536,6 +553,12 @@ impl RunReport {
             "  GPU ordering quality   {:.1}% of (gpu, cpu) pairs respect the acceleration ratio",
             100.0 * self.gpu_ordering_quality
         ));
+        if self.reopt_replans > 0 {
+            line(format!(
+                "  re-optimization        {} re-plan round(s) on observed ratios",
+                self.reopt_replans
+            ));
+        }
         if self.moved_tasks > 0 || !self.faults.is_empty() {
             let fault_list = self
                 .faults
@@ -555,10 +578,17 @@ impl RunReport {
         }
         line("  workers:".to_string());
         for w in &self.workers {
+            let species = if w.device_class.is_empty() {
+                if w.is_gpu { "gpu" } else { "cpu" }.to_string()
+            } else if w.is_gpu {
+                format!("gpu[{}]", w.device_class)
+            } else {
+                w.device_class.clone()
+            };
             line(format!(
                 "    {:>3} {}  {:>4} tasks · busy {:.6} s wall ({:.1}%) · {:.6} s modelled ({:.1}%) · {:.1} MCUPS",
                 w.worker,
-                if w.is_gpu { "gpu" } else { "cpu" },
+                species,
                 w.tasks,
                 w.busy_wall,
                 100.0 * w.utilization_wall,
@@ -638,6 +668,36 @@ mod tests {
             &[("task", 2.0), ("cells", 1.0e6)],
         );
         obs
+    }
+
+    #[test]
+    fn device_classes_and_replans_are_reported() {
+        let obs = sample_obs();
+        obs.instant(Track::Master, "device_class:cpu", &[("worker", 0.0)]);
+        obs.instant(Track::Master, "device_class:bioseal", &[("worker", 1.0)]);
+        obs.instant(
+            Track::Faults,
+            "reopt_replan",
+            &[("round", 1.0), ("remaining", 2.0), ("skew", 3.0)],
+        );
+        let r = analyze_obs(&obs);
+        assert_eq!(r.workers[0].device_class, "cpu");
+        assert_eq!(r.workers[1].device_class, "bioseal");
+        assert_eq!(r.reopt_replans, 1);
+        let text = r.to_text();
+        assert!(text.contains("gpu[bioseal]"), "{text}");
+        assert!(text.contains("re-optimization"), "{text}");
+        // JSON carries the class for machine consumers.
+        assert!(r.to_json().contains("\"device_class\": \"bioseal\""));
+    }
+
+    #[test]
+    fn untagged_journals_keep_an_empty_device_class() {
+        let r = analyze_obs(&sample_obs());
+        assert!(r.workers.iter().all(|w| w.device_class.is_empty()));
+        assert_eq!(r.reopt_replans, 0);
+        let text = r.to_text();
+        assert!(!text.contains("re-optimization"));
     }
 
     #[test]

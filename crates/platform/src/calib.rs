@@ -137,6 +137,24 @@ impl EngineModel {
         }
     }
 
+    /// End-to-end engine model of a device-zoo accelerator inside the
+    /// SWDUAL runtime (curves from
+    /// `swdual_gpusim::DeviceClass::estimator_curve`). The C2050 entry
+    /// coincides with [`EngineModel::swdual_gpu_worker`] up to its name;
+    /// the other classes keep the same saturating shape with their own
+    /// peak and half-length, which is exactly the heterogeneity a mixed
+    /// zoo exposes to the scheduler.
+    pub fn for_device_class(class: swdual_gpusim::DeviceClass) -> EngineModel {
+        let (peak_gcups, half_length, per_task_overhead) = class.estimator_curve();
+        EngineModel {
+            name: format!("SWDUAL-GPU({})", class.name()),
+            peak_gcups,
+            half_length,
+            per_task_overhead,
+            serial_startup_uniprot: 0.0,
+        }
+    }
+
     /// Sustained GCUPS of one worker for a query of `len` residues.
     pub fn rate_gcups(&self, query_len: usize) -> f64 {
         if query_len == 0 {
@@ -219,6 +237,23 @@ mod tests {
                 model.name
             );
         }
+    }
+
+    #[test]
+    fn device_class_models_match_their_curves() {
+        use swdual_gpusim::DeviceClass;
+        let c2050 = EngineModel::for_device_class(DeviceClass::C2050);
+        let paper = EngineModel::swdual_gpu_worker();
+        assert_eq!(c2050.peak_gcups, paper.peak_gcups);
+        assert_eq!(c2050.half_length, paper.half_length);
+        assert_eq!(c2050.per_task_overhead, paper.per_task_overhead);
+        // Distinct classes give distinct acceleration profiles for the
+        // same query — that is the point of the zoo.
+        let knl = EngineModel::for_device_class(DeviceClass::Knl);
+        let bioseal = EngineModel::for_device_class(DeviceClass::Bioseal);
+        let db = UNIPROT_RESIDUES;
+        assert!(bioseal.task_seconds(2500, db) < knl.task_seconds(2500, db));
+        assert!(knl.task_seconds(2500, db) < c2050.task_seconds(2500, db));
     }
 
     #[test]

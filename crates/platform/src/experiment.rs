@@ -5,11 +5,13 @@
 use crate::calib::EngineModel;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use swdual_gpusim::DeviceClass;
 use swdual_sched::binsearch::{dual_approx_schedule, BinarySearchConfig};
 use swdual_sched::dual::KnapsackMethod;
 use swdual_sched::knapsack::DpConfig;
 use swdual_sched::policies;
 use swdual_sched::schedule::{PeKind, Schedule};
+use swdual_sched::task::Task;
 use swdual_sched::{PlatformSpec, TaskSet};
 
 /// Allocation policy of a hybrid run.
@@ -183,6 +185,115 @@ pub fn run_swdual(workload: &Workload, workers: usize, max_gpus: usize) -> RunRe
     )
 }
 
+/// Result of a mixed-zoo run: the 2λ certificate from the conservative
+/// plan plus the replayed makespan on each GPU's true class curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZooOutcome {
+    /// CPU worker count.
+    pub cpus: usize,
+    /// Device class name of each GPU worker, in PE index order.
+    pub gpu_classes: Vec<String>,
+    /// Smallest feasible λ of the binary search on the conservative
+    /// platform.
+    pub lambda: f64,
+    /// The dual-approximation guarantee: 2λ.
+    pub two_lambda_bound: f64,
+    /// Makespan of the conservative plan (every GPU priced as the
+    /// slowest class in the mix).
+    pub planned_makespan: f64,
+    /// Makespan after replaying each GPU's placements on its own class
+    /// curve — never worse than `planned_makespan`.
+    pub realized_makespan: f64,
+    /// `realized_makespan ≤ two_lambda_bound`.
+    pub bound_holds: bool,
+    /// Tasks placed on GPUs.
+    pub gpu_tasks: usize,
+    /// Throughput over the realized makespan in GCUPS.
+    pub gcups: f64,
+}
+
+/// Run the SWDUAL dual approximation on a mixed device zoo: `cpus` CPU
+/// workers plus one GPU worker per entry of `gpu_classes`.
+///
+/// The two-species scheduler sees one conservative GPU time per task —
+/// the *slowest* class in the mix — so the 2λ certificate it emits is a
+/// genuine upper bound: replaying each GPU's placements on its own
+/// (faster or equal) curve can only finish earlier. The gap between
+/// `planned_makespan` and `realized_makespan` is the price of planning
+/// a heterogeneous zoo with a two-species model.
+pub fn run_zoo(workload: &Workload, cpus: usize, gpu_classes: &[DeviceClass]) -> ZooOutcome {
+    assert!(
+        cpus + gpu_classes.len() > 0,
+        "zoo needs at least one worker"
+    );
+    let cpu_model = EngineModel::swdual_cpu_worker();
+    let class_models: Vec<EngineModel> = gpu_classes
+        .iter()
+        .map(|&c| EngineModel::for_device_class(c))
+        .collect();
+    let db = workload.database.residues;
+    // Conservative per-task GPU time: slowest class in the mix. With no
+    // GPUs at all, reuse the CPU time so the task set stays two-species
+    // shaped (the scheduler will not place on absent GPUs anyway).
+    let tasks = TaskSet::new(
+        workload
+            .query_lengths
+            .iter()
+            .enumerate()
+            .map(|(id, &len)| {
+                let p_cpu = cpu_model.task_seconds(len, db);
+                let p_gpu = class_models
+                    .iter()
+                    .map(|m| m.task_seconds(len, db))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                Task::new(id, p_cpu, if p_gpu.is_finite() { p_gpu } else { p_cpu })
+            })
+            .collect(),
+    );
+    let platform = PlatformSpec::new(cpus, gpu_classes.len());
+    let outcome = dual_approx_schedule(&tasks, &platform, BinarySearchConfig::default());
+    outcome
+        .schedule
+        .validate(&tasks, &platform)
+        .expect("zoo schedule must be valid");
+    let planned_makespan = outcome.schedule.makespan();
+    // Replay: sequential per-PE execution, each GPU on its true curve.
+    let mut cpu_time = vec![0.0f64; cpus];
+    let mut gpu_time = vec![0.0f64; gpu_classes.len()];
+    let mut gpu_tasks = 0usize;
+    for p in &outcome.schedule.placements {
+        let len = workload.query_lengths[p.task];
+        match p.pe.kind {
+            PeKind::Cpu => cpu_time[p.pe.index] += cpu_model.task_seconds(len, db),
+            PeKind::Gpu => {
+                gpu_tasks += 1;
+                gpu_time[p.pe.index] += class_models[p.pe.index].task_seconds(len, db);
+            }
+        }
+    }
+    let realized_makespan = cpu_time
+        .iter()
+        .chain(gpu_time.iter())
+        .fold(0.0f64, |a, &b| a.max(b));
+    let two_lambda_bound = 2.0 * outcome.upper_bound;
+    let cells = workload.total_cells();
+    ZooOutcome {
+        cpus,
+        gpu_classes: gpu_classes.iter().map(|c| c.name().to_string()).collect(),
+        lambda: outcome.upper_bound,
+        two_lambda_bound,
+        planned_makespan,
+        realized_makespan,
+        bound_holds: realized_makespan <= two_lambda_bound * (1.0 + 1e-9) + 1e-12,
+        gpu_tasks,
+        gcups: if realized_makespan > 0.0 {
+            cells as f64 / realized_makespan / 1e9
+        } else {
+            0.0
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +441,52 @@ mod tests {
         );
         // And the run is tens of seconds, not hundreds (paper: 78.36 s).
         assert!((r.seconds - 78.36).abs() / 78.36 < 0.3, "{}", r.seconds);
+    }
+
+    #[test]
+    fn zoo_single_class_runs_hold_the_bound() {
+        let w = uniprot();
+        for class in DeviceClass::ALL {
+            let z = run_zoo(&w, 4, &[class, class]);
+            assert_eq!(z.gpu_classes, vec![class.name(), class.name()]);
+            assert!(z.bound_holds, "{class}: {z:?}");
+            // Homogeneous zoo: replay is exactly the plan.
+            assert!((z.realized_makespan - z.planned_makespan).abs() < 1e-9);
+            assert!(z.gpu_tasks > 0, "{class} should attract work");
+        }
+    }
+
+    #[test]
+    fn zoo_mixed_replay_never_exceeds_the_conservative_plan() {
+        let w = uniprot();
+        let z = run_zoo(
+            &w,
+            4,
+            &[
+                DeviceClass::C2050,
+                DeviceClass::Phi,
+                DeviceClass::Knl,
+                DeviceClass::Bioseal,
+            ],
+        );
+        assert!(z.bound_holds, "{z:?}");
+        assert!(z.realized_makespan <= z.planned_makespan + 1e-9);
+        // The faster classes actually buy time back in the replay.
+        assert!(z.realized_makespan < z.planned_makespan);
+        assert_eq!(z.gpu_classes.len(), 4);
+    }
+
+    #[test]
+    fn zoo_faster_classes_finish_sooner() {
+        let w = uniprot();
+        let slow = run_zoo(&w, 2, &[DeviceClass::C2050]);
+        let fast = run_zoo(&w, 2, &[DeviceClass::Bioseal]);
+        assert!(
+            fast.realized_makespan < slow.realized_makespan,
+            "bioseal {} vs c2050 {}",
+            fast.realized_makespan,
+            slow.realized_makespan
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   conversion from a workload to a scheduler [`swdual_sched::TaskSet`].
 //! * [`experiment`] — run one configuration (engine/policy × workers ×
 //!   database) in virtual time and report wall-clock seconds and GCUPS
-//!   exactly like the paper's tables.
+//!   exactly like the paper's tables; [`experiment::run_zoo`] composes
+//!   mixed accelerator zoos (`swdual_gpusim::DeviceClass`) and checks
+//!   the 2λ certificate survives replay on each device's true curve.
 //!
 //! The simulation is *schedule-exact*: task completion times come from
 //! the same list-scheduling/dual-approximation machinery the real
@@ -28,5 +30,5 @@ pub mod experiment;
 pub mod workload;
 
 pub use calib::EngineModel;
-pub use experiment::{run_hybrid, run_single_kind, HybridPolicy, RunResult};
+pub use experiment::{run_hybrid, run_single_kind, run_zoo, HybridPolicy, RunResult, ZooOutcome};
 pub use workload::{DatabaseSpec, Workload};

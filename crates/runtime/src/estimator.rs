@@ -8,6 +8,15 @@
 //! machine (SWIPE-class CPU worker, Tesla C2050-class GPU worker).
 
 use serde::{Deserialize, Serialize};
+use swdual_gpusim::{DeviceClass, DeviceSpec};
+
+/// Conservative cold-host prior: 10 MCUPS (cells per second). The
+/// silent-death deadline is bounded below by pending cells at this
+/// rate, so even a grossly mis-modelled (or deliberately
+/// re-calibrated) slow host is never declared dead while it could
+/// still plausibly be computing. Re-optimization recalibrates the
+/// *planning* estimates, never this floor.
+pub const COLD_HOST_CELLS_PER_SEC: f64 = 1.0e7;
 
 /// Throughput model of one worker species.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -37,6 +46,34 @@ impl WorkerRateModel {
             peak_gcups: 32.9,
             half_length: 280.0,
             per_task_overhead: 1.8,
+        }
+    }
+
+    /// End-to-end rate model for a zoo device class (see
+    /// `swdual_gpusim::DeviceClass::estimator_curve`). For
+    /// [`DeviceClass::C2050`] this is exactly [`WorkerRateModel::gpu_tesla`].
+    pub fn for_class(class: DeviceClass) -> WorkerRateModel {
+        let (peak_gcups, half_length, per_task_overhead) = class.estimator_curve();
+        WorkerRateModel {
+            peak_gcups,
+            half_length,
+            per_task_overhead,
+        }
+    }
+
+    /// Rate model for an arbitrary device spec: a recognised zoo spec
+    /// uses its class calibration; a custom spec derives an end-to-end
+    /// curve from its kernel fields (kernel peak scaled by the C2050's
+    /// end-to-end/kernel ratio, same saturation shape, default
+    /// overhead).
+    pub fn for_device(spec: &DeviceSpec) -> WorkerRateModel {
+        match DeviceClass::of_spec(spec) {
+            Some(class) => WorkerRateModel::for_class(class),
+            None => WorkerRateModel {
+                peak_gcups: spec.peak_gcups * (32.9 / 27.5),
+                half_length: spec.query_half_length,
+                per_task_overhead: 1.8,
+            },
         }
     }
 
@@ -93,6 +130,49 @@ mod tests {
         let accel_short = cpu.task_seconds(100, db) / gpu.task_seconds(100, db);
         let accel_long = cpu.task_seconds(5000, db) / gpu.task_seconds(5000, db);
         assert!(accel_long > accel_short);
+    }
+
+    #[test]
+    fn c2050_class_model_is_the_tesla_calibration() {
+        assert_eq!(
+            WorkerRateModel::for_class(DeviceClass::C2050),
+            WorkerRateModel::gpu_tesla()
+        );
+        assert_eq!(
+            WorkerRateModel::for_device(&DeviceSpec::tesla_c2050()),
+            WorkerRateModel::gpu_tesla()
+        );
+    }
+
+    #[test]
+    fn zoo_models_keep_their_class_shapes() {
+        let db = 10_000_000u64;
+        let cpu = WorkerRateModel::cpu_swipe();
+        for class in DeviceClass::ALL {
+            let m = WorkerRateModel::for_class(class);
+            // Every zoo member beats the single-core CPU on long queries.
+            assert!(
+                m.task_seconds(5000, db) < cpu.task_seconds(5000, db),
+                "{} should beat the CPU on long queries",
+                class.name()
+            );
+        }
+        // The near-flat classes reach most of peak at short lengths
+        // where the C2050 is still ramping.
+        let c2050 = WorkerRateModel::for_class(DeviceClass::C2050);
+        let knl = WorkerRateModel::for_class(DeviceClass::Knl);
+        let bioseal = WorkerRateModel::for_class(DeviceClass::Bioseal);
+        assert!(knl.rate_gcups(64) / knl.peak_gcups > 0.6);
+        assert!(bioseal.rate_gcups(64) / bioseal.peak_gcups > 0.85);
+        assert!(c2050.rate_gcups(64) / c2050.peak_gcups < 0.25);
+    }
+
+    #[test]
+    fn custom_spec_model_derives_from_kernel_fields() {
+        let toy = DeviceSpec::toy(1 << 20);
+        let m = WorkerRateModel::for_device(&toy);
+        assert!((m.peak_gcups - toy.peak_gcups * (32.9 / 27.5)).abs() < 1e-12);
+        assert_eq!(m.half_length, toy.query_half_length);
     }
 
     #[test]

@@ -31,6 +31,14 @@
 //! on the survivors and — because alignment scores are a pure function
 //! of the inputs — returns hits bit-identical to a fault-free run, or a
 //! typed [`SearchError`]. See [`faults`] and [`master::try_run_search`].
+//!
+//! Online re-optimization ([`ReoptConfig`]) closes the loop the other
+//! way: observed per-task modelled/estimate ratios feed back into the
+//! estimator, and when a worker's species-relative slowdown outgrows
+//! the plan it is executing, the still-queued remainder is re-planned
+//! on the re-calibrated platform (`swdual-sched`'s weighted remainder
+//! scheduler). Off by default; disabled runs reproduce the static
+//! one-round planner bit for bit.
 
 pub mod estimator;
 pub mod faults;
@@ -38,10 +46,11 @@ pub mod master;
 pub mod messages;
 pub mod worker;
 
-pub use estimator::WorkerRateModel;
+pub use estimator::{WorkerRateModel, COLD_HOST_CELLS_PER_SEC};
 pub use faults::{FaultPlan, WorkerFault};
 pub use master::{
-    run_search, try_run_search, AllocationPolicy, RuntimeConfig, SearchError, SearchOutcome,
+    run_search, try_run_search, AllocationPolicy, ReoptConfig, RuntimeConfig, SearchError,
+    SearchOutcome,
 };
 pub use messages::{FailureReason, Hit, QueryHits, WorkerFailure, WorkerMsg, WorkerStats};
-pub use worker::WorkerSpec;
+pub use worker::{WorkerKind, WorkerSpec};

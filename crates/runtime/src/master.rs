@@ -14,7 +14,7 @@
 //! worker, a late straggler, a re-dispatched copy — produces the same
 //! score vector; the master dedups by task id and keeps the first.
 
-use crate::estimator::job_deadline_seconds;
+use crate::estimator::{job_deadline_seconds, COLD_HOST_CELLS_PER_SEC};
 use crate::faults::FaultPlan;
 use crate::messages::{
     top_k_hits, FailureReason, Job, JobResult, QueryHits, Registration, WorkerMsg, WorkerStats,
@@ -28,7 +28,7 @@ use swdual_bio::ScoringScheme;
 use swdual_obs::{Obs, Track};
 use swdual_sched::binsearch::{dual_approx_schedule_observed, BinarySearchConfig};
 use swdual_sched::dual::KnapsackMethod;
-use swdual_sched::remainder::reschedule_remainder;
+use swdual_sched::remainder::{reschedule_remainder, reschedule_remainder_weighted, WorkerFactors};
 use swdual_sched::schedule::{PeKind, Schedule};
 use swdual_sched::{PlatformSpec, Task, TaskSet};
 
@@ -49,6 +49,52 @@ pub enum AllocationPolicy {
         /// Number of release batches.
         rounds: usize,
     },
+}
+
+/// Online re-optimization knobs.
+///
+/// When enabled (static policies only), the master folds each
+/// completion's observed modelled-time-per-estimate ratio into a
+/// per-worker slowdown factor, species-relative: a worker is "slow"
+/// compared to the fastest *same-species* worker with data, never
+/// compared across species (GPU workers report kernel-only modelled
+/// clocks that are incommensurable with CPU estimates). When any live
+/// worker's factor has grown by at least `threshold` since the plan it
+/// is executing was drawn, and at least `min_remaining` tasks are still
+/// undispatched, the remaining work is re-planned on the re-calibrated
+/// platform via the weighted remainder scheduler. Dispatch runs with a
+/// window of one job in flight per worker, so "remaining" is genuinely
+/// revocable. Deadlines (and their conservative 10-MCUPS floor) are
+/// untouched by re-calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReoptConfig {
+    /// Master switch; `false` reproduces the static one-round planner
+    /// bit for bit.
+    pub enabled: bool,
+    /// Relative skew growth (≥ 1) that triggers a re-plan.
+    pub threshold: f64,
+    /// Minimum undispatched tasks worth re-planning.
+    pub min_remaining: usize,
+}
+
+impl Default for ReoptConfig {
+    fn default() -> Self {
+        ReoptConfig {
+            enabled: false,
+            threshold: 1.5,
+            min_remaining: 2,
+        }
+    }
+}
+
+impl ReoptConfig {
+    /// Enabled with the default threshold and minimum.
+    pub fn enabled() -> ReoptConfig {
+        ReoptConfig {
+            enabled: true,
+            ..ReoptConfig::default()
+        }
+    }
 }
 
 /// Search configuration.
@@ -81,6 +127,8 @@ pub struct RuntimeConfig {
     /// How many times one task may be re-dispatched before the search
     /// gives up with [`SearchError::RetriesExhausted`].
     pub max_task_retries: usize,
+    /// Online re-optimization (adaptive re-planning) knobs.
+    pub reopt: ReoptConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -95,6 +143,7 @@ impl Default for RuntimeConfig {
             min_job_timeout: Duration::from_secs(5),
             job_timeout_slack: 4.0,
             max_task_retries: 3,
+            reopt: ReoptConfig::default(),
         }
     }
 }
@@ -196,17 +245,21 @@ const DEATH_DEVICE: f64 = 1.0;
 const DEATH_TIMEOUT: f64 = 2.0;
 const DEATH_DISPATCH: f64 = 3.0;
 
-/// Slowest plausible host throughput, in alignment cells per wall
-/// second. Modelled estimates describe the *paper's* hardware; until
-/// the first completion calibrates this host, a deadline derived from
-/// them alone can be arbitrarily wrong (a debug build chews through a
-/// 5000-residue query orders of magnitude slower than the modelled
-/// Tesla). Deadlines therefore never fire before the time a
-/// 10-MCUPS host would need for the worker's largest pending task —
-/// conservative enough that no real host, optimised or not, is
-/// misdeclared dead, while tiny test workloads still detect silent
-/// deaths within the configured floor.
-const COLD_HOST_CELLS_PER_SEC: f64 = 1.0e7;
+// Note on deadlines: modelled estimates describe the *paper's*
+// hardware; until the first completion calibrates this host, a deadline
+// derived from them alone can be arbitrarily wrong (a debug build chews
+// through a 5000-residue query orders of magnitude slower than the
+// modelled Tesla). Deadlines therefore never fire before the time a
+// 10-MCUPS host would need for the worker's largest pending task (the
+// [`COLD_HOST_CELLS_PER_SEC`] prior from `crate::estimator`) —
+// conservative enough that no real host, optimised or not, is
+// misdeclared dead, while tiny test workloads still detect silent
+// deaths within the configured floor.
+
+/// Largest per-worker slowdown factor re-optimization will believe.
+/// Bounds both the re-planned load skew and (via the threshold-growth
+/// trigger) the number of re-plans a pathological worker can cause.
+const MAX_REOPT_FACTOR: f64 = 32.0;
 
 /// Build the scheduler instance from the rate models the workers
 /// declared at registration.
@@ -242,7 +295,8 @@ struct Recovery<'a> {
     tasks: &'a TaskSet,
     is_gpu: &'a [bool],
     alive: &'a mut Vec<bool>,
-    pending: &'a mut Vec<Vec<usize>>,
+    queue: &'a mut Vec<Vec<usize>>,
+    in_flight: &'a mut Vec<Option<usize>>,
     private_tx: &'a mut Vec<Option<channel::Sender<Job>>>,
     /// `Some` under self-scheduling: orphans go back to the shared
     /// queue instead of a re-planned static schedule.
@@ -253,6 +307,54 @@ struct Recovery<'a> {
     completed: usize,
     n_tasks: usize,
     obs: &'a Obs,
+}
+
+/// Keep the window-1 dispatch invariant for worker `w`: while it is
+/// alive and idle, pop the head of its master-held queue and send it
+/// (skipping tasks that completed elsewhere in the meantime). At most
+/// one job is ever in flight per worker, so everything still queued
+/// remains revocable by re-planning. Returns the worker's re-orphaned
+/// queue when it turns out to be dead at send time.
+fn feed_worker(
+    w: usize,
+    alive: &mut [bool],
+    queue: &mut [Vec<usize>],
+    in_flight: &mut [Option<usize>],
+    private_tx: &mut [Option<channel::Sender<Job>>],
+    done: &[bool],
+    obs: &Obs,
+) -> Vec<usize> {
+    let mut orphans = Vec::new();
+    while alive[w] && in_flight[w].is_none() && !queue[w].is_empty() {
+        let t = queue[w].remove(0);
+        if done[t] {
+            continue;
+        }
+        let job = Job {
+            task_id: t,
+            query_index: t,
+        };
+        let sent = private_tx[w]
+            .as_ref()
+            .map(|tx| tx.send(job).is_ok())
+            .unwrap_or(false);
+        if sent {
+            in_flight[w] = Some(t);
+        } else {
+            // Dead at send: reclaim this task and the rest of its queue.
+            alive[w] = false;
+            private_tx[w] = None;
+            orphans.push(t);
+            orphans.append(&mut queue[w]);
+            obs.instant(
+                Track::Faults,
+                "worker_death",
+                &[("worker", w as f64), ("reason", DEATH_DISPATCH)],
+            );
+            obs.counter("workers_lost", 1.0);
+        }
+    }
+    orphans
 }
 
 /// Give orphaned tasks a new home. Static policies re-plan them with
@@ -267,7 +369,8 @@ fn redispatch_orphans(cx: Recovery<'_>, orphans: Vec<usize>) -> Result<(), Searc
         tasks,
         is_gpu,
         alive,
-        pending,
+        queue,
+        in_flight,
         private_tx,
         shared_tx,
         done,
@@ -355,37 +458,13 @@ fn redispatch_orphans(cx: Recovery<'_>, orphans: Vec<usize>) -> Result<(), Searc
                 continue;
             }
             list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-            let mut target_dead = false;
-            for &(_, t) in &list {
-                if target_dead {
-                    next_round.push(t);
-                    continue;
-                }
-                let job = Job {
-                    task_id: t,
-                    query_index: t,
-                };
-                let sent = private_tx[w]
-                    .as_ref()
-                    .map(|tx| tx.send(job).is_ok())
-                    .unwrap_or(false);
-                if sent {
-                    pending[w].push(t);
-                } else {
-                    // This survivor is dead too: re-orphan its load.
-                    target_dead = true;
-                    alive[w] = false;
-                    private_tx[w] = None;
-                    next_round.append(&mut pending[w]);
-                    next_round.push(t);
-                    obs.instant(
-                        Track::Faults,
-                        "worker_death",
-                        &[("worker", w as f64), ("reason", DEATH_DISPATCH)],
-                    );
-                    obs.counter("workers_lost", 1.0);
-                }
-            }
+            queue[w].extend(list.into_iter().map(|(_, t)| t));
+            // Window-1: only the head goes out now; the rest waits in
+            // the master-held queue. A survivor found dead at send time
+            // re-orphans its whole queue for the next round.
+            next_round.append(&mut feed_worker(
+                w, alive, queue, in_flight, private_tx, done, obs,
+            ));
         }
         to_place = next_round;
     }
@@ -500,6 +579,24 @@ pub fn try_run_search(
                 ],
             );
         }
+        // Journal each worker's device class. Event args are numeric,
+        // so the class rides in the event name (`device_class:<name>`);
+        // the auditor parses it back out without the obs crate ever
+        // depending on the device zoo types.
+        if obs.is_enabled() {
+            for r in &registrations {
+                let class = match workers[r.worker_id].device_class_of() {
+                    Some(c) => c.name(),
+                    None if r.is_gpu => "custom",
+                    None => "cpu",
+                };
+                obs.instant(
+                    Track::Master,
+                    &format!("device_class:{class}"),
+                    &[("worker", r.worker_id as f64)],
+                );
+            }
+        }
         obs.span(
             Track::Master,
             "register",
@@ -611,54 +708,41 @@ pub fn try_run_search(
                 }
             }
 
-            // Phase 4 — dispatch: private per-worker queues ordered by
-            // planned start, or the shared self-scheduling queue. The
-            // queues stay open afterwards: the merge loop re-uses them
-            // to re-dispatch orphans of dead workers.
+            // Phase 4 — dispatch. Static policies now run with a
+            // window of one: the master holds each worker's ordered
+            // task queue and keeps exactly one job in flight per
+            // worker, so every task still queued is revocable — the
+            // raw material for both orphan re-dispatch and online
+            // re-optimization. Self-scheduling keeps its shared queue.
             let t_dispatch = obs.now();
-            let mut pending: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+            let mut queue: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+            let mut in_flight: Vec<Option<usize>> = vec![None; workers.len()];
+            let mut done = vec![false; n_tasks];
+            let mut retries = vec![0usize; n_tasks];
+            let mut completed = 0usize;
             let mut initial_orphans: Vec<usize> = Vec::new();
             match &planned {
                 Some(s) => {
-                    let mut jobs: Vec<Vec<(f64, Job)>> = vec![Vec::new(); workers.len()];
+                    let mut jobs: Vec<Vec<(f64, usize)>> = vec![Vec::new(); workers.len()];
                     for p in &s.placements {
                         let worker_id = match p.pe.kind {
                             PeKind::Cpu => live_cpu[p.pe.index],
                             PeKind::Gpu => live_gpu[p.pe.index],
                         };
-                        jobs[worker_id].push((
-                            p.start,
-                            Job {
-                                task_id: p.task,
-                                query_index: p.task,
-                            },
-                        ));
+                        jobs[worker_id].push((p.start, p.task));
                     }
                     for (worker_id, mut list) in jobs.into_iter().enumerate() {
                         list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                        for (idx, (_, job)) in list.iter().enumerate() {
-                            let sent = private_tx[worker_id]
-                                .as_ref()
-                                .map(|tx| tx.send(*job).is_ok())
-                                .unwrap_or(false);
-                            if sent {
-                                pending[worker_id].push(job.task_id);
-                            } else {
-                                // Crashed while we were still loading
-                                // its queue.
-                                alive[worker_id] = false;
-                                private_tx[worker_id] = None;
-                                initial_orphans.append(&mut pending[worker_id]);
-                                initial_orphans.extend(list[idx..].iter().map(|(_, j)| j.task_id));
-                                obs.instant(
-                                    Track::Faults,
-                                    "worker_death",
-                                    &[("worker", worker_id as f64), ("reason", DEATH_DISPATCH)],
-                                );
-                                obs.counter("workers_lost", 1.0);
-                                break;
-                            }
-                        }
+                        queue[worker_id].extend(list.into_iter().map(|(_, t)| t));
+                        initial_orphans.append(&mut feed_worker(
+                            worker_id,
+                            &mut alive,
+                            &mut queue,
+                            &mut in_flight,
+                            &mut private_tx,
+                            &done,
+                            &obs,
+                        ));
                     }
                 }
                 None => {
@@ -693,15 +777,22 @@ pub fn try_run_search(
             );
 
             // Phase 5 — merge results as they stream in, watching for
-            // deaths (explicit or by deadline) and re-dispatching.
+            // deaths (explicit or by deadline), re-dispatching orphans
+            // and — when enabled — re-optimizing the remaining plan.
             let t_merge = obs.now();
-            let mut done = vec![false; n_tasks];
-            let mut retries = vec![0usize; n_tasks];
-            let mut completed = 0usize;
             // Largest observed wall-seconds per estimated-modelled-second:
             // converts modelled estimates into wall deadlines as the run
             // calibrates itself.
             let mut wall_ratio = 0.0f64;
+            // Re-optimization state: per-worker maxima of the observed
+            // modelled-time/estimate ratio (the estimator's
+            // miscalibration as seen on the deterministic modelled
+            // clock), and the slowdown factor each worker's *current
+            // plan* was drawn with (1.0 = the original uniform prior).
+            let mut obs_ratio = vec![0.0f64; workers.len()];
+            let mut planned_factor = vec![1.0f64; workers.len()];
+            let mut reopt_rounds = 0usize;
+            let reopt = config.reopt;
             // Slowest observed wall-seconds per alignment cell, seeded
             // with the conservative cold-start prior. This bounds every
             // deadline from below: the modelled-estimate path can be
@@ -724,25 +815,186 @@ pub fn try_run_search(
                     .get(t)
                     .map_or(0.0, |q| q.len() as f64 * db_residues as f64)
             };
-            let timeout_for = |w: usize, pending_w: &[usize], ratio: f64, spc: f64| {
-                let est = pending_w.iter().map(|&t| est_on(w, t)).fold(0.0, f64::max);
-                let max_cells = pending_w.iter().map(|&t| cells_of(t)).fold(0.0, f64::max);
-                let modelled = job_deadline_seconds(est, ratio, slack, floor);
-                Duration::from_secs_f64(modelled.max(slack * max_cells * spc))
-            };
+            // The worker's whole obligation — the in-flight job plus
+            // its master-held queue — prices its deadline, exactly as
+            // the old all-upfront dispatch did. Re-optimization never
+            // touches this path: the floor below (cells at the
+            // conservative cold-host prior) holds whatever the
+            // re-calibrated planning factors say.
+            let timeout_for =
+                |w: usize, in_flight_w: Option<usize>, queue_w: &[usize], ratio: f64, spc: f64| {
+                    let mut est = 0.0f64;
+                    let mut max_cells = 0.0f64;
+                    for t in in_flight_w.into_iter().chain(queue_w.iter().copied()) {
+                        est = est.max(est_on(w, t));
+                        max_cells = max_cells.max(cells_of(t));
+                    }
+                    let modelled = job_deadline_seconds(est, ratio, slack, floor);
+                    Duration::from_secs_f64(modelled.max(slack * max_cells * spc))
+                };
             let far_future = Instant::now() + Duration::from_secs(365 * 86_400);
             let mut deadlines: Vec<Instant> = vec![far_future; workers.len()];
             macro_rules! refresh_deadlines {
                 () => {
                     for w in 0..workers.len() {
-                        deadlines[w] = if alive[w] && !pending[w].is_empty() {
-                            Instant::now() + timeout_for(w, &pending[w], wall_ratio, secs_per_cell)
+                        deadlines[w] = if alive[w] && in_flight[w].is_some() {
+                            Instant::now()
+                                + timeout_for(w, in_flight[w], &queue[w], wall_ratio, secs_per_cell)
                         } else {
                             far_future
                         };
                     }
                 };
             }
+            // Online re-optimization: recompute species-relative
+            // slowdown factors from the observed modelled/estimate
+            // ratios; when some live worker's factor has grown past the
+            // threshold relative to the plan it is executing, pull every
+            // still-queued task back and re-plan them on the
+            // re-calibrated platform with the weighted remainder
+            // scheduler. The in-flight jobs (one per worker) stay where
+            // they are. A macro because it reworks half the merge
+            // loop's mutable state.
+            macro_rules! maybe_reoptimize {
+                () => {
+                    if reopt.enabled && !shared_queue && schedule.is_some() && error.is_none() {
+                        let live_cpu: Vec<usize> = (0..workers.len())
+                            .filter(|&w| alive[w] && !is_gpu[w])
+                            .collect();
+                        let live_gpu: Vec<usize> = (0..workers.len())
+                            .filter(|&w| alive[w] && is_gpu[w])
+                            .collect();
+                        // Species-relative factors: baseline is the
+                        // fastest same-species worker *with data*;
+                        // workers without data keep the honest prior.
+                        let factors_of = |ids: &[usize]| -> Vec<f64> {
+                            let baseline = ids
+                                .iter()
+                                .map(|&w| obs_ratio[w])
+                                .filter(|&r| r > 0.0)
+                                .fold(f64::INFINITY, f64::min);
+                            ids.iter()
+                                .map(|&w| {
+                                    if obs_ratio[w] > 0.0 && baseline.is_finite() && baseline > 0.0
+                                    {
+                                        (obs_ratio[w] / baseline).clamp(1.0, MAX_REOPT_FACTOR)
+                                    } else {
+                                        1.0
+                                    }
+                                })
+                                .collect()
+                        };
+                        let cpu_f = factors_of(&live_cpu);
+                        let gpu_f = factors_of(&live_gpu);
+                        let mut skew = 1.0f64;
+                        for (i, &w) in live_cpu.iter().enumerate() {
+                            skew = skew.max(cpu_f[i] / planned_factor[w]);
+                        }
+                        for (i, &w) in live_gpu.iter().enumerate() {
+                            skew = skew.max(gpu_f[i] / planned_factor[w]);
+                        }
+                        metrics.gauge("reopt_skew", &[], skew);
+                        let remaining: usize = (0..workers.len()).map(|w| queue[w].len()).sum();
+                        if skew >= reopt.threshold && remaining >= reopt.min_remaining {
+                            let mut remainder: Vec<usize> = Vec::with_capacity(remaining);
+                            for w in 0..workers.len() {
+                                remainder.append(&mut queue[w]);
+                            }
+                            remainder.retain(|&t| !done[t]);
+                            if !remainder.is_empty() {
+                                reopt_rounds += 1;
+                                obs.instant(
+                                    Track::Faults,
+                                    "reopt_replan",
+                                    &[
+                                        ("round", reopt_rounds as f64),
+                                        ("remaining", remainder.len() as f64),
+                                        ("skew", skew),
+                                    ],
+                                );
+                                obs.counter("reopt_replans", 1.0);
+                                metrics.gauge("reopt_rounds", &[], reopt_rounds as f64);
+                                let wf = WorkerFactors::new(cpu_f.clone(), gpu_f.clone());
+                                let plan = reschedule_remainder_weighted(
+                                    &tasks,
+                                    &remainder,
+                                    &wf,
+                                    BinarySearchConfig::default(),
+                                );
+                                for (i, &w) in live_cpu.iter().enumerate() {
+                                    planned_factor[w] = cpu_f[i];
+                                }
+                                for (i, &w) in live_gpu.iter().enumerate() {
+                                    planned_factor[w] = gpu_f[i];
+                                }
+                                let mut per: Vec<Vec<(f64, usize)>> =
+                                    vec![Vec::new(); workers.len()];
+                                for p in &plan.placements {
+                                    let w = match p.pe.kind {
+                                        PeKind::Cpu => live_cpu[p.pe.index],
+                                        PeKind::Gpu => live_gpu[p.pe.index],
+                                    };
+                                    if obs.is_enabled() {
+                                        obs.virtual_span(
+                                            Track::Recovered(w),
+                                            &format!("task-{}", p.task),
+                                            p.start,
+                                            p.end - p.start,
+                                            &[
+                                                ("task", p.task as f64),
+                                                ("reopt", reopt_rounds as f64),
+                                            ],
+                                        );
+                                    }
+                                    per[w].push((p.start, p.task));
+                                }
+                                let mut stranded: Vec<usize> = Vec::new();
+                                for (w, mut list) in per.into_iter().enumerate() {
+                                    if list.is_empty() {
+                                        continue;
+                                    }
+                                    list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                                    queue[w].extend(list.into_iter().map(|(_, t)| t));
+                                    stranded.append(&mut feed_worker(
+                                        w,
+                                        &mut alive,
+                                        &mut queue,
+                                        &mut in_flight,
+                                        &mut private_tx,
+                                        &done,
+                                        &obs,
+                                    ));
+                                }
+                                if !stranded.is_empty() {
+                                    let res = redispatch_orphans(
+                                        Recovery {
+                                            tasks: &tasks,
+                                            is_gpu: &is_gpu,
+                                            alive: &mut alive,
+                                            queue: &mut queue,
+                                            in_flight: &mut in_flight,
+                                            private_tx: &mut private_tx,
+                                            shared_tx: None,
+                                            done: &done,
+                                            retries: &mut retries,
+                                            max_retries: config.max_task_retries,
+                                            completed,
+                                            n_tasks,
+                                            obs: &obs,
+                                        },
+                                        stranded,
+                                    );
+                                    if let Err(e) = res {
+                                        error = Some(e);
+                                    }
+                                }
+                                refresh_deadlines!();
+                            }
+                        }
+                    }
+                };
+            }
+
             refresh_deadlines!();
             let mut last_activity = Instant::now();
             let tick = (config.min_job_timeout / 8)
@@ -755,7 +1007,8 @@ pub fn try_run_search(
                         tasks: &tasks,
                         is_gpu: &is_gpu,
                         alive: &mut alive,
-                        pending: &mut pending,
+                        queue: &mut queue,
+                        in_flight: &mut in_flight,
                         private_tx: &mut private_tx,
                         shared_tx: None,
                         done: &done,
@@ -778,7 +1031,10 @@ pub fn try_run_search(
                     Ok(WorkerMsg::Completed(r)) => {
                         last_activity = Instant::now();
                         let w = r.worker_id;
-                        pending[w].retain(|&t| t != r.task_id);
+                        if in_flight[w] == Some(r.task_id) {
+                            in_flight[w] = None;
+                        }
+                        queue[w].retain(|&t| t != r.task_id);
                         // Calibrate against the *estimator's* modelled
                         // time for this task — the same quantity the
                         // deadlines below are computed from. (The
@@ -789,6 +1045,14 @@ pub fn try_run_search(
                         let est = est_on(w, r.task_id);
                         if est > 0.0 {
                             wall_ratio = wall_ratio.max(r.wall_seconds / est);
+                            // Modelled/estimate ratio on the worker's own
+                            // deterministic clock feeds re-optimization.
+                            // Within one species the modelled clocks are
+                            // commensurable, so the *relative* spread of
+                            // these ratios is exactly the slowdown skew.
+                            if r.modelled_seconds > 0.0 {
+                                obs_ratio[w] = obs_ratio[w].max(r.modelled_seconds / est);
+                            }
                         }
                         let cells = cells_of(r.task_id);
                         if cells > 0.0 {
@@ -812,12 +1076,54 @@ pub fn try_run_search(
                             metrics.gauge("queue_depth", &[], (n_tasks - completed) as f64);
                             metrics.gauge("tasks_completed", &[], completed as f64);
                         }
+                        maybe_reoptimize!();
+                        if error.is_none() && !shared_queue {
+                            let stranded = feed_worker(
+                                w,
+                                &mut alive,
+                                &mut queue,
+                                &mut in_flight,
+                                &mut private_tx,
+                                &done,
+                                &obs,
+                            );
+                            if !stranded.is_empty() {
+                                let res = redispatch_orphans(
+                                    Recovery {
+                                        tasks: &tasks,
+                                        is_gpu: &is_gpu,
+                                        alive: &mut alive,
+                                        queue: &mut queue,
+                                        in_flight: &mut in_flight,
+                                        private_tx: &mut private_tx,
+                                        shared_tx: None,
+                                        done: &done,
+                                        retries: &mut retries,
+                                        max_retries: config.max_task_retries,
+                                        completed,
+                                        n_tasks,
+                                        obs: &obs,
+                                    },
+                                    stranded,
+                                );
+                                match res {
+                                    Ok(()) => refresh_deadlines!(),
+                                    Err(e) => error = Some(e),
+                                }
+                            }
+                        }
                         if alive[w] {
-                            deadlines[w] = if pending[w].is_empty() {
+                            deadlines[w] = if in_flight[w].is_none() {
                                 far_future
                             } else {
                                 Instant::now()
-                                    + timeout_for(w, &pending[w], wall_ratio, secs_per_cell)
+                                    + timeout_for(
+                                        w,
+                                        in_flight[w],
+                                        &queue[w],
+                                        wall_ratio,
+                                        secs_per_cell,
+                                    )
                             };
                         }
                     }
@@ -837,16 +1143,23 @@ pub fn try_run_search(
                                 &[("worker", w as f64), ("reason", reason)],
                             );
                             obs.counter("workers_lost", 1.0);
-                            let mut orphans: Vec<usize> = pending[w].drain(..).collect();
-                            if let Some(t) = f.in_flight {
+                            let mut orphans: Vec<usize> = Vec::new();
+                            if let Some(t) = in_flight[w].take() {
                                 orphans.push(t);
+                            }
+                            orphans.append(&mut queue[w]);
+                            if let Some(t) = f.in_flight {
+                                if !orphans.contains(&t) {
+                                    orphans.push(t);
+                                }
                             }
                             let res = redispatch_orphans(
                                 Recovery {
                                     tasks: &tasks,
                                     is_gpu: &is_gpu,
                                     alive: &mut alive,
-                                    pending: &mut pending,
+                                    queue: &mut queue,
+                                    in_flight: &mut in_flight,
                                     private_tx: &mut private_tx,
                                     shared_tx: if shared_queue {
                                         shared_tx.as_ref()
@@ -910,7 +1223,8 @@ pub fn try_run_search(
                                         tasks: &tasks,
                                         is_gpu: &is_gpu,
                                         alive: &mut alive,
-                                        pending: &mut pending,
+                                        queue: &mut queue,
+                                        in_flight: &mut in_flight,
                                         private_tx: &mut private_tx,
                                         shared_tx: shared_tx.as_ref(),
                                         done: &done,
@@ -932,7 +1246,7 @@ pub fn try_run_search(
                                 if error.is_some() {
                                     break;
                                 }
-                                if alive[w] && !pending[w].is_empty() && now >= deadlines[w] {
+                                if alive[w] && in_flight[w].is_some() && now >= deadlines[w] {
                                     alive[w] = false;
                                     private_tx[w] = None;
                                     obs.instant(
@@ -941,13 +1255,18 @@ pub fn try_run_search(
                                         &[("worker", w as f64), ("reason", DEATH_TIMEOUT)],
                                     );
                                     obs.counter("workers_lost", 1.0);
-                                    let orphans: Vec<usize> = pending[w].drain(..).collect();
+                                    let mut orphans: Vec<usize> = Vec::new();
+                                    if let Some(t) = in_flight[w].take() {
+                                        orphans.push(t);
+                                    }
+                                    orphans.append(&mut queue[w]);
                                     let res = redispatch_orphans(
                                         Recovery {
                                             tasks: &tasks,
                                             is_gpu: &is_gpu,
                                             alive: &mut alive,
-                                            pending: &mut pending,
+                                            queue: &mut queue,
+                                            in_flight: &mut in_flight,
                                             private_tx: &mut private_tx,
                                             shared_tx: None,
                                             done: &done,
@@ -1731,5 +2050,212 @@ mod tests {
             );
             assert_eq!(faulted.hits, healthy.hits, "seed {seed} plan {plan}");
         }
+    }
+
+    // ---- online re-optimization tests ----
+
+    /// The acceptance scenario: one GPU + two CPUs, where CPU worker 1
+    /// both straggles (modelled clock ×3, no wall delay) and declared a
+    /// 2× optimistic rate model. Returns (workers, miscalibrated
+    /// config-with-reopt-choice closure inputs).
+    fn miscalibrated_zoo() -> Vec<WorkerSpec> {
+        vec![
+            WorkerSpec::gpu_default(),
+            WorkerSpec::cpu_default().with_prior_scale(2.0),
+            WorkerSpec::cpu_default(),
+        ]
+    }
+
+    fn miscalibrated_config(reopt_enabled: bool, obs: Obs) -> RuntimeConfig {
+        RuntimeConfig {
+            obs,
+            reopt: ReoptConfig {
+                enabled: reopt_enabled,
+                ..ReoptConfig::default()
+            },
+            ..fault_config(FaultPlan::none().with(
+                1,
+                WorkerFault::Straggler {
+                    delay_ms: 0,
+                    factor: 3.0,
+                },
+            ))
+        }
+    }
+
+    #[test]
+    fn reopt_on_calibrated_run_changes_nothing() {
+        // Honest priors, no faults: observed ratios are uniform, skew
+        // stays below threshold, and no re-plan ever fires.
+        let database = db(20, 100);
+        let queries = queries_from(&database, &[1, 4, 7, 10, 13, 16]);
+        let workers = vec![
+            WorkerSpec::gpu_default(),
+            WorkerSpec::cpu_default(),
+            WorkerSpec::cpu_default(),
+        ];
+        let off = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let obs = Obs::enabled();
+        let on = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                obs: obs.clone(),
+                reopt: ReoptConfig::enabled(),
+                ..RuntimeConfig::default()
+            },
+        );
+        assert_eq!(on.hits, off.hits);
+        assert!(
+            !obs.events().iter().any(|e| e.name == "reopt_replan"),
+            "a calibrated run must not trigger re-planning"
+        );
+        // Same static plan executed either way.
+        for (a, b) in off.worker_stats.iter().zip(on.worker_stats.iter()) {
+            assert_eq!(a.tasks, b.tasks);
+        }
+    }
+
+    #[test]
+    fn reopt_replans_miscalibrated_straggler_and_keeps_hits() {
+        let database = db(24, 110);
+        let queries = queries_from(&database, &[0, 2, 5, 8, 11, 14, 17, 20]);
+        let workers = miscalibrated_zoo();
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let obs = Obs::enabled();
+        let reopt = run_search(
+            database,
+            queries,
+            &workers,
+            miscalibrated_config(true, obs.clone()),
+        );
+        assert_eq!(reopt.hits, healthy.hits, "re-planning must not change hits");
+        let events = obs.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.track == Track::Faults && e.name == "reopt_replan"),
+            "the 3x-slow 2x-overrated worker must trigger a re-plan"
+        );
+        // Every re-plan is journaled with its round/remaining/skew args.
+        for e in events.iter().filter(|e| e.name == "reopt_replan") {
+            assert!(e.args.iter().any(|(k, _)| k == "round"));
+            assert!(e.args.iter().any(|(k, v)| k == "skew" && *v >= 1.5));
+        }
+        // All tasks ran exactly once in total accounting terms: no task
+        // is double-counted by the re-plan (duplicates would inflate
+        // the per-worker task counts beyond the query count unless a
+        // fault forced a retry, and this plan has no deaths).
+        let total: usize = reopt.worker_stats.iter().map(|s| s.tasks).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn reopt_improves_modelled_makespan_on_miscalibrated_straggler() {
+        // The issue's acceptance bar: on the deliberately miscalibrated
+        // scenario, re-optimization improves modelled makespan by at
+        // least 15% over the static plan.
+        let database = db(24, 110);
+        let queries = queries_from(&database, &[0, 2, 5, 8, 11, 14, 17, 20]);
+        let workers = miscalibrated_zoo();
+        let static_run = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            miscalibrated_config(false, Obs::disabled()),
+        );
+        let reopt_run = run_search(
+            database,
+            queries,
+            &workers,
+            miscalibrated_config(true, Obs::disabled()),
+        );
+        assert_eq!(reopt_run.hits, static_run.hits);
+        let improvement = 1.0 - reopt_run.modelled_makespan / static_run.modelled_makespan;
+        assert!(
+            improvement >= 0.15,
+            "re-opt must improve modelled makespan by >= 15%: static {:.4}s, reopt {:.4}s ({:.1}%)",
+            static_run.modelled_makespan,
+            reopt_run.modelled_makespan,
+            improvement * 100.0
+        );
+    }
+
+    #[test]
+    fn reopt_survives_worker_death_after_replan() {
+        // Re-planning and fault recovery compose: the straggler is
+        // re-planned around, then a CPU dies; hits still match.
+        let database = db(18, 90);
+        let queries = queries_from(&database, &[0, 3, 6, 9, 12, 15]);
+        let workers = miscalibrated_zoo();
+        let healthy = run_search(
+            database.clone(),
+            queries.clone(),
+            &workers,
+            RuntimeConfig::default(),
+        );
+        let faulted = run_search(
+            database,
+            queries,
+            &workers,
+            RuntimeConfig {
+                reopt: ReoptConfig::enabled(),
+                ..fault_config(
+                    FaultPlan::none()
+                        .with(
+                            1,
+                            WorkerFault::Straggler {
+                                delay_ms: 0,
+                                factor: 3.0,
+                            },
+                        )
+                        .with(
+                            2,
+                            WorkerFault::Crash {
+                                after_jobs: 1,
+                                notify: true,
+                            },
+                        ),
+                )
+            },
+        );
+        assert_eq!(faulted.hits, healthy.hits);
+    }
+
+    #[test]
+    fn reopt_recalibration_never_lowers_the_cold_host_deadline_floor() {
+        // Regression guard for the PR 2 invariant: the silent-death
+        // deadline is floored by the 10-MCUPS cold-host prior, and
+        // re-calibration touches planning estimates only. Whatever the
+        // re-opt machinery does to the rate models, the deadline for a
+        // given amount of pending cells can never drop below the time a
+        // 10-MCUPS host would need (divided by nothing — slack only
+        // stretches it).
+        let cells = 5.0e8; // half a giga-cell
+        let slack = RuntimeConfig::default().job_timeout_slack;
+        let floor_seconds = slack * cells / COLD_HOST_CELLS_PER_SEC;
+        // A wildly optimistic re-calibrated estimate (estimates say the
+        // task takes microseconds) with an equally optimistic observed
+        // wall ratio still cannot undercut the cells-based floor the
+        // master applies alongside job_deadline_seconds.
+        let optimistic = job_deadline_seconds(1e-6, 1e-3, slack, 0.05);
+        let deadline = optimistic.max(slack * cells * (1.0 / COLD_HOST_CELLS_PER_SEC));
+        assert!(
+            deadline >= floor_seconds,
+            "deadline {deadline} fell below the 10-MCUPS floor {floor_seconds}"
+        );
+        // And the constant itself is the documented 10 MCUPS.
+        assert_eq!(COLD_HOST_CELLS_PER_SEC, 1.0e7);
     }
 }

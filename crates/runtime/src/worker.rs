@@ -23,12 +23,12 @@ use swdual_align::engine::{EngineKind, PhaseTimings};
 use swdual_align::{ProfileCache, TierStats};
 use swdual_bio::seq::SequenceSet;
 use swdual_bio::ScoringScheme;
-use swdual_gpusim::{DeviceSpec, GpuDevice};
+use swdual_gpusim::{DeviceClass, DeviceSpec, GpuDevice};
 use swdual_obs::{Obs, Track};
 
-/// Worker species and its engine configuration.
+/// Worker species: which engine a worker actually runs.
 #[derive(Debug, Clone)]
-pub enum WorkerSpec {
+pub enum WorkerKind {
     /// A CPU worker running the given kernel on one thread.
     Cpu {
         /// Which alignment kernel this worker runs.
@@ -41,43 +41,103 @@ pub enum WorkerSpec {
     },
 }
 
+/// Worker species plus its estimator calibration.
+///
+/// `prior_scale` skews the rate model the worker *declares* at
+/// registration (the master's planning prior) without touching what the
+/// worker actually computes or how its true modelled time is derived —
+/// `2.0` means "registers as twice as fast as it really is". It exists
+/// to inject deliberate miscalibration for testing online
+/// re-optimization; the default `1.0` is the honest calibration.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Species and engine configuration.
+    pub kind: WorkerKind,
+    /// Declared-speed multiplier on the registered rate model (1.0 =
+    /// honest).
+    pub prior_scale: f64,
+}
+
 impl WorkerSpec {
+    /// A CPU worker with the given kernel.
+    pub fn cpu(engine: EngineKind) -> WorkerSpec {
+        WorkerSpec {
+            kind: WorkerKind::Cpu { engine },
+            prior_scale: 1.0,
+        }
+    }
+
+    /// A GPU worker driving the given simulated device.
+    pub fn gpu(device: DeviceSpec) -> WorkerSpec {
+        WorkerSpec {
+            kind: WorkerKind::Gpu { device },
+            prior_scale: 1.0,
+        }
+    }
+
     /// The paper's CPU worker: a SWIPE-class vector kernel. Since the
     /// kernel-dispatch sprint this is the striped engine's tiered
     /// pipeline (byte lanes → 16-bit lanes → scalar) on the fastest
     /// SIMD backend the host supports.
     pub fn cpu_default() -> WorkerSpec {
-        WorkerSpec::Cpu {
-            engine: EngineKind::Striped,
-        }
+        WorkerSpec::cpu(EngineKind::Striped)
     }
 
     /// The paper's GPU worker: a CUDASW++-class device.
     pub fn gpu_default() -> WorkerSpec {
-        WorkerSpec::Gpu {
-            device: DeviceSpec::tesla_c2050(),
-        }
+        WorkerSpec::device_class(DeviceClass::C2050)
+    }
+
+    /// An accelerator worker from the device zoo.
+    pub fn device_class(class: DeviceClass) -> WorkerSpec {
+        WorkerSpec::gpu(class.spec())
+    }
+
+    /// Builder: declare this worker `scale`× faster than its honest
+    /// calibration (deliberate estimator miscalibration).
+    pub fn with_prior_scale(mut self, scale: f64) -> WorkerSpec {
+        self.prior_scale = if scale.is_finite() && scale > 0.0 {
+            scale
+        } else {
+            1.0
+        };
+        self
     }
 
     /// Human-readable description for stats.
     pub fn description(&self) -> String {
-        match self {
-            WorkerSpec::Cpu { engine } => format!("CPU({engine})"),
-            WorkerSpec::Gpu { device } => format!("GPU({})", device.name),
+        match &self.kind {
+            WorkerKind::Cpu { engine } => format!("CPU({engine})"),
+            WorkerKind::Gpu { device } => format!("GPU({})", device.name),
         }
     }
 
     /// Is this a GPU worker?
     pub fn is_gpu(&self) -> bool {
-        matches!(self, WorkerSpec::Gpu { .. })
+        matches!(self.kind, WorkerKind::Gpu { .. })
+    }
+
+    /// The zoo class of this worker's device, when it has one.
+    pub fn device_class_of(&self) -> Option<DeviceClass> {
+        match &self.kind {
+            WorkerKind::Cpu { .. } => None,
+            WorkerKind::Gpu { device } => DeviceClass::of_spec(device),
+        }
     }
 
     /// The rate model the master uses to estimate this worker's task
-    /// times.
+    /// times: the species' honest end-to-end calibration (per device
+    /// class for GPUs), skewed by `prior_scale` — peak up, per-task
+    /// overhead down, so a scaled worker looks uniformly faster.
     pub fn rate_model(&self) -> WorkerRateModel {
-        match self {
-            WorkerSpec::Cpu { .. } => WorkerRateModel::cpu_swipe(),
-            WorkerSpec::Gpu { .. } => WorkerRateModel::gpu_tesla(),
+        let honest = match &self.kind {
+            WorkerKind::Cpu { .. } => WorkerRateModel::cpu_swipe(),
+            WorkerKind::Gpu { device } => WorkerRateModel::for_device(device),
+        };
+        WorkerRateModel {
+            peak_gcups: honest.peak_gcups * self.prior_scale,
+            half_length: honest.half_length,
+            per_task_overhead: honest.per_task_overhead / self.prior_scale,
         }
     }
 }
@@ -331,8 +391,8 @@ pub fn worker_loop(
     }
     let knobs = FaultKnobs::from(ctx.fault);
     let mut jobs_done = 0usize;
-    match spec {
-        WorkerSpec::Cpu { engine } => {
+    match spec.kind {
+        WorkerKind::Cpu { engine } => {
             let engine = engine.build();
             let db_refs: Vec<&[u8]> = ctx.database.iter().map(|s| s.codes()).collect();
             let model = WorkerRateModel::cpu_swipe();
@@ -403,7 +463,7 @@ pub fn worker_loop(
                 }
             }
         }
-        WorkerSpec::Gpu { device } => {
+        WorkerKind::Gpu { device } => {
             let mut device = GpuDevice::new(device);
             device.attach_obs(ctx.obs.clone(), ctx.worker_id);
             if let Some(WorkerFault::DeviceFault { after_kernels }) = ctx.fault {
@@ -602,13 +662,58 @@ mod tests {
     }
 
     #[test]
+    fn every_zoo_class_worker_computes_exact_scores() {
+        for class in DeviceClass::ALL {
+            let spec = WorkerSpec::device_class(class);
+            assert!(spec.is_gpu());
+            assert_eq!(spec.device_class_of(), Some(class));
+            let results = run_one(spec);
+            assert_eq!(results.len(), 2, "class {class}");
+            for r in &results {
+                assert_eq!(r.scores, expected_scores(r.task_id), "class {class}");
+                assert!(r.modelled_seconds > 0.0);
+            }
+        }
+        assert_eq!(WorkerSpec::cpu_default().device_class_of(), None);
+    }
+
+    #[test]
+    fn prior_scale_skews_declared_model_not_results() {
+        let honest = WorkerSpec::cpu_default();
+        let bragger = WorkerSpec::cpu_default().with_prior_scale(2.0);
+        let t_honest = honest.rate_model().task_seconds(500, 10_000_000);
+        let t_bragger = bragger.rate_model().task_seconds(500, 10_000_000);
+        assert!(
+            (t_bragger - t_honest / 2.0).abs() < 1e-12 * t_honest,
+            "2x prior scale must halve every estimate: {t_bragger} vs {t_honest}"
+        );
+        // Results and true modelled times are untouched.
+        let h = run_one(honest);
+        let b = run_one(bragger);
+        assert_eq!(h.len(), b.len());
+        for (x, y) in h.iter().zip(&b) {
+            assert_eq!(x.scores, y.scores);
+            assert_eq!(x.modelled_seconds, y.modelled_seconds);
+        }
+        // Degenerate scales fall back to honest.
+        assert_eq!(
+            WorkerSpec::cpu_default().with_prior_scale(0.0).prior_scale,
+            1.0
+        );
+        assert_eq!(
+            WorkerSpec::cpu_default()
+                .with_prior_scale(f64::NAN)
+                .prior_scale,
+            1.0
+        );
+    }
+
+    #[test]
     fn gpu_worker_falls_back_to_chunked_search_when_db_oversized() {
         // A device with 25 bytes of memory cannot hold the 30-residue
         // tiny_db; the worker must stream it in chunks and still return
         // exact scores.
-        let spec = WorkerSpec::Gpu {
-            device: DeviceSpec::toy(25),
-        };
+        let spec = WorkerSpec::gpu(DeviceSpec::toy(25));
         let results = run_one(spec);
         assert_eq!(results.len(), 2);
         for r in &results {
@@ -620,7 +725,7 @@ mod tests {
     #[test]
     fn all_cpu_engines_work_as_workers() {
         for engine in EngineKind::ALL {
-            let results = run_one(WorkerSpec::Cpu { engine });
+            let results = run_one(WorkerSpec::cpu(engine));
             assert_eq!(results.len(), 2, "engine {engine}");
             for r in &results {
                 assert_eq!(r.scores, expected_scores(r.task_id), "engine {engine}");
@@ -733,14 +838,7 @@ mod tests {
             })
             .unwrap();
         drop(job_tx);
-        worker_loop(
-            WorkerSpec::Cpu {
-                engine: EngineKind::Striped,
-            },
-            ctx,
-            job_rx,
-            res_tx,
-        );
+        worker_loop(WorkerSpec::cpu(EngineKind::Striped), ctx, job_rx, res_tx);
         let results: Vec<WorkerMsg> = res_rx.iter().collect();
         assert_eq!(results.len(), 1);
 

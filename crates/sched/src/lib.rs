@@ -45,6 +45,6 @@ pub use binsearch::{
 };
 pub use dual::{dual_step, dual_step_observed, DualStepResult, KnapsackMethod};
 pub use platform::PlatformSpec;
-pub use remainder::reschedule_remainder;
+pub use remainder::{reschedule_remainder, reschedule_remainder_weighted, WorkerFactors};
 pub use schedule::{Assignment, PeId, PeKind, Schedule};
 pub use task::{Task, TaskSet};
