@@ -192,6 +192,66 @@ fn main() {
         }),
     );
 
+    // ---- explain fold cost ----
+    //
+    // The `swdual explain` analysis path: fold a populated run — plan
+    // models, dispatch instants and lineage-stamped execution spans —
+    // into the causal blame report. Priced per fold so later PRs can
+    // diff the analysis cost, not just the recording cost.
+    let lineage = {
+        let obs = Obs::enabled();
+        let workers = 4usize;
+        let mut virt = vec![0.0f64; workers];
+        for t in 0..256usize {
+            let w = t % workers;
+            obs.instant(
+                Track::Master,
+                "task_model",
+                &[
+                    ("task", t as f64),
+                    ("p_cpu", 1.0),
+                    ("p_gpu", 0.25),
+                    ("query_len", 120.0),
+                    ("cells", 120_000.0),
+                ],
+            );
+            obs.instant(
+                Track::Master,
+                "task_dispatch",
+                &[
+                    ("task", t as f64),
+                    ("worker", w as f64),
+                    ("seq", t as f64),
+                    ("decision", 0.0),
+                    ("virt", virt[w]),
+                ],
+            );
+            obs.span(
+                Track::Worker(w),
+                &format!("task-{t}"),
+                virt[w] * 1e-6,
+                1e-6,
+                Some((virt[w], 1.0)),
+                &[
+                    ("task", t as f64),
+                    ("cells", 120_000.0),
+                    ("seq", t as f64),
+                    ("decision", 0.0),
+                    ("queue_wait_wall", 0.0),
+                    ("queue_wait_modelled", 0.0),
+                ],
+            );
+            virt[w] += 1.0;
+        }
+        obs
+    };
+    bench(
+        "explain_fold_256_tasks",
+        measure(samples.min(11), iters / 1000 + 1, || {
+            std::hint::black_box(swdual_obs::explain::explain_obs(&lineage));
+        }),
+    );
+
     // ---- profiler overhead on a realistic job ----
     //
     // A striped score_many over a 32-sequence chunk, the shape of one

@@ -14,6 +14,7 @@
 //!                 [--fault-plan SPEC | --fault-seed N]
 //!                 [--job-timeout-slack F] [--min-job-timeout-ms MS]
 //! swdual analyze  EVENTS.jsonl [--json|--text] [-o FILE]
+//! swdual explain  EVENTS.jsonl [--what-if SPEC] [--json|--text] [-o FILE]
 //! swdual profile  EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json]
 //!                 [--roofline] [--json] [-o FILE]
 //! swdual diff     BASE.jsonl HEAD.jsonl [--profile] [--json|--text]
@@ -62,6 +63,7 @@ USAGE:
                   [--fault-plan SPEC | --fault-seed N]
                   [--job-timeout-slack F] [--min-job-timeout-ms MS]
   swdual analyze  EVENTS.jsonl [--json|--text] [-o FILE]
+  swdual explain  EVENTS.jsonl [--what-if SPEC] [--json|--text] [-o FILE]
   swdual profile  EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json]
                   [--roofline] [--json] [-o FILE]
   swdual diff     BASE.jsonl HEAD.jsonl [--profile] [--json|--text]
@@ -77,6 +79,20 @@ Database/query files may be FASTA (.fasta/.fa) or SQB (.sqb).
 `swdual analyze` audits a `--journal-out` journal: achieved makespan
 vs the dual-approximation λ and its 2λ guarantee, per-worker
 utilization, load imbalance, latency quantiles and plan skew.
+
+`swdual explain` reconstructs a run's causal lineage from a v2
+journal: the true critical path (planned → dispatched → executed, on
+both clocks) and a blame decomposition that attributes 100% of the
+modelled makespan to compute / transfer / queue-wait / straggle /
+re-plan / recovery / imbalance, per run, per worker and per
+query-length bucket. `--what-if SPEC` replays the recorded schedule on
+the modelled clock under a counterfactual premise and reports the
+predicted makespan against the 2λ guarantee:
+  drop-worker:N        remove worker N from the platform
+  perfect-calibration  plan with the speeds the run actually observed
+  zero-transfer        GPU workers pay no host↔device transfer
+  plus-gpu:CLASS       add one GPU of a device class (c2050|phi|knl|bioseal)
+  no-faults            faulted workers run at their species' best speed
 
 `swdual profile` folds a journal (ideally recorded with `search
 --profile` for phase-level detail) into a profile: `--flame` writes
@@ -457,6 +473,78 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     emit(&rendered, out, "analyze")
 }
 
+/// `swdual explain EVENTS.jsonl [--what-if SPEC] [--json|--text]
+/// [-o FILE]` — reconstruct a run's causal lineage: critical path,
+/// blame attribution over the modelled makespan, and (with
+/// `--what-if`) a counterfactual replay of the recorded schedule.
+/// Takes one positional path, so it parses its own arguments (like
+/// `analyze`).
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut premise: Option<&str> = None;
+    let mut json = false;
+    let mut text = false;
+    let mut out: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--text" => text = true,
+            "--what-if" | "-o" | "--out" => {
+                let key = args[i].clone();
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag {key} needs a value"))?;
+                if key == "--what-if" {
+                    premise = Some(value);
+                } else {
+                    out = Some(value);
+                }
+                i += 1;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!(
+                    "unknown explain flag {other:?} (--what-if SPEC|--json|--text|-o FILE)"
+                ))
+            }
+            other => {
+                if path.is_some() {
+                    return Err("explain takes exactly one journal path".into());
+                }
+                path = Some(other);
+            }
+        }
+        i += 1;
+    }
+    let path = path
+        .ok_or("usage: swdual explain EVENTS.jsonl [--what-if SPEC] [--json|--text] [-o FILE]")?;
+    if json && text {
+        return Err("--json and --text are mutually exclusive".into());
+    }
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report =
+        swdual_obs::explain::explain_journal(&contents).map_err(|e| format!("{path}: {e}"))?;
+    let rendered = match premise {
+        Some(spec) => {
+            let spec = swdual_core::whatif::WhatIf::parse(spec)?;
+            let answer = swdual_core::whatif::what_if(&report.replay, &spec)?;
+            if json {
+                answer.to_json()
+            } else {
+                answer.to_text()
+            }
+        }
+        None => {
+            if json {
+                report.to_json()
+            } else {
+                report.to_text()
+            }
+        }
+    };
+    emit(&rendered, out, "explain")
+}
+
 /// `swdual profile EVENTS.jsonl [--flame OUT] [--speedscope OUT]
 /// [--roofline] [--json] [-o FILE]` — fold a journal into flamegraph /
 /// speedscope / roofline views. Takes one positional path, so it
@@ -725,13 +813,15 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    // `analyze`, `profile` and `diff` take positional journal paths and
-    // parse their own arguments; every other command uses `--key value`
-    // flags. `diff` picks its own exit code so `--fail-on-regression`
-    // can fail the build after printing the report.
-    if cmd == "analyze" || cmd == "profile" || cmd == "diff" {
+    // `analyze`, `explain`, `profile` and `diff` take positional
+    // journal paths and parse their own arguments; every other command
+    // uses `--key value` flags. `diff` picks its own exit code so
+    // `--fail-on-regression` can fail the build after printing the
+    // report.
+    if cmd == "analyze" || cmd == "explain" || cmd == "profile" || cmd == "diff" {
         let result = match cmd.as_str() {
             "analyze" => cmd_analyze(&args[1..]).map(|()| ExitCode::SUCCESS),
+            "explain" => cmd_explain(&args[1..]).map(|()| ExitCode::SUCCESS),
             "profile" => cmd_profile(&args[1..]).map(|()| ExitCode::SUCCESS),
             _ => cmd_diff(&args[1..]),
         };

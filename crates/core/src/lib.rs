@@ -42,6 +42,7 @@
 pub mod engine;
 pub mod progress;
 pub mod report;
+pub mod whatif;
 
 /// Re-export: alignment kernels.
 pub use swdual_align as align;

@@ -157,6 +157,19 @@ impl SearchReport {
         swdual_obs::profile::Profile::from_obs(&self.obs)
     }
 
+    /// Explain the run causally: the true critical path on both
+    /// clocks, blame attribution of the whole modelled makespan
+    /// (compute / transfer / queue wait / straggle / recovery /
+    /// re-plan / imbalance) per run, worker and query-length bucket,
+    /// and the [`ReplayInput`] that
+    /// [`whatif::what_if`](crate::whatif::what_if) replays
+    /// counterfactuals from. Quiet when tracing was off.
+    ///
+    /// [`ReplayInput`]: swdual_obs::explain::ReplayInput
+    pub fn explain(&self) -> swdual_obs::explain::ExplainReport {
+        swdual_obs::explain::explain_obs(&self.obs)
+    }
+
     /// Compare this run against a baseline run: every audited metric
     /// (makespans on both clocks, bound margin, per-worker utilization,
     /// latency quantiles, throughput, fault counts) plus the profile
@@ -379,6 +392,27 @@ mod tests {
                 .all(|s| s.frames.iter().all(|f| f != "dp_inner")),
             "no phase frames without profile(true)"
         );
+    }
+
+    #[test]
+    fn explained_report_blames_the_whole_makespan() {
+        let db = synthetic_database("db", 12, LengthModel::Fixed(60), 5);
+        let q = queries_from_database(&db, 3, 1, usize::MAX, &MutationProfile::homolog(), 6);
+        let r = SearchBuilder::new().database(db).queries(q).observe().run();
+        let e = r.explain();
+        assert!(!e.degraded, "live runs carry full lineage");
+        assert!(e.modelled_makespan > 0.0);
+        let total = e.blame.total();
+        assert!(
+            (total - e.modelled_makespan).abs() < 0.01 * e.modelled_makespan,
+            "blame {total} vs makespan {}",
+            e.modelled_makespan
+        );
+        assert!(!e.critical_path.is_empty());
+        // The replay input feeds the what-if engine end to end.
+        let wi = crate::whatif::what_if(&e.replay, &crate::whatif::WhatIf::PerfectCalibration)
+            .expect("replay from a live run");
+        assert!(wi.counterfactual_makespan > 0.0);
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! Counterfactual what-if replay over an explained run.
+//!
+//! `swdual explain` extracts a [`ReplayInput`] from the journal: every
+//! task's `(p_cpu, p_gpu)` model, each worker's observed
+//! duration/estimate ratio, the GPU transfer share and the original λ.
+//! This module replays the schedule on the modelled clock under an
+//! edited premise and reports the counterfactual makespan:
+//!
+//! * `drop-worker:N` — the run without worker `N`;
+//! * `perfect-calibration` — the planner knows every worker's *true*
+//!   observed speed up front (what online re-optimization converges
+//!   to);
+//! * `zero-transfer` — H2D transfer is free (GPU task times shrink by
+//!   the observed transfer fraction);
+//! * `plus-gpu:CLASS` — one more GPU of a zoo class (`c2050`, `phi`,
+//!   `knl`, `bioseal`), priced by its calibrated estimator curve;
+//! * `no-faults` — faulted workers run at their species' best observed
+//!   rate instead.
+//!
+//! The replay reuses the paper's own machinery: the dual-approximation
+//! species split plus weighted LPT
+//! ([`reschedule_remainder_weighted`]) — the same planner the master
+//! runs at re-plan time — so counterfactuals are statements about the
+//! *schedule*, not a separate model. Worker speed factors are taken as
+//! observed (faster-than-prior workers keep factors below 1, which the
+//! runtime's conservative [`WorkerFactors::new`] would clamp away).
+
+use swdual_gpusim::DeviceClass;
+use swdual_obs::explain::ReplayInput;
+use swdual_runtime::estimator::WorkerRateModel;
+use swdual_sched::binsearch::BinarySearchConfig;
+use swdual_sched::remainder::{reschedule_remainder_weighted, WorkerFactors};
+use swdual_sched::task::{Task, TaskSet};
+
+use serde::Serialize;
+
+/// A parsed counterfactual premise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhatIf {
+    /// Remove one worker from the platform.
+    DropWorker(usize),
+    /// Plan with the observed speeds known up front.
+    PerfectCalibration,
+    /// Make host-to-device transfer free.
+    ZeroTransfer,
+    /// Add one GPU of the named zoo class.
+    PlusGpu(DeviceClass),
+    /// Faulted workers run at their species' best observed rate.
+    NoFaults,
+}
+
+impl WhatIf {
+    /// Parse a CLI spec: `drop-worker:N`, `perfect-calibration`,
+    /// `zero-transfer`, `plus-gpu:CLASS`, `no-faults`.
+    pub fn parse(spec: &str) -> Result<WhatIf, String> {
+        let spec = spec.trim();
+        if let Some(n) = spec.strip_prefix("drop-worker:") {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("drop-worker wants a worker id, got '{n}'"))?;
+            return Ok(WhatIf::DropWorker(n));
+        }
+        if let Some(class) = spec.strip_prefix("plus-gpu:") {
+            let class = DeviceClass::parse(class)
+                .ok_or_else(|| format!("unknown device class '{class}' for plus-gpu"))?;
+            return Ok(WhatIf::PlusGpu(class));
+        }
+        match spec {
+            "perfect-calibration" => Ok(WhatIf::PerfectCalibration),
+            "zero-transfer" => Ok(WhatIf::ZeroTransfer),
+            "no-faults" => Ok(WhatIf::NoFaults),
+            _ => Err(format!(
+                "unknown what-if spec '{spec}' (expected drop-worker:N, \
+                 perfect-calibration, zero-transfer, plus-gpu:CLASS or no-faults)"
+            )),
+        }
+    }
+
+    /// The canonical spelling of the spec.
+    pub fn label(&self) -> String {
+        match self {
+            WhatIf::DropWorker(n) => format!("drop-worker:{n}"),
+            WhatIf::PerfectCalibration => "perfect-calibration".to_string(),
+            WhatIf::ZeroTransfer => "zero-transfer".to_string(),
+            WhatIf::PlusGpu(c) => format!("plus-gpu:{}", c.name()),
+            WhatIf::NoFaults => "no-faults".to_string(),
+        }
+    }
+}
+
+/// The counterfactual's answer.
+#[derive(Debug, Clone, Serialize)]
+pub struct WhatIfReport {
+    /// The premise replayed.
+    pub spec: String,
+    /// Modelled makespan the journal actually achieved.
+    pub observed_makespan: f64,
+    /// Replay of the *unedited* premise (observed speeds, full worker
+    /// set) — the apples-to-apples baseline for the counterfactual,
+    /// and a measure of replay fidelity against `observed_makespan`.
+    pub baseline_replay: f64,
+    /// Modelled makespan under the counterfactual premise.
+    pub counterfactual_makespan: f64,
+    /// `counterfactual − observed` (negative = the premise helps).
+    pub delta_seconds: f64,
+    /// Percentage change vs the observed makespan.
+    pub delta_percent: f64,
+    /// λ of the original plan (0 when the journal had none).
+    pub lambda: f64,
+    /// 2·λ of the original plan.
+    pub two_lambda_bound: f64,
+    /// Counterfactual vs the original guarantee: `HOLDS` when it still
+    /// fits under 2λ, `VIOLATED` when not, `NO BOUND` without a λ.
+    pub bound_verdict: String,
+    /// Workers in the counterfactual platform.
+    pub workers: usize,
+    /// Tasks replayed.
+    pub tasks: usize,
+}
+
+/// Observed speed factors split by species, in worker-id order, with
+/// the id maps back to journal worker ids.
+struct SpeciesFactors {
+    cpu: Vec<f64>,
+    gpu: Vec<f64>,
+    cpu_ids: Vec<usize>,
+    gpu_ids: Vec<usize>,
+}
+
+fn species_factors(replay: &ReplayInput) -> SpeciesFactors {
+    let mut sf = SpeciesFactors {
+        cpu: Vec::new(),
+        gpu: Vec::new(),
+        cpu_ids: Vec::new(),
+        gpu_ids: Vec::new(),
+    };
+    for w in &replay.workers {
+        // A worker with no usable observations replays at its prior.
+        let f = if w.ratio > 0.0 && w.ratio.is_finite() {
+            w.ratio
+        } else {
+            1.0
+        };
+        if w.is_gpu {
+            sf.gpu.push(f);
+            sf.gpu_ids.push(w.id);
+        } else {
+            sf.cpu.push(f);
+            sf.cpu_ids.push(w.id);
+        }
+    }
+    sf
+}
+
+/// Best (smallest) positive factor of a species, 1.0 when empty.
+fn best_of(v: &[f64]) -> f64 {
+    let best = v
+        .iter()
+        .copied()
+        .filter(|f| *f > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if best.is_finite() {
+        best
+    } else {
+        1.0
+    }
+}
+
+/// Replay the task set on a platform with the given per-PE factors;
+/// returns the modelled makespan. Factors below 1 are legitimate here
+/// (a worker observed *faster* than its prior), so the [`WorkerFactors`]
+/// struct is built directly rather than through its clamping `new`.
+fn replay_makespan(tasks: &TaskSet, cpu: Vec<f64>, gpu: Vec<f64>) -> Result<f64, String> {
+    if cpu.is_empty() && gpu.is_empty() {
+        return Err("counterfactual platform has no workers left".to_string());
+    }
+    if cpu.is_empty() {
+        return Err(
+            "counterfactual platform has no CPU workers; the scheduler needs at least one"
+                .to_string(),
+        );
+    }
+    let factors = WorkerFactors { cpu, gpu };
+    let all: Vec<usize> = (0..tasks.len()).collect();
+    let schedule =
+        reschedule_remainder_weighted(tasks, &all, &factors, BinarySearchConfig::default());
+    Ok(schedule.makespan())
+}
+
+/// Replay `replay` under the counterfactual `spec`.
+pub fn what_if(replay: &ReplayInput, spec: &WhatIf) -> Result<WhatIfReport, String> {
+    if replay.tasks.is_empty() {
+        return Err("journal has no task models to replay (is it a v1 journal?)".to_string());
+    }
+    let task_set = TaskSet::new(
+        replay
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(local, t)| Task::new(local, t.p_cpu.max(1e-12), t.p_gpu.max(1e-12)))
+            .collect(),
+    );
+    let sf = species_factors(replay);
+
+    let baseline_replay = replay_makespan(&task_set, sf.cpu.clone(), sf.gpu.clone())?;
+
+    let counterfactual = match spec {
+        WhatIf::PerfectCalibration => baseline_replay,
+        WhatIf::DropWorker(n) => {
+            let mut cpu = sf.cpu.clone();
+            let mut gpu = sf.gpu.clone();
+            if let Some(i) = sf.cpu_ids.iter().position(|id| id == n) {
+                cpu.remove(i);
+            } else if let Some(i) = sf.gpu_ids.iter().position(|id| id == n) {
+                gpu.remove(i);
+            } else {
+                return Err(format!("worker {n} is not in the journal"));
+            }
+            replay_makespan(&task_set, cpu, gpu)?
+        }
+        WhatIf::ZeroTransfer => {
+            let shrink = (1.0 - replay.gpu_transfer_fraction).clamp(0.0, 1.0);
+            let free = TaskSet::new(
+                replay
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(local, t)| {
+                        Task::new(local, t.p_cpu.max(1e-12), (t.p_gpu * shrink).max(1e-12))
+                    })
+                    .collect(),
+            );
+            replay_makespan(&free, sf.cpu.clone(), sf.gpu.clone())?
+        }
+        WhatIf::PlusGpu(class) => {
+            // Price the new GPU by its calibrated estimator curve,
+            // expressed as a factor relative to the journal's p_gpu
+            // units (median over tasks, robust to outliers).
+            let model = WorkerRateModel::for_class(*class);
+            let mut ratios: Vec<f64> = replay
+                .tasks
+                .iter()
+                .filter(|t| t.query_len > 0 && t.cells > 0.0 && t.p_gpu > 0.0)
+                .map(|t| {
+                    let db_residues = (t.cells / t.query_len as f64).round() as u64;
+                    model.task_seconds(t.query_len, db_residues) / t.p_gpu
+                })
+                .collect();
+            if ratios.is_empty() {
+                return Err(
+                    "plus-gpu needs query lengths and cell counts in the journal \
+                     (v2 `task_model` events); this journal has none"
+                        .to_string(),
+                );
+            }
+            ratios.sort_by(f64::total_cmp);
+            let factor = ratios[ratios.len() / 2];
+            let mut gpu = sf.gpu.clone();
+            gpu.push(factor.max(1e-9));
+            replay_makespan(&task_set, sf.cpu.clone(), gpu)?
+        }
+        WhatIf::NoFaults => {
+            let best_cpu = best_of(&sf.cpu);
+            let best_gpu = best_of(&sf.gpu);
+            let heal = |ids: &[usize], factors: &[f64], best: f64| -> Vec<f64> {
+                ids.iter()
+                    .zip(factors)
+                    .map(|(id, &f)| {
+                        let faulted = replay.workers.iter().any(|w| w.id == *id && w.faulted);
+                        if faulted {
+                            best
+                        } else {
+                            f
+                        }
+                    })
+                    .collect()
+            };
+            replay_makespan(
+                &task_set,
+                heal(&sf.cpu_ids, &sf.cpu, best_cpu),
+                heal(&sf.gpu_ids, &sf.gpu, best_gpu),
+            )?
+        }
+    };
+
+    let observed = replay.modelled_makespan;
+    let two_lambda = 2.0 * replay.lambda;
+    let bound_verdict = if replay.lambda <= 0.0 {
+        "NO BOUND"
+    } else if counterfactual <= two_lambda * (1.0 + 1e-9) + 1e-12 {
+        "HOLDS"
+    } else {
+        "VIOLATED"
+    };
+    let workers = match spec {
+        WhatIf::DropWorker(_) => replay.workers.len() - 1,
+        WhatIf::PlusGpu(_) => replay.workers.len() + 1,
+        _ => replay.workers.len(),
+    };
+    Ok(WhatIfReport {
+        spec: spec.label(),
+        observed_makespan: observed,
+        baseline_replay,
+        counterfactual_makespan: counterfactual,
+        delta_seconds: counterfactual - observed,
+        delta_percent: if observed > 0.0 {
+            100.0 * (counterfactual / observed - 1.0)
+        } else {
+            0.0
+        },
+        lambda: replay.lambda,
+        two_lambda_bound: two_lambda,
+        bound_verdict: bound_verdict.to_string(),
+        workers,
+        tasks: replay.tasks.len(),
+    })
+}
+
+impl WhatIfReport {
+    /// Pretty-printed JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Human-readable rendering for terminals.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(format!("what-if: {}", self.spec));
+        line(format!(
+            "  observed makespan      {:.6} s modelled ({} tasks)",
+            self.observed_makespan, self.tasks
+        ));
+        line(format!(
+            "  baseline replay        {:.6} s (observed speeds, unedited platform)",
+            self.baseline_replay
+        ));
+        line(format!(
+            "  counterfactual         {:.6} s on {} workers",
+            self.counterfactual_makespan, self.workers
+        ));
+        line(format!(
+            "  delta vs observed      {:+.6} s ({:+.1}%)",
+            self.delta_seconds, self.delta_percent
+        ));
+        if self.lambda > 0.0 {
+            line(format!(
+                "  original 2λ bound      {:.6} s → counterfactual {}",
+                self.two_lambda_bound, self.bound_verdict
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdual_obs::explain::{ReplayTask, ReplayWorker};
+
+    fn replay_fixture() -> ReplayInput {
+        // 6 tasks, 2 CPUs + 1 GPU. Worker 1 observed at 2× (straggler,
+        // faulted); the GPU on estimate.
+        let tasks = (0..6)
+            .map(|i| ReplayTask {
+                id: i,
+                p_cpu: 2.0 + (i % 3) as f64,
+                p_gpu: 0.5 + 0.1 * i as f64,
+                query_len: 100 + 50 * i,
+                cells: (100 + 50 * i) as f64 * 1e5,
+                worker: (i % 3) as i64,
+                observed_modelled: 1.0,
+            })
+            .collect();
+        ReplayInput {
+            tasks,
+            workers: vec![
+                ReplayWorker {
+                    id: 0,
+                    is_gpu: false,
+                    device_class: "cpu".to_string(),
+                    ratio: 1.0,
+                    faulted: false,
+                },
+                ReplayWorker {
+                    id: 1,
+                    is_gpu: false,
+                    device_class: "cpu".to_string(),
+                    ratio: 2.0,
+                    faulted: true,
+                },
+                ReplayWorker {
+                    id: 2,
+                    is_gpu: true,
+                    device_class: "c2050".to_string(),
+                    ratio: 1.0,
+                    faulted: false,
+                },
+            ],
+            gpu_transfer_fraction: 0.2,
+            lambda: 6.0,
+            modelled_makespan: 9.0,
+        }
+    }
+
+    #[test]
+    fn specs_parse_and_round_trip() {
+        for spec in [
+            "drop-worker:2",
+            "perfect-calibration",
+            "zero-transfer",
+            "plus-gpu:knl",
+            "no-faults",
+        ] {
+            let w = WhatIf::parse(spec).expect(spec);
+            assert_eq!(w.label(), spec);
+        }
+        assert!(WhatIf::parse("drop-worker:x").is_err());
+        assert!(WhatIf::parse("plus-gpu:hal9000").is_err());
+        assert!(WhatIf::parse("faster-please").is_err());
+    }
+
+    #[test]
+    fn perfect_calibration_equals_the_baseline_replay() {
+        let r = what_if(&replay_fixture(), &WhatIf::PerfectCalibration).unwrap();
+        assert_eq!(r.counterfactual_makespan, r.baseline_replay);
+        assert!(r.counterfactual_makespan > 0.0);
+        // Knowing the straggler up front beats the observed makespan.
+        assert!(r.counterfactual_makespan < r.observed_makespan);
+        assert_eq!(r.bound_verdict, "HOLDS");
+    }
+
+    #[test]
+    fn dropping_a_straggler_can_help_dropping_a_good_worker_hurts() {
+        let replay = replay_fixture();
+        let baseline = what_if(&replay, &WhatIf::PerfectCalibration)
+            .unwrap()
+            .counterfactual_makespan;
+        let drop_fast = what_if(&replay, &WhatIf::DropWorker(0)).unwrap();
+        assert!(
+            drop_fast.counterfactual_makespan >= baseline,
+            "losing the fast CPU cannot speed up the replay"
+        );
+        let gone = what_if(&replay, &WhatIf::DropWorker(9));
+        assert!(gone.is_err());
+    }
+
+    #[test]
+    fn zero_transfer_never_slows_the_replay() {
+        let replay = replay_fixture();
+        let base = what_if(&replay, &WhatIf::PerfectCalibration).unwrap();
+        let zt = what_if(&replay, &WhatIf::ZeroTransfer).unwrap();
+        assert!(zt.counterfactual_makespan <= base.counterfactual_makespan + 1e-12);
+    }
+
+    #[test]
+    fn plus_gpu_adds_capacity() {
+        let replay = replay_fixture();
+        let base = what_if(&replay, &WhatIf::PerfectCalibration).unwrap();
+        let plus = what_if(&replay, &WhatIf::PlusGpu(DeviceClass::Knl)).unwrap();
+        assert_eq!(plus.workers, 4);
+        assert!(plus.counterfactual_makespan <= base.counterfactual_makespan + 1e-12);
+    }
+
+    #[test]
+    fn plus_gpu_requires_v2_task_models() {
+        let mut replay = replay_fixture();
+        for t in replay.tasks.iter_mut() {
+            t.query_len = 0;
+            t.cells = 0.0;
+        }
+        let err = what_if(&replay, &WhatIf::PlusGpu(DeviceClass::C2050)).unwrap_err();
+        assert!(err.contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn no_faults_heals_the_straggler() {
+        let replay = replay_fixture();
+        let base = what_if(&replay, &WhatIf::PerfectCalibration).unwrap();
+        let nf = what_if(&replay, &WhatIf::NoFaults).unwrap();
+        // With the faulted 2× CPU healed to 1×, the replay can only
+        // improve (or stay equal).
+        assert!(nf.counterfactual_makespan <= base.counterfactual_makespan + 1e-12);
+    }
+
+    #[test]
+    fn renders_name_the_verdict_and_delta() {
+        let r = what_if(&replay_fixture(), &WhatIf::PerfectCalibration).unwrap();
+        let text = r.to_text();
+        assert!(text.contains("what-if: perfect-calibration"), "{text}");
+        assert!(text.contains("counterfactual"), "{text}");
+        assert!(text.contains("HOLDS"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"counterfactual_makespan\""));
+        assert!(json.contains("\"bound_verdict\""));
+    }
+
+    #[test]
+    fn empty_replay_is_a_typed_error() {
+        let mut replay = replay_fixture();
+        replay.tasks.clear();
+        assert!(what_if(&replay, &WhatIf::PerfectCalibration).is_err());
+    }
+}

@@ -66,7 +66,7 @@ fn analyze_reports_the_two_lambda_bound_from_a_search_journal() {
         serde_json::from_str(&stdout).expect("analyze --json emits valid JSON");
     assert_eq!(
         report.get("schema").and_then(|v| v.as_str()),
-        Some("swdual-journal/1")
+        Some("swdual-journal/2")
     );
     let lambda = report.get("lambda").and_then(|v| v.as_f64()).unwrap();
     let bound = report
@@ -140,7 +140,7 @@ fn analyze_dash_o_writes_the_report_to_a_file() {
             .expect("written report parses");
     assert_eq!(
         report.get("schema").and_then(|v| v.as_str()),
-        Some("swdual-journal/1")
+        Some("swdual-journal/2")
     );
 }
 

@@ -179,6 +179,10 @@ pub struct GpuDevice {
     // Virtual-clock busy accumulators feeding the occupancy gauges.
     busy_kernel: f64,
     busy_transfer: f64,
+    /// Task currently being served, stamped onto every stage span
+    /// (H2D / kernel / D2H) as causal lineage. `None` outside a task
+    /// (e.g. the resident-database upload shared by all tasks).
+    lineage_task: Option<usize>,
 }
 
 impl GpuDevice {
@@ -198,6 +202,21 @@ impl GpuDevice {
             failed: false,
             busy_kernel: 0.0,
             busy_transfer: 0.0,
+            lineage_task: None,
+        }
+    }
+
+    /// Set (or clear) the task whose work the device is about to do.
+    /// Subsequent stage spans carry a `task` arg linking them into the
+    /// journal's dispatch → H2D → kernel → D2H causal chain.
+    pub fn set_lineage(&mut self, task: Option<usize>) {
+        self.lineage_task = task;
+    }
+
+    /// Append the lineage tag, when one is set, to a span's args.
+    fn with_lineage(&self, args: &mut Vec<(&str, f64)>) {
+        if let Some(t) = self.lineage_task {
+            args.push(("task", t as f64));
         }
     }
 
@@ -376,13 +395,15 @@ impl GpuDevice {
             start,
             seconds: t,
         });
+        let mut args = vec![("bytes", bytes as f64)];
+        self.with_lineage(&mut args);
         self.obs.span(
             Track::Device(self.obs_device_id),
             "h2d_transfer",
             wall_start,
             self.obs.now() - wall_start,
             Some((start, t)),
-            &[("bytes", bytes as f64)],
+            &args,
         );
         self.obs.counter("gpu_bytes_h2d", bytes as f64);
         self.busy_transfer += t;
@@ -499,17 +520,19 @@ impl GpuDevice {
             seconds: kernel_seconds,
         });
         let wall_dur = self.obs.now() - wall_start;
+        let mut args = vec![
+            ("useful_cells", useful as f64),
+            ("padded_cells", padded as f64),
+            ("query_len", query.len() as f64),
+        ];
+        self.with_lineage(&mut args);
         self.obs.span(
             Track::Device(self.obs_device_id),
             "kernel",
             wall_start,
             wall_dur,
             Some((start, kernel_seconds)),
-            &[
-                ("useful_cells", useful as f64),
-                ("padded_cells", padded as f64),
-                ("query_len", query.len() as f64),
-            ],
+            &args,
         );
         if self.obs.is_profiling() {
             // CUPTI-style phase attribution: the modelled kernel time
@@ -525,13 +548,15 @@ impl GpuDevice {
                 0.0
             };
             let track = Track::Device(self.obs_device_id);
+            let mut phase_args = Vec::new();
+            self.with_lineage(&mut phase_args);
             self.obs.span(
                 track,
                 "kernel_launch",
                 wall_start,
                 wall_dur * launch_frac,
                 Some((start, launch)),
-                &[],
+                &phase_args,
             );
             self.obs.span(
                 track,
@@ -539,7 +564,7 @@ impl GpuDevice {
                 wall_start + wall_dur * launch_frac,
                 wall_dur * (1.0 - launch_frac),
                 Some((start + launch, compute)),
-                &[],
+                &phase_args,
             );
             // Score readback. The simulator models it as overlapped
             // async readback from pinned memory, so it is recorded for
@@ -547,6 +572,8 @@ impl GpuDevice {
             // device clock — profiling must never perturb the modelled
             // timing the scheduler's bounds are checked against.
             let d2h_bytes = 4.0 * scores.len() as f64;
+            let mut d2h_args = vec![("bytes", d2h_bytes)];
+            self.with_lineage(&mut d2h_args);
             self.obs.span(
                 track,
                 "d2h_transfer",
@@ -556,7 +583,7 @@ impl GpuDevice {
                     start + kernel_seconds,
                     self.spec.transfer_time(d2h_bytes as u64),
                 )),
-                &[("bytes", d2h_bytes)],
+                &d2h_args,
             );
         }
         self.obs.counter("gpu_kernels", 1.0);

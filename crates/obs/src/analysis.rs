@@ -15,9 +15,10 @@
 //!   the knapsack argues from (`p_cpu/p_gpu` high → GPU);
 //! * exact job-latency quantiles and fault/re-dispatch counts.
 //!
-//! Journals start with a `{"schema":"swdual-journal/1",...}` header
-//! line; anything else is rejected with a typed [`AnalysisError`]
-//! instead of garbage output.
+//! Journals start with a `{"schema":"swdual-journal/2",...}` header
+//! line (the previous `swdual-journal/1` still parses); anything else
+//! is rejected with a typed [`AnalysisError`] instead of garbage
+//! output.
 
 use crate::{Event, EventKind, Obs, Track};
 use serde::Serialize;
@@ -54,6 +55,13 @@ pub struct WorkerAudit {
     /// Mean throughput over its busy wall time, in MCUPS (0 when the
     /// journal carries no cell counts).
     pub mcups: f64,
+    /// Total wall seconds its jobs sat between dispatch and execution
+    /// start (0 when the journal predates lineage tagging).
+    pub queue_wait_wall: f64,
+    /// Total modelled seconds between dispatch stamp and modelled
+    /// start — nonzero only when a re-plan handed work to a worker
+    /// whose modelled clock had already run past the stamp.
+    pub queue_wait_modelled: f64,
 }
 
 /// Exact latency quantiles over completed jobs.
@@ -202,6 +210,8 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
         busy_wall: f64,
         busy_modelled: f64,
         cells: f64,
+        queue_wait_wall: f64,
+        queue_wait_modelled: f64,
     }
     let mut workers: BTreeMap<usize, Acc> = BTreeMap::new();
     fn acc(workers: &mut BTreeMap<usize, Acc>, w: usize) -> &mut Acc {
@@ -211,6 +221,8 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
             busy_wall: 0.0,
             busy_modelled: 0.0,
             cells: 0.0,
+            queue_wait_wall: 0.0,
+            queue_wait_modelled: 0.0,
         })
     }
 
@@ -262,6 +274,8 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
                 a.tasks += 1;
                 a.busy_wall += event.wall_dur;
                 a.cells += arg(event, "cells").unwrap_or(0.0);
+                a.queue_wait_wall += arg(event, "queue_wait_wall").unwrap_or(0.0);
+                a.queue_wait_modelled += arg(event, "queue_wait_modelled").unwrap_or(0.0);
                 wall_durations.push(event.wall_dur);
                 wall_lo = wall_lo.min(event.wall_start);
                 wall_hi = wall_hi.max(event.wall_start + event.wall_dur);
@@ -386,6 +400,8 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
             } else {
                 0.0
             },
+            queue_wait_wall: a.queue_wait_wall,
+            queue_wait_modelled: a.queue_wait_modelled,
         })
         .collect();
 
@@ -585,8 +601,16 @@ impl RunReport {
             } else {
                 w.device_class.clone()
             };
+            let queue = if w.queue_wait_wall > 0.0 || w.queue_wait_modelled > 0.0 {
+                format!(
+                    " · queued {:.6} s wall / {:.6} s modelled",
+                    w.queue_wait_wall, w.queue_wait_modelled
+                )
+            } else {
+                String::new()
+            };
             line(format!(
-                "    {:>3} {}  {:>4} tasks · busy {:.6} s wall ({:.1}%) · {:.6} s modelled ({:.1}%) · {:.1} MCUPS",
+                "    {:>3} {}  {:>4} tasks · busy {:.6} s wall ({:.1}%) · {:.6} s modelled ({:.1}%) · {:.1} MCUPS{}",
                 w.worker,
                 species,
                 w.tasks,
@@ -594,7 +618,8 @@ impl RunReport {
                 100.0 * w.utilization_wall,
                 w.busy_modelled,
                 100.0 * w.utilization_modelled,
-                w.mcups
+                w.mcups,
+                queue
             ));
         }
         out
@@ -797,7 +822,8 @@ mod tests {
         match analyze_journal(journal).unwrap_err() {
             AnalysisError::SchemaMismatch { found, expected } => {
                 assert_eq!(found, "swdual-journal/99");
-                assert_eq!(expected, JOURNAL_SCHEMA);
+                assert!(expected.contains(JOURNAL_SCHEMA), "{expected}");
+                assert!(expected.contains("swdual-journal/1"), "{expected}");
             }
             other => panic!("expected schema mismatch, got {other:?}"),
         }
@@ -927,6 +953,97 @@ mod tests {
             let text = r.to_text();
             assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
         }
+    }
+
+    #[test]
+    fn queue_wait_args_fold_into_worker_audits() {
+        let obs = Obs::enabled();
+        obs.span(
+            Track::Worker(0),
+            "task-0",
+            0.2,
+            1.0,
+            Some((0.0, 2.0)),
+            &[("task", 0.0), ("queue_wait_wall", 0.2)],
+        );
+        obs.span(
+            Track::Worker(0),
+            "task-1",
+            1.5,
+            1.0,
+            Some((2.0, 2.0)),
+            &[
+                ("task", 1.0),
+                ("queue_wait_wall", 0.3),
+                ("queue_wait_modelled", 0.5),
+            ],
+        );
+        let r = analyze_obs(&obs);
+        let w = &r.workers[0];
+        assert!((w.queue_wait_wall - 0.5).abs() < 1e-12);
+        assert!((w.queue_wait_modelled - 0.5).abs() < 1e-12);
+        assert!(r.to_text().contains("queued"), "{}", r.to_text());
+        // Lineage-free journals keep the audit quiet.
+        let quiet = analyze_obs(&sample_obs());
+        assert!(quiet.workers.iter().all(|w| w.queue_wait_wall == 0.0));
+        assert!(!quiet.to_text().contains("queued"));
+    }
+
+    #[test]
+    fn tied_completions_pick_the_first_finisher_as_critical() {
+        // Two tasks end at exactly the same modelled instant; the
+        // strictly-greater comparison keeps the first one seen, so the
+        // answer is deterministic under journal order.
+        let obs = Obs::enabled();
+        obs.span(
+            Track::Worker(0),
+            "task-0",
+            0.0,
+            1.0,
+            Some((0.0, 3.0)),
+            &[("task", 0.0)],
+        );
+        obs.span(
+            Track::Worker(1),
+            "task-1",
+            0.0,
+            1.0,
+            Some((1.0, 2.0)),
+            &[("task", 1.0)],
+        );
+        let r = analyze_obs(&obs);
+        assert!((r.modelled_makespan - 3.0).abs() < 1e-12);
+        assert_eq!(r.critical_task, 0);
+        assert_eq!(r.critical_worker, 0);
+    }
+
+    #[test]
+    fn zero_duration_spans_do_not_corrupt_the_report() {
+        let obs = Obs::enabled();
+        obs.span(
+            Track::Worker(0),
+            "task-0",
+            0.5,
+            0.0,
+            Some((1.0, 0.0)),
+            &[("task", 0.0)],
+        );
+        obs.span(
+            Track::Worker(0),
+            "task-1",
+            0.5,
+            0.2,
+            Some((1.0, 0.5)),
+            &[("task", 1.0)],
+        );
+        let r = analyze_obs(&obs);
+        assert_eq!(r.tasks, 2);
+        assert!((r.modelled_makespan - 1.5).abs() < 1e-12);
+        // The zero-duration span still "completes" at 1.0 but must not
+        // win the critical slot over the real finisher.
+        assert_eq!(r.critical_task, 1);
+        let text = r.to_text();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
     }
 
     #[test]

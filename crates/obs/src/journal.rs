@@ -9,8 +9,17 @@
 use crate::{Event, EventKind, Track};
 use serde::Value;
 
-/// Schema tag of journals this build reads and writes.
-pub const JOURNAL_SCHEMA: &str = "swdual-journal/1";
+/// Schema tag this build *writes* (and reads): v2 adds causal lineage
+/// (`task_dispatch` instants, decision ids, device-span task tags).
+pub const JOURNAL_SCHEMA: &str = "swdual-journal/2";
+
+/// Previous schema tag, still accepted on read. v1 journals lack the
+/// lineage events, so `swdual explain` degrades gracefully on them
+/// (no dispatch edges, queue-wait folded into imbalance).
+pub const JOURNAL_SCHEMA_V1: &str = "swdual-journal/1";
+
+/// Every schema tag this build can read, newest first.
+pub const SUPPORTED_SCHEMAS: [&str; 2] = [JOURNAL_SCHEMA, JOURNAL_SCHEMA_V1];
 
 /// Why a journal could not be read.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,10 +29,13 @@ pub enum JournalError {
     /// The first line is not a schema header.
     MissingHeader,
     /// The header names a schema this build does not understand.
+    /// Raised only for truly unknown tags — every entry of
+    /// [`SUPPORTED_SCHEMAS`] parses.
     SchemaMismatch {
         /// The schema tag the journal declared.
         found: String,
-        /// The schema tag this build reads ([`JOURNAL_SCHEMA`]).
+        /// The schemas this build reads, rendered as a list
+        /// (see [`SUPPORTED_SCHEMAS`]).
         expected: String,
     },
     /// An event line failed to parse.
@@ -46,7 +58,7 @@ impl std::fmt::Display for JournalError {
             ),
             JournalError::SchemaMismatch { found, expected } => write!(
                 f,
-                "journal schema \"{found}\" is not supported (this build reads \"{expected}\")"
+                "journal schema \"{found}\" is not supported (this build reads {expected})"
             ),
             JournalError::Malformed { line, reason } => {
                 write!(f, "journal line {line}: {reason}")
@@ -57,21 +69,40 @@ impl std::fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
-/// Validate a journal's first line as a [`JOURNAL_SCHEMA`] header.
+/// The "this build reads ..." list rendered into schema errors.
+fn supported_list() -> String {
+    SUPPORTED_SCHEMAS
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(" and ")
+}
+
+/// Validate a journal's first line as a schema header. Accepts every
+/// tag in [`SUPPORTED_SCHEMAS`] (currently v2 and v1); anything else
+/// is a [`JournalError::SchemaMismatch`] naming all supported tags.
 pub fn validate_header(first_line: &str) -> Result<(), JournalError> {
+    journal_schema(first_line).map(|_| ())
+}
+
+/// Validate a journal's first line and return which supported schema
+/// tag it declared — consumers that degrade on v1 (explain) branch on
+/// this.
+pub fn journal_schema(first_line: &str) -> Result<&'static str, JournalError> {
     let header: Value =
         serde_json::from_str(first_line).map_err(|_| JournalError::MissingHeader)?;
     let schema = header
         .get("schema")
         .and_then(Value::as_str)
         .ok_or(JournalError::MissingHeader)?;
-    if schema != JOURNAL_SCHEMA {
-        return Err(JournalError::SchemaMismatch {
+    SUPPORTED_SCHEMAS
+        .iter()
+        .find(|s| **s == schema)
+        .copied()
+        .ok_or_else(|| JournalError::SchemaMismatch {
             found: schema.to_string(),
-            expected: JOURNAL_SCHEMA.to_string(),
-        });
-    }
-    Ok(())
+            expected: supported_list(),
+        })
 }
 
 /// Parse a journal back into events, validating the schema header.
@@ -145,6 +176,38 @@ mod tests {
         assert!(
             validate_header(&format!("{{\"schema\":\"{JOURNAL_SCHEMA}\",\"events\":3}}")).is_ok()
         );
+        assert_eq!(
+            journal_schema(&format!("{{\"schema\":\"{JOURNAL_SCHEMA}\"}}")).unwrap(),
+            JOURNAL_SCHEMA
+        );
+    }
+
+    #[test]
+    fn header_validation_accepts_v1_journals() {
+        // Back-compat contract: journals written by older builds keep
+        // parsing after the v2 schema bump.
+        assert!(validate_header(&format!(
+            "{{\"schema\":\"{JOURNAL_SCHEMA_V1}\",\"events\":3}}"
+        ))
+        .is_ok());
+        assert_eq!(
+            journal_schema(&format!("{{\"schema\":\"{JOURNAL_SCHEMA_V1}\"}}")).unwrap(),
+            JOURNAL_SCHEMA_V1
+        );
+    }
+
+    #[test]
+    fn v1_journal_bodies_parse_end_to_end() {
+        let journal = format!(
+            "{{\"schema\":\"{JOURNAL_SCHEMA_V1}\",\"events\":1}}\n\
+             {{\"track\":\"worker:0\",\"name\":\"task-3\",\"kind\":\"span\",\
+             \"wall_start\":0.0,\"wall_dur\":1.0,\"virt_start\":0.0,\"virt_dur\":2.0,\
+             \"args\":{{\"task\":3.0}}}}\n"
+        );
+        let events = parse_journal(&journal).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].track, Track::Worker(0));
+        assert_eq!(events[0].virt_dur, Some(2.0));
     }
 
     #[test]
@@ -169,12 +232,14 @@ mod tests {
             err,
             JournalError::SchemaMismatch {
                 found: "swdual-journal/99".to_string(),
-                expected: JOURNAL_SCHEMA.to_string(),
+                expected: supported_list(),
             }
         );
         let text = err.to_string();
         assert!(text.contains("swdual-journal/99"), "{text}");
+        // Truly unknown schemas name *both* supported versions.
         assert!(text.contains(JOURNAL_SCHEMA), "{text}");
+        assert!(text.contains(JOURNAL_SCHEMA_V1), "{text}");
     }
 
     #[test]

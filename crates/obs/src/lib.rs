@@ -22,6 +22,7 @@
 
 pub mod analysis;
 pub mod diff;
+pub mod explain;
 pub mod export;
 pub mod journal;
 pub mod metrics;

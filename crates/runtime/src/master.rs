@@ -290,6 +290,61 @@ fn build_tasks(
     )
 }
 
+/// Causal-lineage state of the dispatch pipeline: the global dispatch
+/// sequence, the current plan decision epoch (0 = initial schedule,
+/// bumped by every re-optimization round and every fault re-plan), and
+/// the modelled time the master has seen each worker complete so far —
+/// the worker-side virtual clock at hand-off, which the worker echoes
+/// back as the modelled dispatch timestamp of its execution span.
+struct DispatchState {
+    seq: u64,
+    decision: u64,
+    virt_done: Vec<f64>,
+}
+
+impl DispatchState {
+    fn new(workers: usize) -> DispatchState {
+        DispatchState {
+            seq: 0,
+            decision: 0,
+            virt_done: vec![0.0; workers],
+        }
+    }
+
+    /// Stamp lineage onto a job bound for worker `w` (or the shared
+    /// queue, `w = None`).
+    fn stamp(&mut self, t: usize, w: Option<usize>, obs: &Obs) -> Job {
+        let job = Job {
+            task_id: t,
+            query_index: t,
+            dispatch_seq: self.seq,
+            decision: self.decision,
+            dispatch_wall: obs.now(),
+            dispatch_virt: w.map_or(0.0, |w| self.virt_done[w]),
+        };
+        self.seq += 1;
+        job
+    }
+}
+
+/// Journal the `task_dispatch` causal edge of a *successfully sent*
+/// job: plan decision → dispatch, the parent link the explain module
+/// and the Chrome-trace flow arrows follow. `worker` is −1 when the
+/// job went to the self-scheduling shared queue (receiver unknown).
+fn journal_dispatch(job: &Job, w: Option<usize>, obs: &Obs) {
+    obs.instant(
+        Track::Master,
+        "task_dispatch",
+        &[
+            ("task", job.task_id as f64),
+            ("worker", w.map_or(-1.0, |w| w as f64)),
+            ("seq", job.dispatch_seq as f64),
+            ("decision", job.decision as f64),
+            ("virt", job.dispatch_virt),
+        ],
+    );
+}
+
 /// Mutable recovery state threaded through re-dispatch.
 struct Recovery<'a> {
     tasks: &'a TaskSet,
@@ -306,6 +361,7 @@ struct Recovery<'a> {
     max_retries: usize,
     completed: usize,
     n_tasks: usize,
+    ds: &'a mut DispatchState,
     obs: &'a Obs,
 }
 
@@ -315,6 +371,7 @@ struct Recovery<'a> {
 /// one job is ever in flight per worker, so everything still queued
 /// remains revocable by re-planning. Returns the worker's re-orphaned
 /// queue when it turns out to be dead at send time.
+#[allow(clippy::too_many_arguments)]
 fn feed_worker(
     w: usize,
     alive: &mut [bool],
@@ -322,6 +379,7 @@ fn feed_worker(
     in_flight: &mut [Option<usize>],
     private_tx: &mut [Option<channel::Sender<Job>>],
     done: &[bool],
+    ds: &mut DispatchState,
     obs: &Obs,
 ) -> Vec<usize> {
     let mut orphans = Vec::new();
@@ -330,16 +388,14 @@ fn feed_worker(
         if done[t] {
             continue;
         }
-        let job = Job {
-            task_id: t,
-            query_index: t,
-        };
+        let job = ds.stamp(t, Some(w), obs);
         let sent = private_tx[w]
             .as_ref()
             .map(|tx| tx.send(job).is_ok())
             .unwrap_or(false);
         if sent {
             in_flight[w] = Some(t);
+            journal_dispatch(&job, Some(w), obs);
         } else {
             // Dead at send: reclaim this task and the rest of its queue.
             alive[w] = false;
@@ -378,6 +434,7 @@ fn redispatch_orphans(cx: Recovery<'_>, orphans: Vec<usize>) -> Result<(), Searc
         max_retries,
         completed,
         n_tasks,
+        ds,
         obs,
     } = cx;
     let mut to_place = orphans;
@@ -405,17 +462,16 @@ fn redispatch_orphans(cx: Recovery<'_>, orphans: Vec<usize>) -> Result<(), Searc
         }
 
         if let Some(shared) = shared_tx {
+            ds.decision += 1;
             for &t in &to_place {
-                let job = Job {
-                    task_id: t,
-                    query_index: t,
-                };
+                let job = ds.stamp(t, None, obs);
                 if shared.send(job).is_err() {
                     return Err(SearchError::AllWorkersDead {
                         completed,
                         total: n_tasks,
                     });
                 }
+                journal_dispatch(&job, None, obs);
             }
             return Ok(());
         }
@@ -435,6 +491,8 @@ fn redispatch_orphans(cx: Recovery<'_>, orphans: Vec<usize>) -> Result<(), Searc
         }
         let platform = PlatformSpec::new(live_cpu.len(), live_gpu.len());
         let plan = reschedule_remainder(tasks, &to_place, &platform, BinarySearchConfig::default());
+        // Each fault re-plan is its own decision in the causal lineage.
+        ds.decision += 1;
         let mut per: Vec<Vec<(f64, usize)>> = vec![Vec::new(); alive.len()];
         for p in &plan.placements {
             let w = match p.pe.kind {
@@ -447,7 +505,7 @@ fn redispatch_orphans(cx: Recovery<'_>, orphans: Vec<usize>) -> Result<(), Searc
                     &format!("task-{}", p.task),
                     p.start,
                     p.end - p.start,
-                    &[("task", p.task as f64)],
+                    &[("task", p.task as f64), ("decision", ds.decision as f64)],
                 );
             }
             per[w].push((p.start, p.task));
@@ -463,7 +521,7 @@ fn redispatch_orphans(cx: Recovery<'_>, orphans: Vec<usize>) -> Result<(), Searc
             // the master-held queue. A survivor found dead at send time
             // re-orphans its whole queue for the next round.
             next_round.append(&mut feed_worker(
-                w, alive, queue, in_flight, private_tx, done, obs,
+                w, alive, queue, in_flight, private_tx, done, ds, obs,
             ));
         }
         to_place = next_round;
@@ -645,6 +703,7 @@ pub fn try_run_search(
             // to judge the knapsack's GPU-side ordering.
             if obs.is_enabled() {
                 for t in tasks.iter() {
+                    let qlen = queries.get(t.id).map_or(0, |q| q.len());
                     obs.instant(
                         Track::Master,
                         "task_model",
@@ -652,6 +711,8 @@ pub fn try_run_search(
                             ("task", t.id as f64),
                             ("p_cpu", t.p_cpu),
                             ("p_gpu", t.p_gpu),
+                            ("query_len", qlen as f64),
+                            ("cells", qlen as f64 * db_residues as f64),
                         ],
                     );
                 }
@@ -702,7 +763,7 @@ pub fn try_run_search(
                             &format!("task-{}", p.task),
                             p.start,
                             p.end - p.start,
-                            &[("task", p.task as f64)],
+                            &[("task", p.task as f64), ("decision", 0.0)],
                         );
                     }
                 }
@@ -715,6 +776,7 @@ pub fn try_run_search(
             // raw material for both orphan re-dispatch and online
             // re-optimization. Self-scheduling keeps its shared queue.
             let t_dispatch = obs.now();
+            let mut ds = DispatchState::new(workers.len());
             let mut queue: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
             let mut in_flight: Vec<Option<usize>> = vec![None; workers.len()];
             let mut done = vec![false; n_tasks];
@@ -741,16 +803,14 @@ pub fn try_run_search(
                             &mut in_flight,
                             &mut private_tx,
                             &done,
+                            &mut ds,
                             &obs,
                         ));
                     }
                 }
                 None => {
                     for task_id in 0..n_tasks {
-                        let job = Job {
-                            task_id,
-                            query_index: task_id,
-                        };
+                        let job = ds.stamp(task_id, None, &obs);
                         if shared_tx
                             .as_ref()
                             .expect("shared queue open")
@@ -763,6 +823,7 @@ pub fn try_run_search(
                             });
                             break;
                         }
+                        journal_dispatch(&job, None, &obs);
                     }
                 }
             }
@@ -914,6 +975,7 @@ pub fn try_run_search(
                                 );
                                 obs.counter("reopt_replans", 1.0);
                                 metrics.gauge("reopt_rounds", &[], reopt_rounds as f64);
+                                ds.decision += 1;
                                 let wf = WorkerFactors::new(cpu_f.clone(), gpu_f.clone());
                                 let plan = reschedule_remainder_weighted(
                                     &tasks,
@@ -943,6 +1005,7 @@ pub fn try_run_search(
                                             &[
                                                 ("task", p.task as f64),
                                                 ("reopt", reopt_rounds as f64),
+                                                ("decision", ds.decision as f64),
                                             ],
                                         );
                                     }
@@ -962,6 +1025,7 @@ pub fn try_run_search(
                                         &mut in_flight,
                                         &mut private_tx,
                                         &done,
+                                        &mut ds,
                                         &obs,
                                     ));
                                 }
@@ -980,6 +1044,7 @@ pub fn try_run_search(
                                             max_retries: config.max_task_retries,
                                             completed,
                                             n_tasks,
+                                            ds: &mut ds,
                                             obs: &obs,
                                         },
                                         stranded,
@@ -1016,6 +1081,7 @@ pub fn try_run_search(
                         max_retries: config.max_task_retries,
                         completed,
                         n_tasks,
+                        ds: &mut ds,
                         obs: &obs,
                     },
                     initial_orphans,
@@ -1035,6 +1101,10 @@ pub fn try_run_search(
                             in_flight[w] = None;
                         }
                         queue[w].retain(|&t| t != r.task_id);
+                        // Advance the master's view of this worker's
+                        // modelled clock: the virtual timestamp its
+                        // *next* dispatch will carry.
+                        ds.virt_done[w] += r.modelled_seconds.max(0.0);
                         // Calibrate against the *estimator's* modelled
                         // time for this task — the same quantity the
                         // deadlines below are computed from. (The
@@ -1085,6 +1155,7 @@ pub fn try_run_search(
                                 &mut in_flight,
                                 &mut private_tx,
                                 &done,
+                                &mut ds,
                                 &obs,
                             );
                             if !stranded.is_empty() {
@@ -1102,6 +1173,7 @@ pub fn try_run_search(
                                         max_retries: config.max_task_retries,
                                         completed,
                                         n_tasks,
+                                        ds: &mut ds,
                                         obs: &obs,
                                     },
                                     stranded,
@@ -1171,6 +1243,7 @@ pub fn try_run_search(
                                     max_retries: config.max_task_retries,
                                     completed,
                                     n_tasks,
+                                    ds: &mut ds,
                                     obs: &obs,
                                 },
                                 orphans,
@@ -1232,6 +1305,7 @@ pub fn try_run_search(
                                         max_retries: config.max_task_retries,
                                         completed,
                                         n_tasks,
+                                        ds: &mut ds,
                                         obs: &obs,
                                     },
                                     orphans,
@@ -1274,6 +1348,7 @@ pub fn try_run_search(
                                             max_retries: config.max_task_retries,
                                             completed,
                                             n_tasks,
+                                            ds: &mut ds,
                                             obs: &obs,
                                         },
                                         orphans,

@@ -38,12 +38,43 @@ pub struct Registration {
 
 /// A task sent from master to a worker: compare query `query_index`
 /// against the whole database.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Carries its causal lineage: which plan decision placed it, when the
+/// master handed it over (both clocks), and a global dispatch sequence
+/// number. Workers echo these onto their execution spans so the
+/// journal's dispatch → queue-wait → exec chain is reconstructible.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Job {
     /// Task id (equals the query index in SWDUAL).
     pub task_id: usize,
     /// Query to compare.
     pub query_index: usize,
+    /// Global dispatch order (0-based across all workers).
+    pub dispatch_seq: u64,
+    /// Plan decision that placed this dispatch: 0 is the initial
+    /// schedule, each re-plan (re-optimization round or fault
+    /// re-dispatch) increments it.
+    pub decision: u64,
+    /// Master's wall clock at hand-off (seconds since the Obs epoch).
+    pub dispatch_wall: f64,
+    /// Worker's modelled clock at hand-off (the virtual time the
+    /// master has seen the worker complete so far).
+    pub dispatch_virt: f64,
+}
+
+impl Job {
+    /// A job with empty lineage (decision 0, dispatched at time zero) —
+    /// the form tests and self-contained drivers use.
+    pub fn new(task_id: usize, query_index: usize) -> Self {
+        Job {
+            task_id,
+            query_index,
+            dispatch_seq: 0,
+            decision: 0,
+            dispatch_wall: 0.0,
+            dispatch_virt: 0.0,
+        }
+    }
 }
 
 /// A completed task reported back to the master.

@@ -164,11 +164,19 @@ pub struct WorkerContext {
 ///
 /// `virt_start` is the worker's cumulative modelled busy time before
 /// this job — the modelled clock all planned placements are stated in.
+///
+/// The span echoes the job's lineage (dispatch sequence, plan decision)
+/// and the dispatch→exec-start queue-wait gap on both clocks, so the
+/// journal's causal chain closes without consumers re-deriving it. The
+/// wall gap is real master→worker hand-off latency; the modelled gap is
+/// ~0 by construction (a worker's virtual clock only advances while it
+/// computes) except when a re-plan hands a task to a worker whose
+/// modelled clock already ran past the dispatch stamp.
 #[allow(clippy::too_many_arguments)]
 fn record_job_span(
     obs: &Obs,
     worker_id: usize,
-    task_id: usize,
+    job: &Job,
     wall_start: f64,
     wall_dur: f64,
     virt_start: f64,
@@ -179,13 +187,23 @@ fn record_job_span(
     if !obs.is_enabled() {
         return;
     }
+    let task_id = job.task_id;
+    let queue_wait_wall = (wall_start - job.dispatch_wall).max(0.0);
+    let queue_wait_modelled = (virt_start - job.dispatch_virt).max(0.0);
     obs.span(
         Track::Worker(worker_id),
         &format!("task-{task_id}"),
         wall_start,
         wall_dur,
         Some((virt_start, modelled)),
-        &[("task", task_id as f64), ("cells", cells as f64)],
+        &[
+            ("task", task_id as f64),
+            ("cells", cells as f64),
+            ("seq", job.dispatch_seq as f64),
+            ("decision", job.decision as f64),
+            ("queue_wait_wall", queue_wait_wall),
+            ("queue_wait_modelled", queue_wait_modelled),
+        ],
     );
     obs.counter("jobs_completed", 1.0);
     obs.counter("cells_computed", cells as f64);
@@ -196,6 +214,8 @@ fn record_job_span(
     let labels = [("worker", worker.as_str())];
     metrics.observe("job_wall_seconds", &labels, wall_dur);
     metrics.observe("job_modelled_seconds", &labels, modelled);
+    metrics.observe("queue_wait_wall_seconds", &labels, queue_wait_wall);
+    metrics.observe("queue_wait_modelled_seconds", &labels, queue_wait_modelled);
     metrics.counter("worker_jobs", &labels, 1.0);
     metrics.counter("worker_cells", &labels, cells as f64);
     if wall_dur > 0.0 {
@@ -429,7 +449,7 @@ pub fn worker_loop(
                 record_job_span(
                     &ctx.obs,
                     ctx.worker_id,
-                    job.task_id,
+                    &job,
                     wall_start,
                     wall,
                     virt_clock,
@@ -488,6 +508,10 @@ pub fn worker_loop(
                     .expect("query index in range");
                 let wall_start = ctx.obs.now();
                 let start = Instant::now();
+                // Tag the device's stage spans (H2D/kernel/D2H) with the
+                // task they serve: the causal link from dispatch into
+                // device activity.
+                device.set_lineage(Some(job.task_id));
                 let computed = match &resident {
                     Some(db) => device
                         .try_search(query.codes(), db, &ctx.scheme)
@@ -519,12 +543,13 @@ pub fn worker_loop(
                         return;
                     }
                 };
+                device.set_lineage(None);
                 let wall = start.elapsed().as_secs_f64();
                 let cells = query.len() as u64 * ctx.database.total_residues();
                 record_job_span(
                     &ctx.obs,
                     ctx.worker_id,
-                    job.task_id,
+                    &job,
                     wall_start,
                     wall,
                     virt_clock,
@@ -593,18 +618,8 @@ mod tests {
             obs: Obs::disabled(),
             fault,
         };
-        job_tx
-            .send(Job {
-                task_id: 0,
-                query_index: 0,
-            })
-            .unwrap();
-        job_tx
-            .send(Job {
-                task_id: 1,
-                query_index: 1,
-            })
-            .unwrap();
+        job_tx.send(Job::new(0, 0)).unwrap();
+        job_tx.send(Job::new(1, 1)).unwrap();
         drop(job_tx);
         worker_loop(spec, ctx, job_rx, res_tx);
         res_rx.iter().collect()
@@ -831,12 +846,7 @@ mod tests {
             obs: obs.clone(),
             fault: None,
         };
-        job_tx
-            .send(Job {
-                task_id: 0,
-                query_index: 0,
-            })
-            .unwrap();
+        job_tx.send(Job::new(0, 0)).unwrap();
         drop(job_tx);
         worker_loop(WorkerSpec::cpu(EngineKind::Striped), ctx, job_rx, res_tx);
         let results: Vec<WorkerMsg> = res_rx.iter().collect();
@@ -873,12 +883,7 @@ mod tests {
             obs: obs.clone(),
             fault: None,
         };
-        job_tx
-            .send(Job {
-                task_id: 0,
-                query_index: 0,
-            })
-            .unwrap();
+        job_tx.send(Job::new(0, 0)).unwrap();
         drop(job_tx);
         worker_loop(WorkerSpec::cpu_default(), ctx, job_rx, res_tx);
         let _ = res_rx.iter().count();
@@ -901,12 +906,7 @@ mod tests {
         // Three jobs, two of them for the same query: the second and
         // third lookups of query 0's profiles must be cache hits.
         for (task_id, query_index) in [(0, 0), (1, 0), (2, 0)] {
-            job_tx
-                .send(Job {
-                    task_id,
-                    query_index,
-                })
-                .unwrap();
+            job_tx.send(Job::new(task_id, query_index)).unwrap();
         }
         drop(job_tx);
         worker_loop(WorkerSpec::cpu_default(), ctx, job_rx, res_tx);

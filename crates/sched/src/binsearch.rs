@@ -135,11 +135,28 @@ pub fn dual_approx_schedule(
 /// on the scheduler track of `obs`: one wall-clock span per dual step
 /// annotated with the probed λ, the bracketing interval and the
 /// feasibility answer, plus a closing instant with the final bounds.
+/// Scheduler events carry decision id 0 (the initial plan); re-planners
+/// use [`dual_approx_schedule_observed_decision`].
 pub fn dual_approx_schedule_observed(
     tasks: &TaskSet,
     platform: &PlatformSpec,
     config: BinarySearchConfig,
     obs: &Obs,
+) -> BinarySearchOutcome {
+    dual_approx_schedule_observed_decision(tasks, platform, config, obs, 0)
+}
+
+/// [`dual_approx_schedule_observed`] tagged with the plan decision that
+/// requested this search: every `dual_step` span and the closing
+/// `binsearch_done` instant carry a `decision` arg, tying scheduler
+/// work into the journal's causal lineage (0 = initial plan, each
+/// re-plan counts up).
+pub fn dual_approx_schedule_observed_decision(
+    tasks: &TaskSet,
+    platform: &PlatformSpec,
+    config: BinarySearchConfig,
+    obs: &Obs,
+    decision: u64,
 ) -> BinarySearchOutcome {
     if tasks.is_empty() {
         return BinarySearchOutcome {
@@ -164,7 +181,12 @@ pub fn dual_approx_schedule_observed(
         start,
         obs.now() - start,
         None,
-        &[("iteration", 0.0), ("lambda", hi), ("feasible", 1.0)],
+        &[
+            ("iteration", 0.0),
+            ("lambda", hi),
+            ("feasible", 1.0),
+            ("decision", decision as f64),
+        ],
     );
     let mut iterations = 1;
 
@@ -187,6 +209,7 @@ pub fn dual_approx_schedule_observed(
                 ("lo", lo),
                 ("hi", hi),
                 ("feasible", if feasible { 1.0 } else { 0.0 }),
+                ("decision", decision as f64),
             ],
         );
         iterations += 1;
@@ -217,6 +240,7 @@ pub fn dual_approx_schedule_observed(
             ("makespan", best.makespan()),
             ("lambda", hi),
             ("two_lambda_bound", 2.0 * hi),
+            ("decision", decision as f64),
         ],
     );
     obs.counter("sched_binsearch_iterations", iterations as f64);
