@@ -95,6 +95,26 @@ fn disabled_obs_hot_path_allocates_nothing() {
         "disabled tracing must be allocation-free in the per-job path"
     );
 
+    // The live-bus surface on a disabled recorder is equally free:
+    // subscribing yields an inert handle and the per-job path (which
+    // now also publishes to the bus inside `span`) stays at zero.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let tap = disabled.subscribe();
+    assert!(!tap.is_live());
+    assert!(tap.try_recv().is_none());
+    assert_eq!(tap.dropped(), 0);
+    assert_eq!(disabled.bus_dropped_events(), 0);
+    for task in 0..1_000usize {
+        per_job_hot_path(&disabled, task % 4, task);
+    }
+    drop(tap);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled bus subscribe/poll must be allocation-free"
+    );
+
     // A disabled recorder also refuses to turn profiling on — the
     // whole profiled branch stays unreachable and allocation-free.
     disabled.set_profiling(true);

@@ -11,12 +11,15 @@
 //!                 [--top K] [--gap-open N] [--gap-extend N] [--evalues]
 //!                 [--trace-out TRACE.json] [--metrics-out METRICS.prom]
 //!                 [--journal-out EVENTS.jsonl] [--progress] [--profile]
+//!                 [--watchdog] [--live-socket PATH]
 //!                 [--fault-plan SPEC | --fault-seed N]
 //!                 [--job-timeout-slack F] [--min-job-timeout-ms MS]
 //! swdual analyze  EVENTS.jsonl [--json|--text] [-o FILE]
 //! swdual explain  EVENTS.jsonl [--what-if SPEC] [--json|--text] [-o FILE]
 //! swdual profile  EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json]
 //!                 [--roofline] [--json] [-o FILE]
+//! swdual top      SOCKET|EVENTS.jsonl [--refresh-ms MS]
+//! swdual tail     EVENTS.jsonl [--follow] [--alerts-only]
 //! swdual diff     BASE.jsonl HEAD.jsonl [--profile] [--json|--text]
 //!                 [--threshold PCT] [--fail-on-regression] [--exact-only]
 //!                 [-o FILE]
@@ -60,12 +63,15 @@ USAGE:
                   [--gap-open N] [--gap-extend N] [--evalues]
                   [--trace-out TRACE.json] [--metrics-out METRICS.prom]
                   [--journal-out EVENTS.jsonl] [--progress] [--profile]
+                  [--watchdog] [--live-socket PATH]
                   [--fault-plan SPEC | --fault-seed N]
                   [--job-timeout-slack F] [--min-job-timeout-ms MS]
   swdual analyze  EVENTS.jsonl [--json|--text] [-o FILE]
   swdual explain  EVENTS.jsonl [--what-if SPEC] [--json|--text] [-o FILE]
   swdual profile  EVENTS.jsonl [--flame OUT.folded] [--speedscope OUT.json]
                   [--roofline] [--json] [-o FILE]
+  swdual top      SOCKET|EVENTS.jsonl [--refresh-ms MS]
+  swdual tail     EVENTS.jsonl [--follow] [--alerts-only]
   swdual diff     BASE.jsonl HEAD.jsonl [--profile] [--json|--text]
                   [--threshold PCT] [--fail-on-regression] [--exact-only]
                   [-o FILE]
@@ -74,7 +80,31 @@ USAGE:
   swdual generate --sequences N --mean-len L --output FILE [--seed S]
   swdual info     --db FILE
 
-Database/query files may be FASTA (.fasta/.fa) or SQB (.sqb).
+Database/query files may be FASTA (.fasta/.fa) or SQB (.sqb). The
+journal readers (`analyze`, `explain`, `tail`) accept `-` to read the
+journal from stdin.
+
+Watching a run live:
+  --watchdog           run the incremental anomaly watchdog during the
+                       search: straggler / bound-at-risk / worker-dead
+                       / queue-stall / re-opt alerts are journaled as
+                       alert_* fault instants, counted in
+                       swdual_alerts_total{kind=...}, and echoed to
+                       stderr as they fire
+  --live-socket PATH   stream the growing journal over a Unix domain
+                       socket; `swdual top PATH` renders it as a live
+                       dashboard, `nc -U PATH` taps the raw JSONL
+  swdual top SRC       live per-worker dashboard (utilization bars,
+                       queue depths, observed/estimate ratio, ETA,
+                       active alerts) from a live socket or a recorded
+                       journal file
+  swdual tail SRC      follow a journal file (or stdin) line by line;
+                       --alerts-only prints just the watchdog alerts
+
+A search with observability enabled also arms the flight recorder: on
+a panic, the last events are dumped to CRASH-<pid>.jsonl (next to
+--journal-out, else the working directory; $SWDUAL_CRASH_DIR
+overrides) — `swdual explain CRASH-<pid>.jsonl` folds the fragment.
 
 `swdual analyze` audits a `--journal-out` journal: achieved makespan
 vs the dual-approximation λ and its 2λ guarantee, per-worker
@@ -152,7 +182,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         // Boolean flags.
         if matches!(
             key,
-            "evalues" | "progress" | "json" | "text" | "profile" | "reopt"
+            "evalues" | "progress" | "json" | "text" | "profile" | "reopt" | "watchdog"
         ) {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
@@ -165,6 +195,20 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         i += 2;
     }
     Ok(flags)
+}
+
+/// Read a journal argument: `-` means stdin, anything else is a file.
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
 }
 
 fn load_set(path: &str) -> Result<SequenceSet, String> {
@@ -282,11 +326,15 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     let journal_out = flags.get("journal-out");
     let progress = flags.contains_key("progress");
     let profile = flags.contains_key("profile");
+    let watchdog = flags.contains_key("watchdog");
+    let live_socket = flags.get("live-socket");
     let observe = trace_out.is_some()
         || metrics_out.is_some()
         || journal_out.is_some()
         || progress
-        || profile;
+        || profile
+        || watchdog
+        || live_socket.is_some();
     let obs = if observe {
         swdual_obs::Obs::enabled()
     } else {
@@ -295,6 +343,20 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
     // Phase/kernel-level detail spans; the journal then feeds
     // `swdual profile`.
     obs.set_profiling(profile);
+    // Crash-surviving flight recorder: the last events are dumped to
+    // CRASH-<pid>.jsonl if the process panics mid-search.
+    if observe {
+        let flight = swdual_obs::FlightRecorder::new(swdual_obs::flight::DEFAULT_FLIGHT_CAPACITY);
+        obs.attach_flight(&flight);
+        let crash_dir = journal_out
+            .and_then(|p| std::path::Path::new(p).parent())
+            .filter(|p| !p.as_os_str().is_empty())
+            .map_or_else(
+                || std::path::PathBuf::from("."),
+                std::path::Path::to_path_buf,
+            );
+        flight.install_panic_hook(&crash_dir);
+    }
     let mut builder = SearchBuilder::new()
         .database(database)
         .queries(queries)
@@ -348,6 +410,18 @@ fn cmd_search(flags: HashMap<String, String>) -> Result<(), String> {
             reopt.threshold, reopt.min_remaining
         );
         builder = builder.reopt(reopt);
+    }
+    if watchdog {
+        let cfg = swdual_obs::watch::WatchConfig::default();
+        eprintln!(
+            "watchdog: on (straggler x{}, bound risk at {}x2\u{3bb})",
+            cfg.straggler_ratio, cfg.bound_risk_fraction
+        );
+        builder = builder.watchdog(cfg);
+    }
+    if let Some(path) = live_socket {
+        eprintln!("live: streaming journal on {path}");
+        builder = builder.live(path.clone());
     }
     let reporter =
         progress.then(|| ProgressReporter::start(&obs, std::time::Duration::from_millis(250)));
@@ -444,7 +518,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
                 );
                 i += 1;
             }
-            other if other.starts_with('-') => {
+            other if other.starts_with('-') && other != "-" => {
                 return Err(format!(
                     "unknown analyze flag {other:?} (--json|--text|-o FILE)"
                 ))
@@ -458,11 +532,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
-    let path = path.ok_or("usage: swdual analyze EVENTS.jsonl [--json|--text] [-o FILE]")?;
+    let path = path.ok_or("usage: swdual analyze EVENTS.jsonl|- [--json|--text] [-o FILE]")?;
     if json && text {
         return Err("--json and --text are mutually exclusive".into());
     }
-    let contents = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let contents = read_input(path)?;
     let report =
         swdual_obs::analysis::analyze_journal(&contents).map_err(|e| format!("{path}: {e}"))?;
     let rendered = if json {
@@ -502,7 +576,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
                 }
                 i += 1;
             }
-            other if other.starts_with('-') => {
+            other if other.starts_with('-') && other != "-" => {
                 return Err(format!(
                     "unknown explain flag {other:?} (--what-if SPEC|--json|--text|-o FILE)"
                 ))
@@ -517,11 +591,11 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         i += 1;
     }
     let path = path
-        .ok_or("usage: swdual explain EVENTS.jsonl [--what-if SPEC] [--json|--text] [-o FILE]")?;
+        .ok_or("usage: swdual explain EVENTS.jsonl|- [--what-if SPEC] [--json|--text] [-o FILE]")?;
     if json && text {
         return Err("--json and --text are mutually exclusive".into());
     }
-    let contents = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let contents = read_input(path)?;
     let report =
         swdual_obs::explain::explain_journal(&contents).map_err(|e| format!("{path}: {e}"))?;
     let rendered = match premise {
@@ -621,6 +695,274 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         emit(&rendered, out, "profile")?;
     }
     Ok(())
+}
+
+/// Print the dashboard for the watchdog's current fold. On a TTY the
+/// screen is cleared so `top` redraws in place; piped output gets the
+/// frames sequentially, separated by a blank line.
+fn draw_dashboard(status: &swdual_obs::watch::WatchStatus) {
+    use std::io::IsTerminal;
+    if std::io::stdout().is_terminal() {
+        print!("\x1b[2J\x1b[H");
+        outln!("{}", swdual_core::live::render_dashboard(status));
+    } else {
+        outln!("{}\n", swdual_core::live::render_dashboard(status));
+    }
+}
+
+/// Connect to a live socket, retrying briefly so `swdual top` can be
+/// launched in the same breath as (or just before) the search that
+/// binds it.
+#[cfg(unix)]
+fn connect_live(path: &str) -> Result<std::os::unix::net::UnixStream, String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(format!(
+                        "{path}: {e} (is the search running with --live-socket?)"
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Follow a live socket: fold each streamed journal line through the
+/// watchdog, redraw every `refresh`, final frame on EOF.
+#[cfg(unix)]
+fn top_follow_socket(
+    stream: std::os::unix::net::UnixStream,
+    refresh: std::time::Duration,
+) -> Result<(), String> {
+    use std::io::BufRead;
+
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+        .map_err(|e| format!("live stream: {e}"))?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut dog = swdual_obs::watch::Watchdog::new(swdual_obs::watch::WatchConfig::default());
+    let mut line = String::new();
+    let mut header_seen = false;
+    let mut dirty = true;
+    let mut last_draw: Option<std::time::Instant> = None;
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // clean EOF: the run ended and we caught up
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    if header_seen {
+                        if let Ok(event) = swdual_obs::journal::parse_event_line(trimmed) {
+                            dog.observe(&event);
+                            dirty = true;
+                        }
+                    } else {
+                        swdual_obs::journal::validate_header(trimmed)
+                            .map_err(|e| format!("live stream: {e}"))?;
+                        header_seen = true;
+                    }
+                }
+                line.clear();
+            }
+            // Timeout slice with no new events (a partial line, if
+            // any, stays buffered in `line` and completes next read).
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(format!("live stream: {e}")),
+        }
+        if dirty && last_draw.is_none_or(|t| t.elapsed() >= refresh) {
+            draw_dashboard(&dog.status());
+            dirty = false;
+            last_draw = Some(std::time::Instant::now());
+        }
+    }
+    draw_dashboard(&dog.status());
+    eprintln!("top: stream ended");
+    Ok(())
+}
+
+/// `swdual top SOCKET|EVENTS.jsonl [--refresh-ms MS]` — live
+/// per-worker dashboard. A Unix-socket source (a `--live-socket`
+/// search) is followed until the run ends; a journal file (or `-`)
+/// renders the run's final state once.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut source: Option<&str> = None;
+    let mut refresh_ms: u64 = 250;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--refresh-ms" => {
+                refresh_ms = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--refresh-ms needs a millisecond count")?;
+                i += 1;
+            }
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown top flag {other:?} (--refresh-ms MS)"));
+            }
+            other => {
+                if source.is_some() {
+                    return Err("top takes exactly one source".into());
+                }
+                source = Some(other);
+            }
+        }
+        i += 1;
+    }
+    let source = source.ok_or("usage: swdual top SOCKET|EVENTS.jsonl [--refresh-ms MS]")?;
+
+    // A regular file (or stdin) is a recorded journal: fold it whole
+    // and render the end-of-run dashboard.
+    if source == "-" || std::path::Path::new(source).is_file() {
+        let contents = read_input(source)?;
+        let events =
+            swdual_obs::journal::parse_journal(&contents).map_err(|e| format!("{source}: {e}"))?;
+        let mut dog = swdual_obs::watch::Watchdog::new(swdual_obs::watch::WatchConfig::default());
+        for event in &events {
+            dog.observe(event);
+        }
+        draw_dashboard(&dog.status());
+        return Ok(());
+    }
+
+    #[cfg(unix)]
+    {
+        let stream = connect_live(source)?;
+        top_follow_socket(stream, std::time::Duration::from_millis(refresh_ms.max(1)))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = refresh_ms;
+        Err(format!(
+            "{source}: live sockets need a Unix platform; pass a journal file instead"
+        ))
+    }
+}
+
+/// One compact `swdual tail` line per journal event.
+fn render_event_line(event: &swdual_obs::Event) -> String {
+    match event.kind {
+        swdual_obs::EventKind::Span => format!(
+            "{:9.3}s  {:<14} {} (+{:.3}s)",
+            event.wall_start,
+            event.track.label(),
+            event.name,
+            event.wall_dur
+        ),
+        swdual_obs::EventKind::Instant => format!(
+            "{:9.3}s  {:<14} {}",
+            event.wall_start,
+            event.track.label(),
+            event.name
+        ),
+    }
+}
+
+/// Print one tailed journal line (shared by the file and stdin
+/// paths): alerts always, other events unless `--alerts-only`.
+fn tail_emit(trimmed: &str, alerts_only: bool) {
+    let Ok(event) = swdual_obs::journal::parse_event_line(trimmed) else {
+        return; // tolerate torn writes while following
+    };
+    if event.is_alert() {
+        for alert in swdual_obs::watch::alerts_from_events(std::slice::from_ref(&event)) {
+            outln!("{}", swdual_core::live::render_alert_line(&alert));
+        }
+    } else if !alerts_only {
+        outln!("{}", render_event_line(&event));
+    }
+}
+
+/// `swdual tail EVENTS.jsonl [--follow] [--alerts-only]` — stream a
+/// journal (or stdin with `-`) line by line; `--follow` keeps reading
+/// as the file grows, `--alerts-only` filters to watchdog alerts.
+fn cmd_tail(args: &[String]) -> Result<(), String> {
+    use std::io::BufRead;
+
+    let mut source: Option<&str> = None;
+    let mut follow = false;
+    let mut alerts_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--follow" => follow = true,
+            "--alerts-only" => alerts_only = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!(
+                    "unknown tail flag {other:?} (--follow|--alerts-only)"
+                ));
+            }
+            other => {
+                if source.is_some() {
+                    return Err("tail takes exactly one journal path".into());
+                }
+                source = Some(other);
+            }
+        }
+        i += 1;
+    }
+    let source = source.ok_or("usage: swdual tail EVENTS.jsonl|- [--follow] [--alerts-only]")?;
+
+    let mut header_seen = false;
+    let mut handle_line = |trimmed: &str| -> Result<(), String> {
+        if trimmed.is_empty() {
+            return Ok(());
+        }
+        if header_seen {
+            tail_emit(trimmed, alerts_only);
+        } else {
+            swdual_obs::journal::validate_header(trimmed).map_err(|e| format!("{source}: {e}"))?;
+            header_seen = true;
+        }
+        Ok(())
+    };
+
+    if source == "-" {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| format!("stdin: {e}"))?;
+            handle_line(line.trim())?;
+        }
+        return Ok(());
+    }
+
+    let file = std::fs::File::open(source).map_err(|e| format!("{source}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                if !follow {
+                    return Ok(());
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            Ok(_) => {
+                if follow && !line.ends_with('\n') {
+                    // Torn tail while the writer is mid-line: back off
+                    // until the newline lands, then re-read the line.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    reader
+                        .seek_relative(-(line.len() as i64))
+                        .map_err(|e| format!("{source}: {e}"))?;
+                    continue;
+                }
+                handle_line(line.trim())?;
+            }
+            Err(e) => return Err(format!("{source}: {e}")),
+        }
+    }
 }
 
 /// `swdual diff BASE.jsonl HEAD.jsonl [...]` / `swdual diff --bench
@@ -813,16 +1155,21 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    // `analyze`, `explain`, `profile` and `diff` take positional
-    // journal paths and parse their own arguments; every other command
+    // `analyze`, `explain`, `profile`, `diff`, `top` and `tail` take
+    // positional journal paths and parse their own arguments; every other command
     // uses `--key value` flags. `diff` picks its own exit code so
     // `--fail-on-regression` can fail the build after printing the
     // report.
-    if cmd == "analyze" || cmd == "explain" || cmd == "profile" || cmd == "diff" {
+    if matches!(
+        cmd.as_str(),
+        "analyze" | "explain" | "profile" | "diff" | "top" | "tail"
+    ) {
         let result = match cmd.as_str() {
             "analyze" => cmd_analyze(&args[1..]).map(|()| ExitCode::SUCCESS),
             "explain" => cmd_explain(&args[1..]).map(|()| ExitCode::SUCCESS),
             "profile" => cmd_profile(&args[1..]).map(|()| ExitCode::SUCCESS),
+            "top" => cmd_top(&args[1..]).map(|()| ExitCode::SUCCESS),
+            "tail" => cmd_tail(&args[1..]).map(|()| ExitCode::SUCCESS),
             _ => cmd_diff(&args[1..]),
         };
         return match result {

@@ -27,6 +27,8 @@ pub struct SearchBuilder {
     job_timeout_slack: Option<f64>,
     min_job_timeout: Option<std::time::Duration>,
     reopt: Option<ReoptConfig>,
+    watch: Option<swdual_obs::watch::WatchConfig>,
+    live: Option<String>,
 }
 
 impl Default for SearchBuilder {
@@ -52,6 +54,8 @@ impl SearchBuilder {
             job_timeout_slack: None,
             min_job_timeout: None,
             reopt: None,
+            watch: None,
+            live: None,
         }
     }
 
@@ -199,6 +203,27 @@ impl SearchBuilder {
         self
     }
 
+    /// Watch the run with the incremental anomaly watchdog
+    /// ([`swdual_obs::watch`]): a background thread folds the live
+    /// event bus and journals typed `alert_*` events (straggler,
+    /// bound-at-risk, worker-dead, queue-stall, reopt-fired) the
+    /// moment they trip. Implies an enabled recorder; read the results
+    /// live via [`Obs::subscribe`] or post-hoc via
+    /// [`SearchReport::alerts`](crate::report::SearchReport::alerts).
+    pub fn watchdog(mut self, cfg: swdual_obs::watch::WatchConfig) -> Self {
+        self.watch = Some(cfg);
+        self
+    }
+
+    /// Stream the growing journal over a Unix socket at `path` while
+    /// the search runs, for `swdual top <path>` or any line reader.
+    /// Implies an enabled recorder. Stream setup failure degrades the
+    /// run to "not watched" (with a stderr note) rather than aborting.
+    pub fn live(mut self, path: impl Into<String>) -> Self {
+        self.live = Some(path.into());
+        self
+    }
+
     /// Switch CUPTI-style phase profiling on or off. Profiling implies
     /// tracing (phase spans ride the same event buffer), so enabling it
     /// on a builder without a recorder turns one on; disabling it keeps
@@ -277,12 +302,37 @@ impl SearchBuilder {
     /// # Panics
     /// Still panics when the database or query set was never set —
     /// those are caller bugs, not runtime conditions.
-    pub fn try_run(self) -> Result<SearchReport, SearchError> {
+    pub fn try_run(mut self) -> Result<SearchReport, SearchError> {
+        // Live watching needs a recorder; switch one on if the caller
+        // asked to watch but left observability off.
+        if (self.watch.is_some() || self.live.is_some()) && !self.obs.is_enabled() {
+            self.obs = Obs::enabled();
+        }
+        let watch = self.watch.take();
+        let live = self.live.take();
         let (database, queries, workers, config) = self.into_config_and_sets();
         let obs = config.obs.clone();
         let db_meta: Vec<String> = database.iter().map(|s| s.id.clone()).collect();
         let query_meta: Vec<String> = queries.iter().map(|s| s.id.clone()).collect();
-        let outcome = try_run_search(database, queries, &workers, config)?;
+        let live_stream = live.and_then(|path| match crate::live::LiveStream::start(&obs, &path) {
+            Ok(stream) => Some(stream),
+            Err(e) => {
+                eprintln!("live: disabled ({e})");
+                None
+            }
+        });
+        let watchdog = watch.map(|cfg| crate::live::WatchdogDriver::start(&obs, cfg));
+        let outcome = try_run_search(database, queries, &workers, config);
+        // Drivers finish (final drain / client EOF) whether the run
+        // succeeded or not — a failed run is exactly when the alerts
+        // and the streamed journal matter most.
+        if let Some(driver) = watchdog {
+            driver.finish();
+        }
+        if let Some(stream) = live_stream {
+            stream.finish();
+        }
+        let outcome = outcome?;
         Ok(SearchReport::new(outcome, db_meta, query_meta).with_obs(obs))
     }
 

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod engine;
+pub mod live;
 pub mod progress;
 pub mod report;
 pub mod whatif;
@@ -62,6 +63,7 @@ pub use swdual_runtime as runtime;
 pub use swdual_sched as sched;
 
 pub use engine::SearchBuilder;
+pub use live::{LiveStream, WatchdogDriver};
 pub use progress::ProgressReporter;
 pub use report::SearchReport;
 

@@ -1,0 +1,421 @@
+//! In-process live observability drivers: the watchdog thread that
+//! turns bus events into journaled alerts while the search runs, the
+//! `--live-socket` journal streamer `swdual top` connects to, and the
+//! terminal dashboard renderer shared by `top` and `tail`.
+//!
+//! Both drivers are amenities in the same sense as progress
+//! reporting: they ride the event bus / journal cursor, never the
+//! search's data path, and a failure to start them degrades the run
+//! to "not watched" instead of aborting it.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use swdual_obs::export::{journal_event_line, journal_header};
+use swdual_obs::watch::{record_alert, Alert, WatchConfig, WatchStatus, Watchdog};
+use swdual_obs::Obs;
+
+/// Poll slice for the driver loops: short enough that alerts land
+/// within ~10 ms of the event that tripped them.
+const SLICE: Duration = Duration::from_millis(10);
+
+/// Background thread folding the live bus through an incremental
+/// [`Watchdog`]: every alert it trips is journaled (`alert_<kind>`
+/// fault instants), counted (`swdual_alerts_total{kind=...}`), echoed
+/// to stderr, and — because journaling goes through the same recorder
+/// — broadcast to every other bus subscriber, live.
+pub struct WatchdogDriver {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WatchdogDriver {
+    /// Start watching `obs` with `cfg` thresholds. No-op on a disabled
+    /// recorder (the subscription is inert). Spawn failure degrades to
+    /// an unwatched run, mirroring the progress reporter.
+    pub fn start(obs: &Obs, cfg: WatchConfig) -> WatchdogDriver {
+        let subscriber = obs.subscribe();
+        let recorder = obs.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("swdual-watchdog".into())
+            .spawn(move || {
+                let mut dog = Watchdog::new(cfg);
+                let mut buf = Vec::new();
+                loop {
+                    let stopping = stop_flag.load(Ordering::Relaxed);
+                    buf.clear();
+                    subscriber.drain_into(&mut buf);
+                    for event in &buf {
+                        for alert in dog.observe(event) {
+                            record_alert(&recorder, &alert);
+                            eprintln!("watchdog: [{}] {}", alert.kind.label(), alert.message);
+                        }
+                    }
+                    if stopping {
+                        // One final drain happened above; anything the
+                        // run publishes after finish() is post-hoc.
+                        break;
+                    }
+                    std::thread::sleep(SLICE);
+                }
+            })
+            .map_err(|e| eprintln!("watchdog: disabled ({e})"))
+            .ok();
+        WatchdogDriver { stop, handle }
+    }
+
+    /// Stop after a final drain, so alerts tripped by the run's last
+    /// events are still journaled before the report is built.
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WatchdogDriver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Streams the growing journal over a Unix domain socket so `swdual
+/// top <socket>` (or any line reader) can watch a run from outside
+/// the process. Each connected client receives a schema header and
+/// then every event from the beginning of the run, in journal order,
+/// via a per-client cursor over [`Obs::events_since`] — late joiners
+/// catch up, and a slow client never drops events or slows the run.
+pub struct LiveStream {
+    stop: Arc<AtomicBool>,
+    path: PathBuf,
+    acceptor: Option<JoinHandle<()>>,
+    writers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl LiveStream {
+    /// Bind `path` (an existing stale socket file is replaced) and
+    /// start accepting clients.
+    #[cfg(unix)]
+    pub fn start(obs: &Obs, path: &str) -> std::io::Result<LiveStream> {
+        use std::os::unix::net::UnixListener;
+
+        let path_buf = PathBuf::from(path);
+        let _ = std::fs::remove_file(&path_buf);
+        let listener = UnixListener::bind(&path_buf)?;
+        listener.set_nonblocking(true)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let stop_flag = Arc::clone(&stop);
+        let writer_pool = Arc::clone(&writers);
+        let recorder = obs.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("swdual-live-accept".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let client_obs = recorder.clone();
+                        let client_stop = Arc::clone(&stop_flag);
+                        if let Ok(handle) = std::thread::Builder::new()
+                            .name("swdual-live-writer".into())
+                            .spawn(move || stream_client(stream, client_obs, client_stop))
+                        {
+                            writer_pool.lock().expect("live writer pool").push(handle);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(SLICE);
+                    }
+                    Err(_) => break,
+                }
+            })
+            .map_err(|e| eprintln!("live: acceptor disabled ({e})"))
+            .ok();
+
+        Ok(LiveStream {
+            stop,
+            path: path_buf,
+            acceptor,
+            writers,
+        })
+    }
+
+    #[cfg(not(unix))]
+    pub fn start(_obs: &Obs, _path: &str) -> std::io::Result<LiveStream> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "--live-socket requires Unix domain sockets",
+        ))
+    }
+
+    /// Stop accepting, let every connected client drain to the end of
+    /// the journal (they see EOF), join all threads, unlink the
+    /// socket.
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.writers.lock().expect("live writer pool"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for LiveStream {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pump one client: header first, then journal lines from a cursor.
+/// Exits when the client hangs up or when the run stopped and the
+/// cursor caught up (clean EOF for the client).
+#[cfg(unix)]
+fn stream_client(stream: std::os::unix::net::UnixStream, obs: Obs, stop: Arc<AtomicBool>) {
+    let _ = stream.set_nonblocking(false);
+    let mut out = std::io::BufWriter::new(stream);
+    // Streaming header: the final event count is unknowable up front;
+    // validate_header checks the schema only.
+    if writeln!(out, "{}", journal_header(0)).is_err() {
+        return;
+    }
+    let mut cursor = 0usize;
+    loop {
+        let batch = obs.events_since(cursor);
+        if batch.is_empty() {
+            if out.flush().is_err() {
+                return;
+            }
+            if stop.load(Ordering::Relaxed) {
+                return; // caught up after the run ended: clean EOF
+            }
+            std::thread::sleep(SLICE);
+            continue;
+        }
+        cursor += batch.len();
+        for event in &batch {
+            if writeln!(out, "{}", journal_event_line(event)).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Render the watchdog's fold as a terminal dashboard: run header,
+/// per-worker utilization bars with queue depth and observed/estimate
+/// ratio, then active alerts. Pure string rendering — `swdual top`
+/// redraws it, tests assert on it.
+pub fn render_dashboard(status: &WatchStatus) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "swdual top · wall {:7.3}s · tasks {}/{}",
+        status.wall, status.tasks_done, status.tasks_total
+    ));
+    if status.has_bound {
+        out.push_str(&format!(
+            " · modelled makespan {:.3}s / 2\u{3bb} {:.3}s",
+            status.running_makespan,
+            2.0 * status.lambda
+        ));
+    } else {
+        out.push_str(&format!(
+            " · modelled makespan {:.3}s",
+            status.running_makespan
+        ));
+    }
+    if status.eta_modelled > 0.0 {
+        out.push_str(&format!(" · ETA {:.3}s (modelled)", status.eta_modelled));
+    }
+    out.push('\n');
+
+    for w in &status.workers {
+        let util = if status.wall > 0.0 {
+            (w.busy_wall / status.wall).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let filled = (util * 20.0).round() as usize;
+        let bar: String = std::iter::repeat_n('#', filled)
+            .chain(std::iter::repeat_n('-', 20 - filled))
+            .collect();
+        let species = if w.is_gpu { "gpu" } else { "cpu" };
+        let state = if w.dead { " DEAD" } else { "" };
+        out.push_str(&format!(
+            "  worker {:<3} [{species}] [{bar}] {:3.0}% · q {:<2} · ratio {:4.2} · {} job(s){state}\n",
+            w.worker,
+            util * 100.0,
+            w.queue_depth,
+            w.ratio,
+            w.jobs,
+        ));
+    }
+
+    if !status.alerts.is_empty() {
+        out.push_str("alerts:\n");
+        for alert in &status.alerts {
+            out.push_str(&format!("  [{}] {}\n", alert.kind.label(), alert.message));
+        }
+    }
+    out
+}
+
+/// Render one `swdual tail` line for a fired alert.
+pub fn render_alert_line(alert: &Alert) -> String {
+    format!(
+        "alert[{}] @ {:.3}s {}",
+        alert.kind.label(),
+        alert.wall,
+        alert.message
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swdual_obs::Track;
+
+    #[test]
+    fn watchdog_driver_journals_alerts_from_live_events() {
+        let obs = Obs::enabled();
+        let driver = WatchdogDriver::start(&obs, WatchConfig::default());
+        // A straggling worker: estimate 1.0, observed 3.0.
+        obs.instant(
+            Track::Master,
+            "task_model",
+            &[("task", 0.0), ("p_cpu", 1.0), ("p_gpu", 1.0)],
+        );
+        obs.instant(
+            Track::Master,
+            "task_dispatch",
+            &[
+                ("task", 0.0),
+                ("worker", 0.0),
+                ("seq", 0.0),
+                ("decision", 0.0),
+            ],
+        );
+        obs.span(
+            Track::Worker(0),
+            "task-0",
+            0.0,
+            0.01,
+            Some((0.0, 3.0)),
+            &[("task", 0.0)],
+        );
+        driver.finish();
+        let alerts = swdual_obs::watch::alerts_from_events(&obs.events());
+        assert!(
+            alerts
+                .iter()
+                .any(|a| a.kind == swdual_obs::watch::AlertKind::Straggler && a.worker == Some(0)),
+            "{alerts:?}"
+        );
+        // And the metrics registry counted it under the kind label.
+        assert_eq!(
+            obs.metrics()
+                .snapshot()
+                .counter_value("alerts", &[("kind", "straggler")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn watchdog_driver_on_disabled_obs_is_inert() {
+        let obs = Obs::disabled();
+        let driver = WatchdogDriver::start(&obs, WatchConfig::default());
+        driver.finish();
+        assert_eq!(obs.event_count(), 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn live_stream_serves_the_whole_journal_to_a_late_client() {
+        use std::io::BufRead;
+
+        let obs = Obs::enabled();
+        obs.instant(Track::Master, "early", &[]);
+        let dir = std::env::temp_dir().join(format!("swdual-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("t.sock");
+        let stream = LiveStream::start(&obs, sock.to_str().unwrap()).expect("bind");
+        obs.instant(Track::Master, "mid", &[]);
+
+        // Connect after events already exist: the cursor catches up.
+        let client = std::os::unix::net::UnixStream::connect(&sock).expect("connect");
+        obs.instant(Track::Worker(1), "late", &[]);
+        std::thread::sleep(Duration::from_millis(50));
+        stream.finish(); // writers drain to EOF
+
+        let reader = std::io::BufReader::new(client);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        swdual_obs::journal::validate_header(&lines[0]).expect("streamed header validates");
+        let doc = lines.join("\n");
+        let events = swdual_obs::journal::parse_journal(&doc).expect("streamed journal parses");
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["early", "mid", "late"]);
+        // Socket file unlinked on finish.
+        assert!(!sock.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dashboard_renders_bars_and_alerts() {
+        let mut dog = Watchdog::new(WatchConfig::default());
+        for event in [
+            swdual_obs::Event {
+                track: Track::Master,
+                name: "task_model".into(),
+                kind: swdual_obs::EventKind::Instant,
+                wall_start: 0.0,
+                wall_dur: 0.0,
+                virt_start: None,
+                virt_dur: None,
+                args: vec![
+                    ("task".to_string(), 0.0),
+                    ("p_cpu".to_string(), 1.0),
+                    ("p_gpu".to_string(), 1.0),
+                ],
+            },
+            swdual_obs::Event {
+                track: Track::Worker(0),
+                name: "task-0".into(),
+                kind: swdual_obs::EventKind::Span,
+                wall_start: 0.0,
+                wall_dur: 0.5,
+                virt_start: Some(0.0),
+                virt_dur: Some(3.0),
+                args: vec![("task".to_string(), 0.0)],
+            },
+        ] {
+            dog.observe(&event);
+        }
+        let text = render_dashboard(&dog.status());
+        assert!(text.contains("tasks 1/1"), "{text}");
+        assert!(text.contains("worker 0"), "{text}");
+        assert!(text.contains('#'), "{text}");
+        assert!(text.contains("alerts:"), "{text}");
+        assert!(text.contains("[straggler]"), "{text}");
+    }
+}

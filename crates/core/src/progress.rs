@@ -1,10 +1,15 @@
 //! Live progress reporting for long searches.
 //!
-//! [`ProgressReporter`] runs a small background thread that polls the
-//! search's live metrics registry and prints a one-line status to
-//! stderr at a fixed cadence — completion, queue depth, worker count
-//! and job-latency quantiles. It reads the same sharded registry the
-//! workers write into, so it never touches the search's data path.
+//! [`ProgressReporter`] runs a small background thread subscribed to
+//! the recorder's event bus. It redraws its one-line stderr status
+//! when new events arrive (debounced to the configured interval) and
+//! on a 1 s heartbeat even when nothing happens, so a stalled run is
+//! still visibly alive. The line itself is rendered from the live
+//! metrics registry — the same sharded registry the workers write
+//! into — so the reporter never touches the search's data path, and
+//! the bus subscription is bounded: if the reporter lags, events are
+//! dropped for it (counted in `swdual_bus_dropped_events`), never
+//! queued against the hot path.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -12,29 +17,34 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use swdual_obs::metrics::{Metrics, MetricsSnapshot};
-use swdual_obs::Obs;
+use swdual_obs::{BusSubscriber, Obs};
 
-/// Background thread printing periodic progress lines from the live
-/// metrics registry. Stops (and joins) on [`ProgressReporter::finish`]
-/// or drop.
+/// Heartbeat: redraw at least this often even with no bus traffic.
+const HEARTBEAT: Duration = Duration::from_secs(1);
+
+/// Background thread printing progress lines on bus activity. Stops
+/// (and joins) on [`ProgressReporter::finish`] or drop.
 pub struct ProgressReporter {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl ProgressReporter {
-    /// Start reporting from `obs`'s registry every `interval`. The
-    /// thread is a no-op when observability is disabled — the registry
-    /// snapshot is empty and no lines are printed. Progress is an
-    /// amenity: if the thread cannot be spawned (resource exhaustion),
-    /// the search proceeds without it instead of aborting.
+    /// Start reporting from `obs`. `interval` is the redraw debounce:
+    /// new bus events trigger a redraw at most once per interval; a
+    /// 1 s heartbeat fires regardless. The thread is a no-op when
+    /// observability is disabled — the subscriber is inert and the
+    /// registry snapshot is empty. Progress is an amenity: if the
+    /// thread cannot be spawned (resource exhaustion), the search
+    /// proceeds without it instead of aborting.
     pub fn start(obs: &Obs, interval: Duration) -> ProgressReporter {
         let metrics = obs.metrics();
+        let subscriber = obs.subscribe();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("swdual-progress".into())
-            .spawn(move || run(metrics, interval, stop_flag))
+            .spawn(move || run(metrics, subscriber, interval, stop_flag))
             .map_err(|e| eprintln!("progress: disabled ({e})"))
             .ok();
         ProgressReporter { stop, handle }
@@ -60,21 +70,35 @@ impl Drop for ProgressReporter {
     }
 }
 
-fn run(metrics: Metrics, interval: Duration, stop: Arc<AtomicBool>) {
+fn run(metrics: Metrics, subscriber: BusSubscriber, interval: Duration, stop: Arc<AtomicBool>) {
     if !metrics.is_enabled() {
         return;
     }
     // Sleep in short slices so finish() never blocks a full interval.
-    let slice = Duration::from_millis(20).min(interval);
-    let mut elapsed = Duration::ZERO;
+    let slice = Duration::from_millis(20)
+        .min(interval)
+        .max(Duration::from_millis(1));
+    let heartbeat = HEARTBEAT.max(interval);
+    let mut since_draw = Duration::ZERO;
+    let mut pending = false;
+    let mut buf = Vec::new();
     loop {
         if stop.load(Ordering::Relaxed) {
             break;
         }
         std::thread::sleep(slice);
-        elapsed += slice;
-        if elapsed >= interval {
-            elapsed = Duration::ZERO;
+        since_draw += slice;
+        // Drain the subscription; the events themselves are only a
+        // wake signal (the line renders from the registry), so a
+        // saturated queue merely coalesces redraws.
+        buf.clear();
+        if subscriber.drain_into(&mut buf) > 0 {
+            pending = true;
+        }
+        let due = (pending && since_draw >= interval) || since_draw >= heartbeat;
+        if due {
+            since_draw = Duration::ZERO;
+            pending = false;
             if let Some(line) = render_tick(&metrics) {
                 eprintln!("{line}");
             }
@@ -151,6 +175,8 @@ mod tests {
         let obs = Obs::enabled();
         obs.metrics().gauge("tasks_total", &[], 1.0);
         let reporter = ProgressReporter::start(&obs, Duration::from_millis(5));
+        // Bus traffic is what wakes the redraw path now.
+        obs.instant(swdual_obs::Track::Master, "tick", &[]);
         std::thread::sleep(Duration::from_millis(15));
         reporter.finish();
     }
@@ -159,6 +185,20 @@ mod tests {
     fn disabled_obs_reporter_is_a_no_op() {
         let reporter = ProgressReporter::start(&Obs::disabled(), Duration::from_millis(1));
         reporter.finish();
+    }
+
+    #[test]
+    fn reporter_subscription_closes_on_finish() {
+        let obs = Obs::enabled();
+        obs.metrics().gauge("tasks_total", &[], 1.0);
+        let reporter = ProgressReporter::start(&obs, Duration::from_millis(5));
+        reporter.finish();
+        // After finish, the reporter's tap is closed: publishing keeps
+        // working and drops nothing against the dead subscription.
+        for _ in 0..10 {
+            obs.instant(swdual_obs::Track::Master, "after", &[]);
+        }
+        assert_eq!(obs.bus_dropped_events(), 0);
     }
 
     #[test]

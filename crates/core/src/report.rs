@@ -170,6 +170,16 @@ impl SearchReport {
         swdual_obs::explain::explain_obs(&self.obs)
     }
 
+    /// The watchdog alerts journaled during the run
+    /// (`alert_*` fault-track instants folded back into typed
+    /// [`Alert`](swdual_obs::watch::Alert)s, in firing order). Empty
+    /// when the run was not watched — enable with
+    /// [`SearchBuilder::watchdog`](crate::engine::SearchBuilder::watchdog)
+    /// — or when nothing tripped.
+    pub fn alerts(&self) -> Vec<swdual_obs::watch::Alert> {
+        swdual_obs::watch::alerts_from_events(&self.obs.events())
+    }
+
     /// Compare this run against a baseline run: every audited metric
     /// (makespans on both clocks, bound margin, per-worker utilization,
     /// latency quantiles, throughput, fault counts) plus the profile

@@ -145,6 +145,75 @@ fn analyze_dash_o_writes_the_report_to_a_file() {
 }
 
 #[test]
+fn journal_readers_accept_stdin_via_dash() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = work_dir("stdin");
+    let db = dir.join("db.fasta");
+    let journal = dir.join("events.jsonl");
+    generate_db(&db);
+    let search = swdual()
+        .arg("search")
+        .arg("--db")
+        .arg(&db)
+        .arg("--queries")
+        .arg(&db)
+        .args(["--cpus", "1", "--gpus", "1", "--top", "3"])
+        .arg("--journal-out")
+        .arg(&journal)
+        .output()
+        .expect("run swdual search");
+    assert!(search.status.success(), "search failed: {search:?}");
+    let contents = std::fs::read_to_string(&journal).unwrap();
+
+    // Each journal reader takes `-` and produces the same report as
+    // the file path would.
+    let pipe = |args: &[&str]| {
+        let mut child = swdual()
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn swdual");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(contents.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().expect("wait swdual");
+        assert!(out.status.success(), "{args:?} failed: {out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let piped = pipe(&["analyze", "-", "--json"]);
+    let report: serde_json::Value = serde_json::from_str(&piped).expect("analyze - emits JSON");
+    assert_eq!(
+        report.get("schema").and_then(|v| v.as_str()),
+        Some("swdual-journal/2")
+    );
+    let from_file = swdual()
+        .arg("analyze")
+        .arg(&journal)
+        .arg("--json")
+        .output()
+        .expect("run swdual analyze");
+    assert_eq!(piped, String::from_utf8(from_file.stdout).unwrap());
+
+    let explained = pipe(&["explain", "-"]);
+    assert!(explained.contains("2λ bound"), "{explained}");
+
+    let tailed = pipe(&["tail", "-"]);
+    assert!(
+        tailed.lines().count() > 4,
+        "tail - should echo the run's events: {tailed}"
+    );
+    assert!(tailed.contains("master"), "{tailed}");
+}
+
+#[test]
 fn analyze_rejects_incompatible_journals() {
     let dir = work_dir("reject");
 

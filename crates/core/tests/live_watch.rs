@@ -1,0 +1,104 @@
+//! Live-bus acceptance: with the watchdog armed, a straggling worker's
+//! alert must be observable on the event bus by an independent
+//! subscriber *while the search is still running* — not reconstructed
+//! from the journal afterwards — and must name the offending worker.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use swdual_core::prelude::*;
+use swdual_runtime::FaultPlan;
+
+fn workload() -> (SequenceSet, SequenceSet) {
+    let database = swdual_core::datagen::synthetic_database(
+        "live",
+        32,
+        swdual_core::datagen::LengthModel::Fixed(90),
+        9,
+    );
+    let queries = swdual_core::datagen::queries_from_database(
+        &database,
+        8,
+        1,
+        usize::MAX,
+        &swdual_core::datagen::MutationProfile::homolog(),
+        8,
+    );
+    (database, queries)
+}
+
+#[test]
+fn straggler_alert_arrives_on_the_live_bus_before_the_run_completes() {
+    let (database, queries) = workload();
+    let obs = Obs::enabled();
+    let subscriber = obs.subscribe();
+
+    // Poller thread: drains the bus continuously and records, at the
+    // moment the straggler alert flows past, whether the search had
+    // already returned. `straggle@100x3` keeps worker 0 ~100 ms/job
+    // slower on the wall clock, so the run is still going when its
+    // first span (ratio 3.0 on the modelled clock) trips the alert.
+    let run_done = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let run_done = Arc::clone(&run_done);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seen: Option<(swdual_obs::Event, bool)> = None;
+            loop {
+                for event in subscriber.drain() {
+                    if seen.is_none() && event.name == "alert_straggler" {
+                        seen = Some((event, run_done.load(Ordering::SeqCst)));
+                    }
+                }
+                if stop.load(Ordering::SeqCst) {
+                    return (seen, subscriber.dropped());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    let report = SearchBuilder::new()
+        .database(database)
+        .queries(queries)
+        .workers(vec![WorkerSpec::cpu_default(), WorkerSpec::cpu_default()])
+        .top_k(3)
+        .observability(obs.clone())
+        .fault_plan(FaultPlan::parse("0:straggle@100x3").unwrap())
+        .watchdog(swdual_obs::watch::WatchConfig::default())
+        .run();
+    run_done.store(true, Ordering::SeqCst);
+    stop.store(true, Ordering::SeqCst);
+    let (seen, dropped) = poller.join().expect("poller thread");
+
+    let (event, done_when_seen) = seen.expect("straggler alert must reach the live subscriber");
+    assert!(
+        !done_when_seen,
+        "alert must be observed live, before the run completed"
+    );
+    assert!(
+        event.args.iter().any(|(k, v)| k == "worker" && *v == 0.0),
+        "alert must name worker 0: {:?}",
+        event.args
+    );
+    assert_eq!(dropped, 0, "default subscriber capacity must not drop");
+
+    // The report surfaces the same alerts post-hoc.
+    let alerts = report.alerts();
+    assert!(
+        alerts
+            .iter()
+            .any(|a| a.kind == swdual_obs::watch::AlertKind::Straggler && a.worker == Some(0)),
+        "{alerts:?}"
+    );
+    // And the metrics registry counted it under the kind label.
+    assert_eq!(
+        obs.metrics()
+            .snapshot()
+            .counter_value("alerts", &[("kind", "straggler")]),
+        Some(1.0)
+    );
+    // Hits are unaffected by watching: every query still reports.
+    assert_eq!(report.hits().len(), 8);
+}

@@ -819,6 +819,36 @@ mod tests {
     }
 
     #[test]
+    fn device_activity_reaches_a_live_bus_subscriber() {
+        // The device publishes through the shared `Obs`, so a bus
+        // subscriber attached before the kernel runs must see the
+        // Device-track spans live, in journal order.
+        let obs = Obs::enabled();
+        let sub = obs.subscribe();
+        let mut dev = GpuDevice::new(DeviceSpec::tesla_c2050());
+        dev.attach_obs(obs.clone(), 3);
+        let database = db(&["MKVLATGGAR", "MKVL", "GGARMKVLATAAAA"]);
+        let resident = dev.upload(&database, true).unwrap();
+        let query = Alphabet::Protein.encode(b"MKVLAT").unwrap();
+        dev.search(&query, &resident, &scheme());
+
+        let live = sub.drain();
+        assert_eq!(sub.dropped(), 0);
+        let device_names: Vec<&str> = live
+            .iter()
+            .filter(|e| matches!(e.track, Track::Device(3)))
+            .map(|e| e.name.as_str())
+            .collect();
+        for name in ["h2d_transfer", "kernel"] {
+            assert!(device_names.contains(&name), "missing live {name} span");
+        }
+        // The live feed mirrors the journal exactly when nothing drops.
+        let journal: Vec<String> = obs.events().iter().map(|e| e.name.clone()).collect();
+        let seen: Vec<String> = live.iter().map(|e| e.name.clone()).collect();
+        assert_eq!(seen, journal);
+    }
+
+    #[test]
     fn longer_queries_run_at_higher_gcups() {
         // Same database; query 10x longer must take < 10x+launch time
         // (rate improves with length).

@@ -183,6 +183,11 @@ pub struct RunReport {
     pub reopt_replans: usize,
     /// Fault-track event counts by name.
     pub faults: Vec<FaultCount>,
+    /// Watchdog alert counts by kind (`alert_*` fault-track instants,
+    /// prefix stripped). Kept apart from `faults`: alerts are the
+    /// watchdog's commentary about the run, not injected or detected
+    /// faults themselves.
+    pub alerts: Vec<FaultCount>,
 }
 
 fn arg(event: &Event, key: &str) -> Option<f64> {
@@ -243,6 +248,7 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
     let mut device_classes: BTreeMap<usize, String> = BTreeMap::new();
     let mut moved: Vec<i64> = Vec::new();
     let mut faults: BTreeMap<String, usize> = BTreeMap::new();
+    let mut alerts: BTreeMap<String, usize> = BTreeMap::new();
     let mut done_tasks: Vec<i64> = Vec::new();
     let mut lambda = 0.0f64;
     let mut lower_bound = 0.0f64;
@@ -314,7 +320,11 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
                 moved.push(task_of(event));
             }
             Track::Faults => {
-                *faults.entry(event.name.clone()).or_insert(0) += 1;
+                if let Some(kind) = event.name.strip_prefix("alert_") {
+                    *alerts.entry(kind.replace('_', "-")).or_insert(0) += 1;
+                } else {
+                    *faults.entry(event.name.clone()).or_insert(0) += 1;
+                }
             }
             Track::Scheduler if event.name == "binsearch_done" => {
                 has_bound = true;
@@ -491,6 +501,10 @@ pub fn analyze_events(events: &[Event]) -> RunReport {
             .into_iter()
             .map(|(name, count)| FaultCount { name, count })
             .collect(),
+        alerts: alerts
+            .into_iter()
+            .map(|(name, count)| FaultCount { name, count })
+            .collect(),
     }
 }
 
@@ -574,6 +588,15 @@ impl RunReport {
                 "  re-optimization        {} re-plan round(s) on observed ratios",
                 self.reopt_replans
             ));
+        }
+        if !self.alerts.is_empty() {
+            let alert_list = self
+                .alerts
+                .iter()
+                .map(|a| format!("{}×{}", a.count, a.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            line(format!("  watchdog alerts        {alert_list}"));
         }
         if self.moved_tasks > 0 || !self.faults.is_empty() {
             let fault_list = self
@@ -856,6 +879,38 @@ mod tests {
             .find(|f| f.name == "task_redispatch")
             .unwrap();
         assert_eq!(redispatch.count, 2);
+    }
+
+    #[test]
+    fn alert_instants_are_counted_apart_from_faults() {
+        let obs = crate::Obs::enabled();
+        obs.instant(Track::Faults, "worker_death", &[("worker", 0.0)]);
+        obs.instant(
+            Track::Faults,
+            "alert_straggler",
+            &[("worker", 1.0), ("value", 3.0), ("threshold", 2.0)],
+        );
+        obs.instant(
+            Track::Faults,
+            "alert_straggler",
+            &[("worker", 2.0), ("value", 2.2), ("threshold", 2.0)],
+        );
+        obs.instant(Track::Faults, "alert_bound_at_risk", &[("value", 1.9)]);
+        let r = analyze_obs(&obs);
+        // Alerts never pollute the fault counts…
+        assert_eq!(r.faults.len(), 1);
+        assert_eq!(r.faults[0].name, "worker_death");
+        // …and surface under their own heading, kinds hyphenated.
+        let straggler = r.alerts.iter().find(|a| a.name == "straggler").unwrap();
+        assert_eq!(straggler.count, 2);
+        assert!(r.alerts.iter().any(|a| a.name == "bound-at-risk"));
+        let text = r.to_text();
+        assert!(text.contains("watchdog alerts"), "{text}");
+        assert!(text.contains("2×straggler"), "{text}");
+        assert!(text.contains("1×bound-at-risk"), "{text}");
+        // JSON report carries the alerts field.
+        let json = r.to_json();
+        assert!(json.contains("\"alerts\""), "{json}");
     }
 
     #[test]

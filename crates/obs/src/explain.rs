@@ -341,7 +341,10 @@ pub fn explain_events(events: &[Event], schema: &str) -> ExplainReport {
                     *h2d.entry(t as i64).or_insert(0.0) += vd;
                 }
             }
-            Track::Faults => {
+            // Watchdog alerts are commentary about the run; they may
+            // name a worker without that worker having faulted, so
+            // they must not feed the fault fold.
+            Track::Faults if !event.is_alert() => {
                 if let Some(w) = arg(event, "worker") {
                     faulted.push(w as usize);
                 }

@@ -35,6 +35,52 @@ fn args_value(event: &Event) -> Value {
     )
 }
 
+/// Render the journal schema header line (no trailing newline):
+/// `{"schema":"swdual-journal/2","events":N}`. Streaming writers that
+/// cannot know the final count up front pass 0 —
+/// [`crate::journal::validate_header`] checks the schema only.
+pub fn journal_header(events: usize) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::Str(crate::analysis::JOURNAL_SCHEMA.to_string()),
+        ),
+        ("events".to_string(), Value::UInt(events as u64)),
+    ]))
+    .expect("journal header serialises")
+}
+
+/// Render one event as a journal JSON line (no trailing newline).
+/// This is the single serialisation used by [`journal_jsonl`], the
+/// flight recorder's crash dump and the live socket streamer, so every
+/// producer emits lines [`crate::journal::parse_journal`] accepts.
+pub fn journal_event_line(event: &Event) -> String {
+    let mut fields = vec![
+        ("track".to_string(), Value::Str(event.track.label())),
+        ("name".to_string(), Value::Str(event.name.clone())),
+        (
+            "kind".to_string(),
+            Value::Str(
+                match event.kind {
+                    EventKind::Span => "span",
+                    EventKind::Instant => "instant",
+                }
+                .to_string(),
+            ),
+        ),
+        ("wall_start".to_string(), Value::Float(event.wall_start)),
+        ("wall_dur".to_string(), Value::Float(event.wall_dur)),
+    ];
+    if let (Some(vs), Some(vd)) = (event.virt_start, event.virt_dur) {
+        fields.push(("virt_start".to_string(), Value::Float(vs)));
+        fields.push(("virt_dur".to_string(), Value::Float(vd)));
+    }
+    if !event.args.is_empty() {
+        fields.push(("args".to_string(), args_value(event)));
+    }
+    serde_json::to_string(&Value::Object(fields)).expect("journal event serialises")
+}
+
 /// Render all events as JSON lines: a schema header, then one event
 /// per line. The header line
 /// `{"schema":"swdual-journal/1","events":N}` lets
@@ -47,44 +93,10 @@ pub fn journal_jsonl(obs: &Obs) -> String {
         return out;
     }
     let events = obs.events();
-    out.push_str(
-        &serde_json::to_string(&Value::Object(vec![
-            (
-                "schema".to_string(),
-                Value::Str(crate::analysis::JOURNAL_SCHEMA.to_string()),
-            ),
-            ("events".to_string(), Value::UInt(events.len() as u64)),
-        ]))
-        .expect("journal header serialises"),
-    );
+    out.push_str(&journal_header(events.len()));
     out.push('\n');
     for event in events {
-        let mut fields = vec![
-            ("track".to_string(), Value::Str(event.track.label())),
-            ("name".to_string(), Value::Str(event.name.clone())),
-            (
-                "kind".to_string(),
-                Value::Str(
-                    match event.kind {
-                        EventKind::Span => "span",
-                        EventKind::Instant => "instant",
-                    }
-                    .to_string(),
-                ),
-            ),
-            ("wall_start".to_string(), Value::Float(event.wall_start)),
-            ("wall_dur".to_string(), Value::Float(event.wall_dur)),
-        ];
-        if let (Some(vs), Some(vd)) = (event.virt_start, event.virt_dur) {
-            fields.push(("virt_start".to_string(), Value::Float(vs)));
-            fields.push(("virt_dur".to_string(), Value::Float(vd)));
-        }
-        if !event.args.is_empty() {
-            fields.push(("args".to_string(), args_value(&event)));
-        }
-        out.push_str(
-            &serde_json::to_string(&Value::Object(fields)).expect("journal event serialises"),
-        );
+        out.push_str(&journal_event_line(&event));
         out.push('\n');
     }
     out
@@ -152,6 +164,17 @@ pub fn metrics_text(obs: &Obs) -> String {
         "Events recorded in the journal.",
     );
     out.push_str(&format!("swdual_events_total {}\n", obs.event_count()));
+
+    help_and_type(
+        &mut out,
+        "swdual_bus_dropped_events",
+        "counter",
+        "Events dropped by saturated live-bus subscriber queues.",
+    );
+    out.push_str(&format!(
+        "swdual_bus_dropped_events {}\n",
+        obs.bus_dropped_events()
+    ));
 
     let counters = obs.counters();
     if !counters.is_empty() {
@@ -754,6 +777,56 @@ mod tests {
 
         // Stable ordering: rendering twice gives identical text.
         assert_eq!(text, metrics_text(&obs));
+    }
+
+    #[test]
+    fn metrics_expose_bus_drops_and_alert_counters() {
+        // Format regression for the live-observability series: the bus
+        // drop counter is always present (0 when nothing dropped), and
+        // watchdog alerts surface as swdual_alerts_total{kind=...}.
+        let obs = sample_obs();
+        let text = metrics_text(&obs);
+        assert!(text.contains("# HELP swdual_bus_dropped_events "), "{text}");
+        assert!(text.contains("# TYPE swdual_bus_dropped_events counter"));
+        assert!(text.contains("\nswdual_bus_dropped_events 0\n"));
+
+        // Saturate a tiny subscriber: the counter reflects the drops.
+        let sub = obs.subscribe_with_capacity(1);
+        obs.instant(Track::Master, "x", &[]);
+        obs.instant(Track::Master, "y", &[]);
+        obs.instant(Track::Master, "z", &[]);
+        drop(sub);
+        assert!(metrics_text(&obs).contains("\nswdual_bus_dropped_events 2\n"));
+
+        // Alert counters ride the labelled-counter section with the
+        // exact family name the satellite requires.
+        obs.metrics()
+            .counter("alerts", &[("kind", "straggler")], 1.0);
+        obs.metrics()
+            .counter("alerts", &[("kind", "worker-dead")], 2.0);
+        let text = metrics_text(&obs);
+        assert!(
+            text.contains("# TYPE swdual_alerts_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("swdual_alerts_total{kind=\"straggler\"} 1"));
+        assert!(text.contains("swdual_alerts_total{kind=\"worker-dead\"} 2"));
+    }
+
+    #[test]
+    fn journal_event_line_round_trips_through_the_parser() {
+        let obs = sample_obs();
+        for event in obs.events() {
+            let line = journal_event_line(&event);
+            let mut doc = journal_header(1);
+            doc.push('\n');
+            doc.push_str(&line);
+            doc.push('\n');
+            let parsed = crate::journal::parse_journal(&doc).expect("fragment parses");
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(parsed[0].name, event.name);
+            assert_eq!(parsed[0].track, event.track);
+        }
     }
 
     #[test]

@@ -116,55 +116,67 @@ pub fn parse_journal(journal: &str) -> Result<Vec<Event>, JournalError> {
         if line.trim().is_empty() {
             continue;
         }
-        let malformed = |reason: &str| JournalError::Malformed {
-            line: idx + 1,
-            reason: reason.to_string(),
-        };
-        let value: Value = serde_json::from_str(line).map_err(|_| malformed("not valid JSON"))?;
-        let track_label = value
-            .get("track")
-            .and_then(Value::as_str)
-            .ok_or_else(|| malformed("missing \"track\""))?;
-        let track = Track::from_label(track_label)
-            .ok_or_else(|| malformed(&format!("unknown track \"{track_label}\"")))?;
-        let name = value
-            .get("name")
-            .and_then(Value::as_str)
-            .ok_or_else(|| malformed("missing \"name\""))?
-            .to_string();
-        let kind = match value.get("kind").and_then(Value::as_str) {
-            Some("span") => EventKind::Span,
-            Some("instant") => EventKind::Instant,
-            _ => return Err(malformed("missing or unknown \"kind\"")),
-        };
-        // Non-finite numbers (hand-edited or truncated journals) are
-        // dropped rather than propagated, so downstream utilization /
-        // imbalance / quantile math never renders NaN or inf.
-        let num = |key: &str| {
-            value
-                .get(key)
-                .and_then(Value::as_f64)
-                .filter(|v| v.is_finite())
-        };
-        let args = match value.get("args").and_then(Value::as_object) {
-            Some(fields) => fields
-                .iter()
-                .filter_map(|(k, v)| v.as_f64().filter(|v| v.is_finite()).map(|v| (k.clone(), v)))
-                .collect(),
-            None => Vec::new(),
-        };
-        events.push(Event {
-            track,
-            name,
-            kind,
-            wall_start: num("wall_start").unwrap_or(0.0),
-            wall_dur: num("wall_dur").unwrap_or(0.0),
-            virt_start: num("virt_start"),
-            virt_dur: num("virt_dur"),
-            args,
-        });
+        events.push(parse_event_line_at(line, idx + 1)?);
     }
     Ok(events)
+}
+
+/// Parse one journal event line (anything after the header). Streaming
+/// consumers — `swdual top`/`tail` following a socket or a growing
+/// file — decode line by line instead of re-parsing the whole
+/// document on every read.
+pub fn parse_event_line(line: &str) -> Result<Event, JournalError> {
+    parse_event_line_at(line, 0)
+}
+
+fn parse_event_line_at(line: &str, line_no: usize) -> Result<Event, JournalError> {
+    let malformed = |reason: &str| JournalError::Malformed {
+        line: line_no,
+        reason: reason.to_string(),
+    };
+    let value: Value = serde_json::from_str(line).map_err(|_| malformed("not valid JSON"))?;
+    let track_label = value
+        .get("track")
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("missing \"track\""))?;
+    let track = Track::from_label(track_label)
+        .ok_or_else(|| malformed(&format!("unknown track \"{track_label}\"")))?;
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("missing \"name\""))?
+        .to_string();
+    let kind = match value.get("kind").and_then(Value::as_str) {
+        Some("span") => EventKind::Span,
+        Some("instant") => EventKind::Instant,
+        _ => return Err(malformed("missing or unknown \"kind\"")),
+    };
+    // Non-finite numbers (hand-edited or truncated journals) are
+    // dropped rather than propagated, so downstream utilization /
+    // imbalance / quantile math never renders NaN or inf.
+    let num = |key: &str| {
+        value
+            .get(key)
+            .and_then(Value::as_f64)
+            .filter(|v| v.is_finite())
+    };
+    let args = match value.get("args").and_then(Value::as_object) {
+        Some(fields) => fields
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().filter(|v| v.is_finite()).map(|v| (k.clone(), v)))
+            .collect(),
+        None => Vec::new(),
+    };
+    Ok(Event {
+        track,
+        name,
+        kind,
+        wall_start: num("wall_start").unwrap_or(0.0),
+        wall_dur: num("wall_dur").unwrap_or(0.0),
+        virt_start: num("virt_start"),
+        virt_dur: num("virt_dur"),
+        args,
+    })
 }
 
 #[cfg(test)]

@@ -21,13 +21,19 @@
 //! per-worker execution.
 
 pub mod analysis;
+pub mod bus;
 pub mod diff;
 pub mod explain;
 pub mod export;
+pub mod flight;
 pub mod journal;
 pub mod metrics;
 pub mod profile;
 pub mod trend;
+pub mod watch;
+
+pub use bus::BusSubscriber;
+pub use flight::FlightRecorder;
 
 use metrics::Metrics;
 use std::collections::BTreeMap;
@@ -137,6 +143,15 @@ impl Event {
                 "kernel_launch" | "kernel_compute" | "d2h_transfer"
             )
     }
+
+    /// Whether this is a watchdog alert instant (`alert_*` on the
+    /// faults track). Alerts are commentary *about* the run, not part
+    /// of it: the fault auditor counts them separately, the causal
+    /// explainer ignores them, and the watchdog itself skips them to
+    /// avoid feedback loops.
+    pub fn is_alert(&self) -> bool {
+        self.track == Track::Faults && self.name.starts_with("alert_")
+    }
 }
 
 struct Inner {
@@ -148,6 +163,10 @@ struct Inner {
     /// without profiling; profiling implies tracing (the phase spans go
     /// through the same event buffer).
     profiling: AtomicBool,
+    /// Live broadcast of recorded events to in-process subscribers and
+    /// flight-recorder rings. Publication happens under the events
+    /// lock, so subscribers observe journal order.
+    bus: bus::Bus,
 }
 
 /// Handle to a recorder; cheap to clone and share across threads.
@@ -173,6 +192,7 @@ impl Obs {
             counters: Mutex::new(BTreeMap::new()),
             metrics: Metrics::enabled(),
             profiling: AtomicBool::new(false),
+            bus: bus::Bus::default(),
         })))
     }
 
@@ -240,7 +260,9 @@ impl Obs {
             virt_dur: virt.map(|(_, d)| d),
             args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         };
-        inner.events.lock().expect("obs events lock").push(event);
+        let mut events = inner.events.lock().expect("obs events lock");
+        inner.bus.publish(&event);
+        events.push(event);
     }
 
     /// Record a span that exists only on the modelled clock (e.g. a
@@ -272,7 +294,47 @@ impl Obs {
             virt_dur: None,
             args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         };
-        inner.events.lock().expect("obs events lock").push(event);
+        let mut events = inner.events.lock().expect("obs events lock");
+        inner.bus.publish(&event);
+        events.push(event);
+    }
+
+    /// Open a bounded live subscription on this recorder's event bus
+    /// with the default capacity
+    /// ([`bus::DEFAULT_SUBSCRIBER_CAPACITY`]). On a disabled recorder
+    /// the returned subscriber is inert and nothing is allocated.
+    pub fn subscribe(&self) -> BusSubscriber {
+        self.subscribe_with_capacity(bus::DEFAULT_SUBSCRIBER_CAPACITY)
+    }
+
+    /// Open a bounded live subscription holding at most `capacity`
+    /// pending events. When the queue is full the publisher drops the
+    /// new event for this subscriber (accounted in
+    /// [`BusSubscriber::dropped`] and [`Obs::bus_dropped_events`])
+    /// rather than blocking the recording path.
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> BusSubscriber {
+        match &self.0 {
+            Some(inner) => BusSubscriber::live(inner.bus.subscribe(capacity)),
+            None => BusSubscriber::disabled(),
+        }
+    }
+
+    /// Attach a [`FlightRecorder`] ring so it shadows every event
+    /// recorded from now on (overwrite-oldest, never drops the
+    /// newest). No-op on a disabled recorder.
+    pub fn attach_flight(&self, flight: &FlightRecorder) {
+        if let Some(inner) = &self.0 {
+            inner.bus.attach_ring(flight.ring());
+        }
+    }
+
+    /// Total events dropped across all bus subscribers because their
+    /// queues were full. Exported as `swdual_bus_dropped_events`.
+    pub fn bus_dropped_events(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.bus.dropped_total(),
+            None => 0,
+        }
     }
 
     /// Add `delta` to the named aggregate counter. Mirrored into the
@@ -296,6 +358,23 @@ impl Obs {
     pub fn events(&self) -> Vec<Event> {
         match &self.0 {
             Some(inner) => inner.events.lock().expect("obs events lock").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of the events recorded at or after index `start`, in
+    /// recording order. Lets pull-based streamers (the `--live-socket`
+    /// writer) page through the retained journal with a cursor instead
+    /// of holding a bounded subscription they might overflow.
+    pub fn events_since(&self, start: usize) -> Vec<Event> {
+        match &self.0 {
+            Some(inner) => {
+                let events = inner.events.lock().expect("obs events lock");
+                events
+                    .get(start..)
+                    .map(<[Event]>::to_vec)
+                    .unwrap_or_default()
+            }
             None => Vec::new(),
         }
     }

@@ -895,12 +895,28 @@ pub fn try_run_search(
                 };
             let far_future = Instant::now() + Duration::from_secs(365 * 86_400);
             let mut deadlines: Vec<Instant> = vec![far_future; workers.len()];
+            // Deadlines are wall-now-relative and recomputed on every
+            // merge-loop message — far too chatty to journal each. The
+            // watchdog only needs the timeout *magnitude* to judge
+            // silent-death proximity, so publish a `worker_deadline`
+            // instant when a worker's timeout changes by >10%.
+            let mut published_deadline: Vec<f64> = vec![0.0; workers.len()];
             macro_rules! refresh_deadlines {
                 () => {
                     for w in 0..workers.len() {
                         deadlines[w] = if alive[w] && in_flight[w].is_some() {
-                            Instant::now()
-                                + timeout_for(w, in_flight[w], &queue[w], wall_ratio, secs_per_cell)
+                            let timeout =
+                                timeout_for(w, in_flight[w], &queue[w], wall_ratio, secs_per_cell);
+                            let secs = timeout.as_secs_f64();
+                            if (secs - published_deadline[w]).abs() > 0.1 * published_deadline[w] {
+                                published_deadline[w] = secs;
+                                obs.instant(
+                                    Track::Master,
+                                    "worker_deadline",
+                                    &[("worker", w as f64), ("timeout", secs)],
+                                );
+                            }
+                            Instant::now() + timeout
                         } else {
                             far_future
                         };
